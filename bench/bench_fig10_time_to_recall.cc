@@ -1,0 +1,127 @@
+// Figure 10 — time taken to reach a fixed recall: Kondo runs to its
+// stopping criteria, then BF and AFL run until they match Kondo's recall or
+// hit a cap (their achieved recall is reported in parentheses, as in the
+// paper's figure).
+//
+// Caps are scaled to this machine via KONDO_BENCH_CAP_SECONDS (default
+// 10 s); the paper's shape — BF eventually matches at ~30x Kondo's time,
+// AFL stalls below Kondo's recall on hole/block programs — is the target.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/afl_fuzzer.h"
+#include "baselines/brute_force.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+
+namespace kondo {
+namespace {
+
+struct TimedRecall {
+  double seconds = 0.0;
+  double recall = 0.0;
+};
+
+/// Runs BF with doubling time budgets until `target` recall or the cap;
+/// reports the (wall) time of the successful campaign — "the time taken to
+/// reach the same recall as Kondo".
+TimedRecall BruteForceUntil(const Program& program, double target,
+                            double cap_seconds) {
+  const IndexSet& truth = program.GroundTruth();
+  double budget = std::min(0.1, cap_seconds);
+  TimedRecall result;
+  while (true) {
+    BruteForceConfig config;
+    config.rng_seed = 1;
+    config.max_seconds = budget;
+    config.exec_overhead_micros = bench::ExecCostMicros();
+    const BruteForceResult bf = RunBruteForce(program, config);
+    result.recall =
+        static_cast<double>(truth.IntersectionSize(bf.discovered)) /
+        static_cast<double>(truth.size());
+    result.seconds = bf.elapsed_seconds;
+    if (result.recall >= target || bf.exhausted || budget >= cap_seconds) {
+      break;
+    }
+    budget = std::min(budget * 2.0, cap_seconds);
+  }
+  return result;
+}
+
+/// Runs AFL in growing-budget stages until `target` recall, the cap, or a
+/// stable recall (double the time improves recall < 1%, the paper's
+/// stability criterion).
+TimedRecall AflUntil(const Program& program, double target,
+                     double cap_seconds) {
+  const IndexSet& truth = program.GroundTruth();
+  double budget = std::min(0.25, cap_seconds);
+  double last_recall = -1.0;
+  TimedRecall result;
+  while (true) {
+    AflConfig config;
+    config.max_seconds = budget;
+    config.rng_seed = 1;
+    config.exec_overhead_micros += bench::ExecCostMicros();
+    const AflResult afl = AflFuzzer(program, config).Run();
+    result.recall =
+        static_cast<double>(truth.IntersectionSize(afl.coverage)) /
+        static_cast<double>(truth.size());
+    result.seconds = budget;
+    if (result.recall >= target || budget >= cap_seconds) {
+      break;
+    }
+    if (last_recall >= 0.0 && result.recall - last_recall < 0.01) {
+      break;  // Stable: doubling the budget barely helped.
+    }
+    last_recall = result.recall;
+    budget = std::min(budget * 2.0, cap_seconds);
+  }
+  return result;
+}
+
+void PrintFigure() {
+  const double cap = bench::EnvDouble("KONDO_BENCH_CAP_SECONDS", 10.0);
+  std::printf(
+      "=== Figure 10: time to reach Kondo's recall (cap %.0fs) ===\n\n",
+      cap);
+  std::printf("%-7s %16s %18s %18s\n", "prog", "Kondo s (recall)",
+              "BF s (recall)", "AFL s (recall)");
+  for (const std::string& name : MicroBenchmarkNames()) {
+    const std::unique_ptr<Program> program = CreateProgram(name);
+    program->GroundTruth();
+
+    const bench::ToolOutcome kondo =
+        bench::RunKondoOnce(*program, /*seed=*/1, /*budget_seconds=*/0.0);
+    // Ask the baselines to reach (slightly under) Kondo's recall.
+    const double target = kondo.recall * 0.999;
+    const TimedRecall bf = BruteForceUntil(*program, target, cap);
+    const TimedRecall afl = AflUntil(*program, target, cap);
+    std::printf("%-7s %8.2f (%.2f) %10.2f (%.2f) %10.2f (%.2f)\n",
+                name.c_str(), kondo.seconds, kondo.recall, bf.seconds,
+                bf.recall, afl.seconds, afl.recall);
+  }
+  std::printf("\n");
+}
+
+void BM_BruteForceFullCs(benchmark::State& state) {
+  const std::unique_ptr<Program> program = CreateProgram("CS");
+  for (auto _ : state) {
+    BruteForceConfig config;
+    benchmark::DoNotOptimize(RunBruteForce(*program, config).runs);
+  }
+}
+BENCHMARK(BM_BruteForceFullCs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 11a — precision and recall as the data file grows from 128x128
+// (256 KB at 16-byte elements) to 2048x2048 (64 MB), on CS3 (the program
+// with the lowest recall), parameter ranges scaled to the dataset size.
+//
+// Expected shape (Section V-D4): recall stays stable; precision's mean
+// rises and its variance falls as disjoint regions separate.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace kondo {
+namespace {
+
+void PrintFigure() {
+  const int reps = bench::EnvInt("KONDO_BENCH_REPS", 10);
+  const int max_n = bench::EnvInt("KONDO_BENCH_MAX_N", 2048);
+  std::printf("=== Figure 11a: precision/recall vs data file size (CS3) "
+              "===\n\n");
+  std::printf("%-6s %-9s %16s %16s %10s\n", "n", "file", "precision",
+              "recall", "t/run(s)");
+  for (int64_t n = 128; n <= max_n; n *= 2) {
+    const std::unique_ptr<Program> program = CreateProgram("CS3", n);
+    program->GroundTruth();
+    std::vector<double> precision, recall, seconds;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Length-valued knobs scale with the array (see ScaledKondoConfig).
+      const bench::ToolOutcome outcome = bench::RunKondoOnce(
+          *program, rep + 1, /*budget_seconds=*/0.0,
+          ScaledKondoConfig(program->data_shape()));
+      precision.push_back(outcome.precision);
+      recall.push_back(outcome.recall);
+      seconds.push_back(outcome.seconds);
+    }
+    const bench::Series ps = bench::Summarize(precision);
+    const bench::Series rs = bench::Summarize(recall);
+    const double file_mb =
+        static_cast<double>(n * n * 16) / (1024.0 * 1024.0);
+    std::printf("%-6lld %7.1fMB %8.3f ±%6.3f %8.3f ±%6.3f %10.2f\n",
+                static_cast<long long>(n), file_mb, ps.mean, ps.stdev,
+                rs.mean, rs.stdev, bench::Summarize(seconds).mean);
+  }
+  std::printf("\n");
+}
+
+void BM_KondoCs3ByScale(benchmark::State& state) {
+  const std::unique_ptr<Program> program =
+      CreateProgram("CS3", state.range(0));
+  program->GroundTruth();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::RunKondoOnce(*program, seed++, 0.0).recall);
+  }
+}
+BENCHMARK(BM_KondoCs3ByScale)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

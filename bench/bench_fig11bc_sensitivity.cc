@@ -1,0 +1,78 @@
+// Figures 11b/11c — sensitivity of precision and recall to the
+// `center_d_thresh` hull-merging threshold (and, as the paper mentions but
+// omits for space, `bound_d_thresh` shows the same trend — included here).
+//
+// Expected shape (Section V-D5): recall rises with the threshold while
+// precision falls; recall stays above ~0.75 even at large thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace kondo {
+namespace {
+
+void SweepProgram(const char* name, bool sweep_boundary) {
+  const int reps = bench::EnvInt("KONDO_BENCH_REPS", 10);
+  const std::unique_ptr<Program> program = CreateProgram(name);
+  program->GroundTruth();
+  std::printf("program %s, sweeping %s:\n", name,
+              sweep_boundary ? "bound_d_thresh" : "center_d_thresh");
+  std::printf("%8s %16s %16s\n", "thresh", "precision", "recall");
+  for (double threshold : {2.5, 5.0, 10.0, 20.0, 40.0, 80.0}) {
+    std::vector<double> precision, recall;
+    for (int rep = 0; rep < reps; ++rep) {
+      KondoConfig config;
+      if (sweep_boundary) {
+        config.carve.boundary_d_thresh = threshold;
+      } else {
+        config.carve.center_d_thresh = threshold;
+      }
+      const bench::ToolOutcome outcome = bench::RunKondoOnce(
+          *program, rep + 1, /*budget_seconds=*/0.0, config);
+      precision.push_back(outcome.precision);
+      recall.push_back(outcome.recall);
+    }
+    const bench::Series ps = bench::Summarize(precision);
+    const bench::Series rs = bench::Summarize(recall);
+    std::printf("%8.1f %8.3f ±%6.3f %8.3f ±%6.3f\n", threshold, ps.mean,
+                ps.stdev, rs.mean, rs.stdev);
+  }
+  std::printf("\n");
+}
+
+void PrintFigure() {
+  std::printf(
+      "=== Figures 11b/11c: precision & recall vs hull-merge thresholds "
+      "===\n\n");
+  SweepProgram("CS3", /*sweep_boundary=*/false);
+  SweepProgram("PRL", /*sweep_boundary=*/false);
+  SweepProgram("CS3", /*sweep_boundary=*/true);
+}
+
+void BM_CarveThresholdSweep(benchmark::State& state) {
+  const std::unique_ptr<Program> program = CreateProgram("CS3");
+  program->GroundTruth();
+  KondoConfig config;
+  config.carve.center_d_thresh = static_cast<double>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::RunKondoOnce(*program, seed++, 0.0, config).precision);
+  }
+}
+BENCHMARK(BM_CarveThresholdSweep)->Arg(5)->Arg(20)->Arg(80)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

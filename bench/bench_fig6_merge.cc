@@ -1,0 +1,103 @@
+// Figure 6 — the bottom-up merge algorithm against the single-hull
+// baseline: per-stage hull counts and the covered-area blow-up a single
+// global hull (Fig. 6b) suffers versus merged cell hulls (Fig. 6d).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "carve/carver.h"
+#include "common/rng.h"
+
+namespace kondo {
+namespace {
+
+/// Builds a Fig.6-style point set: three separated blobs, two of which are
+/// split into nearby fragments that should merge back together.
+IndexSet FigureSixPoints(uint64_t seed) {
+  const Shape shape{128, 128};
+  IndexSet points(shape);
+  Rng rng(seed);
+  struct Blob {
+    int64_t cx, cy, spread, count;
+  };
+  // Blob A: two nearby fragments (merge expected). Blob B: distant.
+  const Blob blobs[] = {
+      {20, 20, 7, 60},  {36, 30, 7, 60},   // Fragments of one region.
+      {30, 90, 9, 80},                     // Second region.
+      {100, 45, 6, 50}, {108, 58, 6, 50},  // Fragments of a third region.
+  };
+  for (const Blob& blob : blobs) {
+    for (int64_t i = 0; i < blob.count; ++i) {
+      points.Insert(Index{blob.cx + rng.UniformInt(-blob.spread, blob.spread),
+                          blob.cy + rng.UniformInt(-blob.spread, blob.spread)});
+    }
+  }
+  return points;
+}
+
+void PrintFigure() {
+  std::printf("=== Figure 6: merge algorithm vs single convex hull ===\n\n");
+  const IndexSet points = FigureSixPoints(7);
+
+  CarveStats stats;
+  Carver carver{CarveConfig{}};
+  const CarvedSubset merged = carver.Carve(points, &stats);
+  const IndexSet merged_raster = merged.Rasterize();
+
+  const CarvedSubset single = SimpleConvexCarve(points);
+  const IndexSet single_raster = single.Rasterize();
+
+  std::printf("observed index points:            %zu\n", points.size());
+  std::printf("(a) initial cell hulls:           %d (cell size %lld)\n",
+              stats.initial_hulls,
+              static_cast<long long>(carver.config().cell_size));
+  std::printf("(c) pairwise merges performed:    %d\n",
+              stats.merge_operations);
+  std::printf("(d) final merged hulls:           %d, covering %zu indices\n",
+              stats.final_hulls, merged_raster.size());
+  std::printf("(b) single-hull baseline:         1 hull covering %zu "
+              "indices (%.1fx blow-up vs merged)\n\n",
+              single_raster.size(),
+              static_cast<double>(single_raster.size()) /
+                  static_cast<double>(merged_raster.size()));
+}
+
+void BM_CarveFigureSix(benchmark::State& state) {
+  const IndexSet points = FigureSixPoints(7);
+  const Carver carver{CarveConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(carver.Carve(points).num_hulls());
+  }
+}
+BENCHMARK(BM_CarveFigureSix)->Unit(benchmark::kMillisecond);
+
+void BM_CarveScalesWithPoints(benchmark::State& state) {
+  const Shape shape{512, 512};
+  IndexSet points(shape);
+  Rng rng(3);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    points.Insert(Index{rng.UniformInt(0, 127), rng.UniformInt(0, 127)});
+  }
+  const Carver carver{CarveConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(carver.Carve(points).num_hulls());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CarveScalesWithPoints)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 7 — mean recall of Kondo vs brute force (BF) vs AFL for a fixed
+// per-program time budget, over the four H5bench micro-benchmarks.
+//
+// Methodology per Section V-C: 10 runs for Kondo and BF, 2 for AFL, with
+// the same wall-clock budget per program. Absolute budgets are scaled to
+// this machine via KONDO_BENCH_SECONDS (default 0.3 s); the paper's shape —
+// Kondo >= BF > AFL, with 3-D programs hurting BF — is the target.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace kondo {
+namespace {
+
+void PrintFigure() {
+  using bench::Series;
+  const int kondo_reps = bench::EnvInt("KONDO_BENCH_REPS", 5);
+  const int afl_reps = bench::EnvInt("KONDO_BENCH_AFL_REPS", 2);
+
+  std::printf(
+      "=== Figure 7: mean recall for per-program budgets (Kondo's "
+      "convergence time, exec cost %lldus) ===\n\n",
+      static_cast<long long>(bench::ExecCostMicros()));
+  std::printf("%-7s %18s %18s %18s\n", "family", "Kondo", "BF", "AFL");
+  double kondo_sum = 0.0, bf_sum = 0.0, afl_sum = 0.0;
+  int families = 0;
+  for (const auto& [family, members] : bench::MicroBenchmarkFamilies()) {
+    std::vector<double> kondo, bf, afl;
+    for (const std::string& name : members) {
+      const std::unique_ptr<Program> program = CreateProgram(name);
+      program->GroundTruth();  // Warm the cache outside the budget.
+      // §V-C: every tool gets the budget Kondo needs to converge.
+      const double budget = bench::CalibrateBudgetSeconds(*program);
+      for (int rep = 0; rep < kondo_reps; ++rep) {
+        kondo.push_back(
+            bench::RunKondoOnce(*program, rep + 1, budget).recall);
+        bf.push_back(
+            bench::RunBruteForceOnce(*program, rep + 1, budget).recall);
+      }
+      for (int rep = 0; rep < afl_reps; ++rep) {
+        afl.push_back(bench::RunAflOnce(*program, rep + 1, budget).recall);
+      }
+    }
+    const Series ks = bench::Summarize(kondo);
+    const Series bs = bench::Summarize(bf);
+    const Series as = bench::Summarize(afl);
+    std::printf("%-7s %9.3f ±%6.3f %9.3f ±%6.3f %9.3f ±%6.3f\n",
+                family.c_str(), ks.mean, ks.stdev, bs.mean, bs.stdev,
+                as.mean, as.stdev);
+    kondo_sum += ks.mean;
+    bf_sum += bs.mean;
+    afl_sum += as.mean;
+    ++families;
+  }
+  std::printf("%-7s %9.3f %8s %9.3f %8s %9.3f\n\n", "mean",
+              kondo_sum / families, "", bf_sum / families, "",
+              afl_sum / families);
+}
+
+void BM_KondoCampaignCS(benchmark::State& state) {
+  const std::unique_ptr<Program> program = CreateProgram("CS");
+  program->GroundTruth();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    const bench::ToolOutcome outcome =
+        bench::RunKondoOnce(*program, seed++, /*budget_seconds=*/0.0);
+    state.counters["recall"] = outcome.recall;
+    state.counters["precision"] = outcome.precision;
+  }
+}
+BENCHMARK(BM_KondoCampaignCS)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

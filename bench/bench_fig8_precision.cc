@@ -1,0 +1,84 @@
+// Figure 8 — precision per program for a fixed time budget: Kondo vs BF vs
+// AFL, plus the Simple Convex (SC) ablation (Kondo's fuzzer with a single
+// regular convex hull instead of the merge-based carver).
+//
+// Expected shape (Section V-D2): BF and AFL are always 1 (they never subset
+// unaccessed data); Kondo dips below 1 where hull merging covers holes
+// (PRL) or bridges sparse distant regions (CS1, CS5); LDC/RDC stay at 1;
+// SC is uniformly worse than Kondo.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace kondo {
+namespace {
+
+void PrintFigure() {
+  using bench::Series;
+  const int kondo_reps = bench::EnvInt("KONDO_BENCH_REPS", 5);
+  const int afl_reps = bench::EnvInt("KONDO_BENCH_AFL_REPS", 2);
+
+  std::printf(
+      "=== Figure 8: precision per program (per-program budgets, exec cost "
+      "%lldus) ===\n\n",
+      static_cast<long long>(bench::ExecCostMicros()));
+  std::printf("%-7s %16s %8s %8s %16s\n", "prog", "Kondo", "BF", "AFL",
+              "SC");
+  double kondo_sum = 0.0;
+  int programs = 0;
+  for (const std::string& name : TableTwoProgramNames()) {
+    const std::unique_ptr<Program> program = CreateProgram(name);
+    program->GroundTruth();
+    const double budget = bench::CalibrateBudgetSeconds(*program);
+
+    std::vector<double> kondo, sc;
+    double bf = 1.0;
+    double afl = 1.0;
+    for (int rep = 0; rep < kondo_reps; ++rep) {
+      kondo.push_back(
+          bench::RunKondoOnce(*program, rep + 1, budget).precision);
+      sc.push_back(
+          bench::RunSimpleConvexOnce(*program, rep + 1, budget).precision);
+    }
+    // BF/AFL report raw accessed indices: precision 1 by construction. Run
+    // them anyway to confirm (2 reps for AFL per §V-C).
+    bf = bench::RunBruteForceOnce(*program, 1, budget).precision;
+    for (int rep = 0; rep < afl_reps; ++rep) {
+      afl = std::min(afl,
+                     bench::RunAflOnce(*program, rep + 1, budget).precision);
+    }
+    const Series ks = bench::Summarize(kondo);
+    const Series ss = bench::Summarize(sc);
+    std::printf("%-7s %8.3f ±%5.3f %8.3f %8.3f %8.3f ±%5.3f\n", name.c_str(),
+                ks.mean, ks.stdev, bf, afl, ss.mean, ss.stdev);
+    kondo_sum += ks.mean;
+    ++programs;
+  }
+  std::printf("%-7s %8.3f\n\n", "mean", kondo_sum / programs);
+}
+
+void BM_SimpleConvexCarvePrl(benchmark::State& state) {
+  const std::unique_ptr<Program> program = CreateProgram("PRL");
+  program->GroundTruth();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    const bench::ToolOutcome outcome =
+        bench::RunSimpleConvexOnce(*program, seed++, 0.0);
+    state.counters["precision"] = outcome.precision;
+  }
+}
+BENCHMARK(BM_SimpleConvexCarvePrl)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

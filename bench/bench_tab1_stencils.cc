@@ -1,0 +1,74 @@
+// Table I — Types of Stencils.
+//
+// Renders the stencil families behind the four H5bench micro-benchmarks:
+// the Listing-1 cross, the solid rectangle (LDC/RDC), the rectangle with a
+// hole (PRL's union region), and the 3-D box extension. Also times stencil
+// application as a google-benchmark microbenchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads/stencil.h"
+
+namespace kondo {
+namespace {
+
+void PrintTable() {
+  std::printf("=== Table I: Types of Stencils ===\n\n");
+  struct Row {
+    const char* program;
+    const char* family;
+    Stencil stencil;
+  };
+  const Row rows[] = {
+      {"CS (Listing 1)", "cross", CrossStencil2D()},
+      {"LDC / RDC", "solid rectangle", SolidRectStencil(6, 6)},
+      {"PRL", "rectangle with hole", HoledRectStencil(8, 8, 4)},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-16s %-22s (%zu cells)\n", row.program, row.family,
+                row.stencil.offsets.size());
+    std::printf("%s\n", RenderStencil2D(row.stencil).c_str());
+  }
+  std::printf("%-16s %-22s (%zu cells, 3-D)\n", "LDC3D / RDC3D",
+              "solid box", SolidBoxStencil(4, 4, 4).offsets.size());
+  std::printf("\n");
+}
+
+void BM_ApplyCrossStencil(benchmark::State& state) {
+  const Stencil cross = CrossStencil2D();
+  const Shape shape{128, 128};
+  int64_t sink = 0;
+  for (auto _ : state) {
+    cross.Apply(shape, Index{64, 64},
+                [&sink](const Index& index) { sink += index[0]; });
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ApplyCrossStencil);
+
+void BM_ApplySolidRect(benchmark::State& state) {
+  const Stencil rect =
+      SolidRectStencil(state.range(0), state.range(0));
+  const Shape shape{256, 256};
+  int64_t sink = 0;
+  for (auto _ : state) {
+    rect.Apply(shape, Index{10, 10},
+               [&sink](const Index& index) { sink += index[1]; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rect.offsets.size()));
+}
+BENCHMARK(BM_ApplySolidRect)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

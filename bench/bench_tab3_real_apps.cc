@@ -1,0 +1,93 @@
+// Table III — Kondo on programs derived from real applications: ARD
+// (Atmospheric River Detection) and MSI (Mass Spectrometry Imaging), both
+// scaled-down meshes preserving the paper's subset fractions (DESIGN.md §2).
+//
+// Expected shape: Kondo reaches precision & recall (near) 1 within the
+// budget; BF's recall collapses because |Θ| dwarfs the budget (the paper
+// reports BF recall 0.24 for ARD and 0.78 for MSI in 2 hours).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/metrics.h"
+
+namespace kondo {
+namespace {
+
+void PrintTable() {
+  const double budget = bench::EnvDouble("KONDO_BENCH_REAL_SECONDS", 1.5);
+  std::printf("=== Table III: programs derived from real applications "
+              "(budget %.0fs) ===\n\n", budget);
+  std::printf("%-22s %-18s %-18s\n", "", "ARD", "MSI");
+
+  struct Row {
+    std::string theta;
+    std::string data;
+    bench::ToolOutcome kondo;
+    bench::ToolOutcome bf;
+    double debloat = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const char* name : {"ARD", "MSI"}) {
+    const std::unique_ptr<Program> program = CreateProgram(name);
+    program->GroundTruth();
+    Row row;
+    row.theta = program->param_space().ToString();
+    row.data = program->data_shape().ToString();
+    // Kondo's Table III runs use a larger iteration allowance (the paper
+    // gave each tool a 2-hour budget); scale up max_iter within our budget
+    // and scale the length-valued knobs to the mesh.
+    KondoConfig config = ScaledKondoConfig(program->data_shape());
+    config.fuzz.max_iter = 4000;
+    config.fuzz.stop_iter = 1000;
+    row.kondo = bench::RunKondoOnce(*program, /*seed=*/1, budget, config);
+    row.bf = bench::RunBruteForceOnce(*program, /*seed=*/1, budget);
+    row.debloat = 1.0 - row.kondo.subset_size /
+                            static_cast<double>(
+                                program->data_shape().NumElements());
+    rows.push_back(row);
+  }
+
+  std::printf("%-22s %-18s %-18s\n", "# of Parameters", "3", "3");
+  std::printf("%-22s %-18s %-18s\n", "Theta (scaled)", rows[0].theta.c_str(),
+              rows[1].theta.c_str());
+  std::printf("%-22s %-18s %-18s\n", "Data Size (scaled)",
+              rows[0].data.c_str(), rows[1].data.c_str());
+  std::printf("%-22s %.2f & %-11.2f %.2f & %-11.2f\n",
+              "Kondo Prec.&Recall", rows[0].kondo.precision,
+              rows[0].kondo.recall, rows[1].kondo.precision,
+              rows[1].kondo.recall);
+  std::printf("%-22s %.2f & %-11.2f %.2f & %-11.2f\n", "BF Prec.&Recall",
+              rows[0].bf.precision, rows[0].bf.recall, rows[1].bf.precision,
+              rows[1].bf.recall);
+  std::printf("%-22s %-18.2f %-18.2f\n", "Kondo % Debloat",
+              100.0 * rows[0].debloat, 100.0 * rows[1].debloat);
+  std::printf("(paper: ARD Kondo 1&1, BF 1&0.24, 97.20%% debloat; "
+              "MSI Kondo 1&1, BF 1&0.78, 96.24%% debloat)\n\n");
+}
+
+void BM_ArdFuzzCampaign(benchmark::State& state) {
+  const std::unique_ptr<Program> program = CreateProgram("ARD");
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    KondoConfig config;
+    config.fuzz.max_iter = 500;
+    config.rng_seed = seed++;
+    benchmark::DoNotOptimize(
+        KondoPipeline(config).Run(*program).approx.size());
+  }
+}
+BENCHMARK(BM_ArdFuzzCampaign)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Discovery trajectories: recall as a function of *executions* (rather
+// than wall time) for Kondo, brute force, and AFL. Complements Fig. 10 by
+// removing the machine from the comparison entirely: at equal execution
+// counts, Kondo's boundary-seeking schedule discovers the subset with far
+// fewer debloat tests.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "baselines/afl_fuzzer.h"
+#include "baselines/brute_force.h"
+#include "bench/bench_util.h"
+#include "core/debloat_test.h"
+
+namespace kondo {
+namespace {
+
+constexpr int kCheckpoints[] = {100, 250, 500, 1000, 2000};
+
+/// Kondo's in-run trajectory via the schedule observer.
+std::map<int, double> KondoTrajectory(const Program& program,
+                                      uint64_t seed) {
+  const IndexSet& truth = program.GroundTruth();
+  FuzzConfig config;
+  config.max_iter = 2000;
+  config.stop_iter = 1 << 30;  // Run all checkpoints.
+  FuzzSchedule schedule(program.param_space(), program.data_shape(), config,
+                        seed);
+  std::map<int, double> recall_at;
+  schedule.Run(MakeDebloatTest(program),
+               [&truth, &recall_at](int itr, const ParamValue&, bool,
+                                    size_t discovered) {
+                 for (int checkpoint : kCheckpoints) {
+                   if (itr == checkpoint) {
+                     recall_at[checkpoint] =
+                         static_cast<double>(discovered) /
+                         static_cast<double>(truth.size());
+                   }
+                 }
+               });
+  return recall_at;
+}
+
+/// BF/AFL trajectories via deterministic prefixes (same seed, growing
+/// budget).
+std::map<int, double> BfTrajectory(const Program& program, uint64_t seed) {
+  const IndexSet& truth = program.GroundTruth();
+  std::map<int, double> recall_at;
+  for (int checkpoint : kCheckpoints) {
+    BruteForceConfig config;
+    config.rng_seed = seed;
+    config.max_runs = checkpoint;
+    const BruteForceResult result = RunBruteForce(program, config);
+    recall_at[checkpoint] =
+        static_cast<double>(truth.IntersectionSize(result.discovered)) /
+        static_cast<double>(truth.size());
+  }
+  return recall_at;
+}
+
+std::map<int, double> AflTrajectory(const Program& program, uint64_t seed) {
+  const IndexSet& truth = program.GroundTruth();
+  std::map<int, double> recall_at;
+  for (int checkpoint : kCheckpoints) {
+    AflConfig config;
+    config.rng_seed = seed;
+    config.max_execs = checkpoint;
+    config.max_seconds = 0.0;
+    config.exec_overhead_micros = 0;
+    const AflResult result = AflFuzzer(program, config).Run();
+    recall_at[checkpoint] =
+        static_cast<double>(truth.IntersectionSize(result.coverage)) /
+        static_cast<double>(truth.size());
+  }
+  return recall_at;
+}
+
+void PrintTrajectories() {
+  std::printf(
+      "=== Discovery trajectories: recall vs number of executions ===\n\n");
+  for (const std::string& name :
+       {std::string("CS"), std::string("PRL"), std::string("CS3")}) {
+    const std::unique_ptr<Program> program = CreateProgram(name);
+    program->GroundTruth();
+    const std::map<int, double> kondo = KondoTrajectory(*program, 1);
+    const std::map<int, double> bf = BfTrajectory(*program, 1);
+    const std::map<int, double> afl = AflTrajectory(*program, 1);
+    std::printf("%s (raw fuzzer discovery, before carving):\n",
+                name.c_str());
+    std::printf("%10s %10s %10s %10s\n", "execs", "Kondo", "BF", "AFL");
+    for (int checkpoint : kCheckpoints) {
+      auto at = [checkpoint](const std::map<int, double>& m) {
+        auto it = m.find(checkpoint);
+        return it == m.end() ? -1.0 : it->second;
+      };
+      std::printf("%10d %10.3f %10.3f %10.3f\n", checkpoint, at(kondo),
+                  at(bf), at(afl));
+    }
+    std::printf("\n");
+  }
+  std::printf("(-1.000 marks campaigns that terminated before the "
+              "checkpoint)\n\n");
+}
+
+void BM_KondoTwoThousandIterations(benchmark::State& state) {
+  const std::unique_ptr<Program> program = CreateProgram("CS");
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    FuzzConfig config;
+    config.max_iter = 2000;
+    config.stop_iter = 1 << 30;
+    FuzzSchedule schedule(program->param_space(), program->data_shape(),
+                          config, seed++);
+    benchmark::DoNotOptimize(
+        schedule.Run(MakeDebloatTest(*program)).discovered.size());
+  }
+}
+BENCHMARK(BM_KondoTwoThousandIterations)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kondo
+
+int main(int argc, char** argv) {
+  kondo::PrintTrajectories();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

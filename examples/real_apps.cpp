@@ -1,0 +1,70 @@
+// Table III walk-through: Kondo on the two programs derived from real
+// scientific applications (Tang et al.'s usage study) — Atmospheric River
+// Detection (ARD) and Mass Spectrometry Imaging (MSI) — on scaled meshes
+// that preserve the paper's subset fractions.
+//
+// Usage: real_apps [budget_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/brute_force.h"
+#include "core/kondo.h"
+#include "core/metrics.h"
+#include "workloads/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace kondo;
+  const double budget = argc > 1 ? std::atof(argv[1]) : 2.0;
+
+  for (const char* name : {"ARD", "MSI"}) {
+    std::unique_ptr<Program> program = CreateProgram(name);
+    std::printf("=== %s — %s ===\n", name,
+                std::string(program->description()).c_str());
+    std::printf("mesh:    %s (%lld elements; 16-byte elements -> %.1f MB)\n",
+                program->data_shape().ToString().c_str(),
+                static_cast<long long>(
+                    program->data_shape().NumElements()),
+                static_cast<double>(
+                    program->data_shape().NumElements() * 16) /
+                    (1024 * 1024));
+    std::printf("theta:   %s (%.0f valuations)\n",
+                program->param_space().ToString().c_str(),
+                program->param_space().NumValuations());
+
+    const IndexSet& truth = program->GroundTruth();
+    std::printf("subset:  %zu indices (%.2f%% of the mesh)\n", truth.size(),
+                100.0 * static_cast<double>(truth.size()) /
+                    static_cast<double>(
+                        program->data_shape().NumElements()));
+
+    // Kondo with mesh-scaled configuration.
+    KondoConfig config = ScaledKondoConfig(program->data_shape());
+    config.fuzz.max_iter = 4000;
+    config.fuzz.max_seconds = budget;
+    config.rng_seed = 1;
+    const KondoResult result = KondoPipeline(config).Run(*program);
+    const AccuracyMetrics kondo = ComputeAccuracy(truth, result.approx);
+    std::printf("Kondo:   precision %.2f, recall %.2f (%d hulls, %.1fs)\n",
+                kondo.precision, kondo.recall, result.carve_stats.final_hulls,
+                result.fuzz_seconds + result.carve_seconds +
+                    result.rasterize_seconds);
+    std::printf("debloat: %.2f%% of the mesh eliminated\n",
+                100.0 * BloatFraction(program->data_shape(), result.approx));
+
+    // Brute force under the same budget.
+    BruteForceConfig bf_config;
+    bf_config.max_seconds = budget;
+    bf_config.exec_overhead_micros = 200;  // Per-run process cost (§V-C).
+    const BruteForceResult bf = RunBruteForce(*program, bf_config);
+    const AccuracyMetrics bf_metrics = ComputeAccuracy(truth, bf.discovered);
+    std::printf("BF:      precision %.2f, recall %.2f (%lld of %.0f runs)\n\n",
+                bf_metrics.precision, bf_metrics.recall,
+                static_cast<long long>(bf.runs),
+                program->param_space().NumValuations());
+  }
+  std::printf("(paper: ARD Kondo 1&1 / BF 1&0.24, 97.20%% debloat;"
+              " MSI Kondo 1&1 / BF 1&0.78, 96.24%% debloat)\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "array/data_array.h"
+
+namespace kondo {
+
+DataArray::DataArray(Shape shape, DType dtype)
+    : shape_(std::move(shape)),
+      dtype_(dtype),
+      values_(static_cast<size_t>(shape_.NumElements()), 0.0) {}
+
+void DataArray::FillWith(const std::function<double(const Index&)>& fn) {
+  const int64_t n = shape_.NumElements();
+  for (int64_t linear = 0; linear < n; ++linear) {
+    values_[static_cast<size_t>(linear)] = fn(shape_.Delinearize(linear));
+  }
+}
+
+void DataArray::FillPattern(uint64_t seed) {
+  uint64_t state = seed ^ 0x9E3779B97F4A7C15ULL;
+  for (double& value : values_) {
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    value = static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+}
+
+}  // namespace kondo

@@ -1,0 +1,52 @@
+#ifndef KONDO_ARRAY_DATA_ARRAY_H_
+#define KONDO_ARRAY_DATA_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "array/dtype.h"
+#include "array/index.h"
+#include "array/shape.h"
+
+namespace kondo {
+
+/// An in-memory d-dimensional data array `D : I -> V` (Section III,
+/// Definition of the array data model). Values are held as float64
+/// regardless of the on-disk DType; the DType controls serialisation width.
+class DataArray {
+ public:
+  /// Creates a zero-filled array.
+  explicit DataArray(Shape shape, DType dtype = DType::kFloat128);
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+
+  double At(const Index& index) const {
+    return values_[shape_.Linearize(index)];
+  }
+  void Set(const Index& index, double value) {
+    values_[shape_.Linearize(index)] = value;
+  }
+
+  double AtLinear(int64_t linear) const { return values_[linear]; }
+  void SetLinear(int64_t linear, double value) { values_[linear] = value; }
+
+  const std::vector<double>& values() const { return values_; }
+
+  /// Fills every element via `fn(index)`.
+  void FillWith(const std::function<double(const Index&)>& fn);
+
+  /// Fills with a deterministic pseudo-random pattern derived from `seed`
+  /// (useful for round-trip tests without an Rng dependency).
+  void FillPattern(uint64_t seed);
+
+ private:
+  Shape shape_;
+  DType dtype_;
+  std::vector<double> values_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_ARRAY_DATA_ARRAY_H_

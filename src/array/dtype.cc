@@ -1,0 +1,39 @@
+#include "array/dtype.h"
+
+namespace kondo {
+
+int64_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kInt32:
+      return 4;
+    case DType::kInt64:
+      return 8;
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat64:
+      return 8;
+    case DType::kFloat128:
+      return 16;
+  }
+  return 0;
+}
+
+std::string_view DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kInt32:
+      return "int32";
+    case DType::kInt64:
+      return "int64";
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat64:
+      return "float64";
+    case DType::kFloat128:
+      return "float128";
+  }
+  return "unknown";
+}
+
+bool IsValidDType(uint8_t value) { return value <= 4; }
+
+}  // namespace kondo

@@ -1,0 +1,32 @@
+#ifndef KONDO_ARRAY_DTYPE_H_
+#define KONDO_ARRAY_DTYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kondo {
+
+/// Element types supported by the KDF file format. The paper's experiments
+/// assume a 16-byte "long double" element (Section V-B); `kFloat128` models
+/// that width (stored as a float64 value padded to 16 bytes on disk, since
+/// long double is non-portable).
+enum class DType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat32 = 2,
+  kFloat64 = 3,
+  kFloat128 = 4,
+};
+
+/// On-disk size of one element in bytes.
+int64_t DTypeSize(DType dtype);
+
+/// Stable name, e.g. "float128".
+std::string_view DTypeName(DType dtype);
+
+/// True when `value` is a valid DType wire value.
+bool IsValidDType(uint8_t value);
+
+}  // namespace kondo
+
+#endif  // KONDO_ARRAY_DTYPE_H_

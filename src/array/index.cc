@@ -1,0 +1,25 @@
+#include "array/index.h"
+
+#include <sstream>
+
+namespace kondo {
+
+std::string Index::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Index& index) {
+  os << "(";
+  for (int d = 0; d < index.rank(); ++d) {
+    if (d > 0) {
+      os << ", ";
+    }
+    os << index[d];
+  }
+  os << ")";
+  return os;
+}
+
+}  // namespace kondo

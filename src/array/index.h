@@ -1,0 +1,96 @@
+#ifndef KONDO_ARRAY_INDEX_H_
+#define KONDO_ARRAY_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+/// Maximum array rank supported by the library. The paper evaluates 2-D and
+/// 3-D arrays; we allow one extra dimension for headroom.
+inline constexpr int kMaxRank = 4;
+
+/// A d-dimensional array index `i = (i_1, ..., i_d)` (Section III).
+///
+/// Fixed-capacity (no heap allocation) because index tuples are created in
+/// the innermost loops of auditing and rasterisation.
+class Index {
+ public:
+  Index() : rank_(0), coords_{} {}
+
+  /// Constructs an index of `rank` zero coordinates.
+  explicit Index(int rank) : rank_(rank), coords_{} {
+    KONDO_CHECK(rank >= 0 && rank <= kMaxRank);
+  }
+
+  /// Constructs from an explicit coordinate list, e.g. Index({3, 4}).
+  Index(std::initializer_list<int64_t> coords) : rank_(0), coords_{} {
+    KONDO_CHECK_LE(coords.size(), static_cast<size_t>(kMaxRank));
+    for (int64_t c : coords) {
+      coords_[rank_++] = c;
+    }
+  }
+
+  int rank() const { return rank_; }
+
+  int64_t operator[](int dim) const { return coords_[dim]; }
+  int64_t& operator[](int dim) { return coords_[dim]; }
+
+  /// Renders e.g. "(3, 4)".
+  std::string ToString() const;
+
+  friend bool operator==(const Index& a, const Index& b) {
+    if (a.rank_ != b.rank_) {
+      return false;
+    }
+    for (int d = 0; d < a.rank_; ++d) {
+      if (a.coords_[d] != b.coords_[d]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  friend bool operator<(const Index& a, const Index& b) {
+    if (a.rank_ != b.rank_) {
+      return a.rank_ < b.rank_;
+    }
+    for (int d = 0; d < a.rank_; ++d) {
+      if (a.coords_[d] != b.coords_[d]) {
+        return a.coords_[d] < b.coords_[d];
+      }
+    }
+    return false;
+  }
+
+ private:
+  int rank_;
+  std::array<int64_t, kMaxRank> coords_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Index& index);
+
+}  // namespace kondo
+
+namespace std {
+template <>
+struct hash<kondo::Index> {
+  size_t operator()(const kondo::Index& index) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(index.rank());
+    for (int d = 0; d < index.rank(); ++d) {
+      uint64_t x = static_cast<uint64_t>(index[d]);
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+}  // namespace std
+
+#endif  // KONDO_ARRAY_INDEX_H_

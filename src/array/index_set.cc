@@ -1,0 +1,82 @@
+#include "array/index_set.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+void IndexSet::Insert(const Index& index) {
+  if (!shape_.Contains(index)) {
+    return;
+  }
+  ids_.insert(shape_.Linearize(index));
+}
+
+void IndexSet::InsertLinear(int64_t linear) {
+  KONDO_CHECK_GE(linear, 0);
+  KONDO_CHECK_LT(linear, shape_.NumElements());
+  ids_.insert(linear);
+}
+
+bool IndexSet::Contains(const Index& index) const {
+  if (!shape_.Contains(index)) {
+    return false;
+  }
+  return ids_.count(shape_.Linearize(index)) > 0;
+}
+
+void IndexSet::Union(const IndexSet& other) {
+  if (other.empty()) {
+    return;
+  }
+  if (ids_.empty() && shape_.rank() == 0) {
+    shape_ = other.shape_;
+  }
+  KONDO_CHECK(shape_ == other.shape_);
+  ids_.insert(other.ids_.begin(), other.ids_.end());
+}
+
+int64_t IndexSet::IntersectionSize(const IndexSet& other) const {
+  const IndexSet* small = this;
+  const IndexSet* large = &other;
+  if (small->size() > large->size()) {
+    std::swap(small, large);
+  }
+  int64_t count = 0;
+  for (int64_t id : small->ids_) {
+    if (large->ids_.count(id) > 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool IndexSet::IsSubsetOf(const IndexSet& other) const {
+  if (size() > other.size()) {
+    return false;
+  }
+  for (int64_t id : ids_) {
+    if (other.ids_.count(id) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Index> IndexSet::ToIndices() const {
+  std::vector<Index> result;
+  result.reserve(ids_.size());
+  for (int64_t id : ids_) {
+    result.push_back(shape_.Delinearize(id));
+  }
+  return result;
+}
+
+std::vector<int64_t> IndexSet::ToSortedLinearIds() const {
+  std::vector<int64_t> result(ids_.begin(), ids_.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace kondo

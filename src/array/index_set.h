@@ -1,0 +1,65 @@
+#ifndef KONDO_ARRAY_INDEX_SET_H_
+#define KONDO_ARRAY_INDEX_SET_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "array/index.h"
+#include "array/shape.h"
+
+namespace kondo {
+
+/// A set of array indices over a fixed shape — the `I_v` / `I_Θ` objects of
+/// Section III. Stored as row-major linearised ids for compactness.
+class IndexSet {
+ public:
+  IndexSet() = default;
+  explicit IndexSet(Shape shape) : shape_(std::move(shape)) {}
+
+  const Shape& shape() const { return shape_; }
+
+  /// Inserts `index`; out-of-bounds indices are ignored (accesses outside
+  /// the array are clipped, mirroring what an auditor would observe).
+  void Insert(const Index& index);
+
+  /// Inserts a linearised id. Requires 0 <= id < shape().NumElements().
+  void InsertLinear(int64_t linear);
+
+  bool Contains(const Index& index) const;
+  bool ContainsLinear(int64_t linear) const { return ids_.count(linear) > 0; }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Adds all elements of `other` (shapes must match unless one is empty).
+  void Union(const IndexSet& other);
+
+  /// Number of elements present in both sets.
+  int64_t IntersectionSize(const IndexSet& other) const;
+
+  /// True when every element of this set is contained in `other`.
+  bool IsSubsetOf(const IndexSet& other) const;
+
+  /// Materialises the indices (unordered).
+  std::vector<Index> ToIndices() const;
+
+  /// Materialises the linear ids, sorted ascending.
+  std::vector<int64_t> ToSortedLinearIds() const;
+
+  /// Invokes `fn(index)` for each member (unordered).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (int64_t id : ids_) {
+      fn(shape_.Delinearize(id));
+    }
+  }
+
+ private:
+  Shape shape_;
+  std::unordered_set<int64_t> ids_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_ARRAY_INDEX_SET_H_

@@ -1,0 +1,113 @@
+#include "array/layout.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+void Layout::ElementsInByteRange(int64_t begin, int64_t end,
+                                 std::vector<Index>* out) const {
+  begin = std::max<int64_t>(begin, 0);
+  end = std::min(end, PayloadBytes());
+  if (begin >= end) {
+    return;
+  }
+  const int64_t elem = element_size();
+  // Align the cursor to the start of the element containing `begin`.
+  int64_t cursor = (begin / elem) * elem;
+  for (; cursor < end; cursor += elem) {
+    StatusOr<Index> index = IndexOfByteOffset(cursor);
+    if (index.ok()) {
+      out->push_back(*std::move(index));
+    }
+  }
+}
+
+Interval Layout::ByteRangeOf(const Index& index) const {
+  const int64_t begin = ByteOffsetOf(index);
+  return Interval{begin, begin + element_size()};
+}
+
+int64_t RowMajorLayout::PayloadBytes() const {
+  return shape().NumElements() * element_size();
+}
+
+int64_t RowMajorLayout::ByteOffsetOf(const Index& index) const {
+  return shape().Linearize(index) * element_size();
+}
+
+StatusOr<Index> RowMajorLayout::IndexOfByteOffset(int64_t offset) const {
+  if (offset < 0 || offset >= PayloadBytes()) {
+    return OutOfRangeError("byte offset outside payload");
+  }
+  return shape().Delinearize(offset / element_size());
+}
+
+ChunkedLayout::ChunkedLayout(Shape shape, DType dtype,
+                             std::vector<int64_t> chunk_dims)
+    : Layout(std::move(shape), dtype), chunk_dims_(std::move(chunk_dims)) {
+  KONDO_CHECK_EQ(static_cast<int>(chunk_dims_.size()),
+                 this->shape().rank());
+  grid_dims_.resize(chunk_dims_.size());
+  for (int d = 0; d < this->shape().rank(); ++d) {
+    KONDO_CHECK_GT(chunk_dims_[d], 0);
+    grid_dims_[d] =
+        (this->shape().dim(d) + chunk_dims_[d] - 1) / chunk_dims_[d];
+    chunk_elements_ *= chunk_dims_[d];
+    num_chunks_ *= grid_dims_[d];
+  }
+}
+
+int64_t ChunkedLayout::PayloadBytes() const {
+  return num_chunks_ * chunk_elements_ * element_size();
+}
+
+int64_t ChunkedLayout::ByteOffsetOf(const Index& index) const {
+  KONDO_CHECK(shape().Contains(index));
+  int64_t chunk_linear = 0;
+  int64_t within_linear = 0;
+  for (int d = 0; d < shape().rank(); ++d) {
+    const int64_t chunk_coord = index[d] / chunk_dims_[d];
+    const int64_t within_coord = index[d] % chunk_dims_[d];
+    chunk_linear = chunk_linear * grid_dims_[d] + chunk_coord;
+    within_linear = within_linear * chunk_dims_[d] + within_coord;
+  }
+  return (chunk_linear * chunk_elements_ + within_linear) * element_size();
+}
+
+StatusOr<Index> ChunkedLayout::IndexOfByteOffset(int64_t offset) const {
+  if (offset < 0 || offset >= PayloadBytes()) {
+    return OutOfRangeError("byte offset outside payload");
+  }
+  const int64_t element_linear = offset / element_size();
+  int64_t chunk_linear = element_linear / chunk_elements_;
+  int64_t within_linear = element_linear % chunk_elements_;
+  Index index(shape().rank());
+  // Decode chunk and within-chunk coordinates (row-major, innermost last).
+  for (int d = shape().rank() - 1; d >= 0; --d) {
+    const int64_t chunk_coord = chunk_linear % grid_dims_[d];
+    const int64_t within_coord = within_linear % chunk_dims_[d];
+    chunk_linear /= grid_dims_[d];
+    within_linear /= chunk_dims_[d];
+    index[d] = chunk_coord * chunk_dims_[d] + within_coord;
+  }
+  if (!shape().Contains(index)) {
+    return NotFoundError("offset addresses edge-chunk padding");
+  }
+  return index;
+}
+
+std::unique_ptr<Layout> MakeLayout(LayoutKind kind, Shape shape, DType dtype,
+                                   std::vector<int64_t> chunk_dims) {
+  switch (kind) {
+    case LayoutKind::kRowMajor:
+      return std::make_unique<RowMajorLayout>(std::move(shape), dtype);
+    case LayoutKind::kChunked:
+      return std::make_unique<ChunkedLayout>(std::move(shape), dtype,
+                                             std::move(chunk_dims));
+  }
+  return nullptr;
+}
+
+}  // namespace kondo

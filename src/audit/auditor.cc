@@ -1,0 +1,24 @@
+#include "audit/auditor.h"
+
+namespace kondo {
+
+StatusOr<AuditReport> RunAudited(
+    const std::string& path, int64_t pid,
+    const std::function<Status(TracedFile&)>& body) {
+  EventLog log;
+  constexpr int64_t kFileId = 1;
+  KONDO_ASSIGN_OR_RETURN(TracedFile file,
+                         TracedFile::Open(path, pid, kFileId, &log));
+  KONDO_RETURN_IF_ERROR(body(file));
+  file.Close();
+
+  AuditReport report;
+  report.accessed_ranges = log.AccessedRanges(kFileId);
+  OffsetMapper mapper(&file.reader().layout(), file.reader().payload_offset());
+  report.accessed_indices = mapper.IndicesForRanges(report.accessed_ranges);
+  report.num_events = log.NumEvents();
+  report.saw_writes = log.HasWrites(kFileId);
+  return report;
+}
+
+}  // namespace kondo

@@ -1,0 +1,43 @@
+#ifndef KONDO_AUDIT_AUDITOR_H_
+#define KONDO_AUDIT_AUDITOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "array/index_set.h"
+#include "audit/event_log.h"
+#include "audit/offset_mapper.h"
+#include "audit/traced_file.h"
+#include "common/statusor.h"
+
+namespace kondo {
+
+/// Summary of one audited execution: the fine-grained lineage the paper's
+/// auditing system `AS` produces for a single run.
+struct AuditReport {
+  /// Merged accessed byte ranges of the data file.
+  IntervalSet accessed_ranges;
+  /// The index subset `I_v` recovered from the byte ranges via the file's
+  /// metadata (Definition 2's debloat-test output).
+  IndexSet accessed_indices;
+  /// Raw events recorded.
+  int64_t num_events = 0;
+  /// True when a write to the data file was observed (the data array is
+  /// expected to be read-only; Section III).
+  bool saw_writes = false;
+};
+
+/// Runs one audited execution of an application body against a KDF data
+/// file: opens the file through the interposition shim, hands the shim to
+/// `body`, and distills the recorded events into an AuditReport.
+///
+/// `body` receives the traced file and performs whatever element reads the
+/// application under test performs.
+StatusOr<AuditReport> RunAudited(
+    const std::string& path, int64_t pid,
+    const std::function<Status(TracedFile&)>& body);
+
+}  // namespace kondo
+
+#endif  // KONDO_AUDIT_AUDITOR_H_

@@ -1,0 +1,37 @@
+#include "audit/event.h"
+
+#include <sstream>
+
+namespace kondo {
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kOpen:
+      return "open";
+    case EventType::kRead:
+      return "read";
+    case EventType::kPread:
+      return "pread";
+    case EventType::kMmap:
+      return "mmap";
+    case EventType::kWrite:
+      return "write";
+    case EventType::kClose:
+      return "close";
+  }
+  return "unknown";
+}
+
+std::string Event::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& event) {
+  return os << "<pid=" << event.id.pid << ",file=" << event.id.file_id << ","
+            << EventTypeName(event.type) << "," << event.offset << ","
+            << event.size << ">";
+}
+
+}  // namespace kondo

@@ -1,0 +1,129 @@
+#include "audit/event_store.h"
+
+#include <cstring>
+
+namespace kondo {
+namespace {
+
+constexpr char kMagic[4] = {'K', 'E', 'L', '1'};
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kRecordBytes = 40;
+
+void EncodeRecord(const Event& event, char* buf) {
+  std::memcpy(buf, &event.id.pid, 8);
+  std::memcpy(buf + 8, &event.id.file_id, 8);
+  buf[16] = static_cast<char>(event.type);
+  std::memset(buf + 17, 0, 7);
+  std::memcpy(buf + 24, &event.offset, 8);
+  std::memcpy(buf + 32, &event.size, 8);
+}
+
+Event DecodeRecord(const char* buf) {
+  Event event;
+  std::memcpy(&event.id.pid, buf, 8);
+  std::memcpy(&event.id.file_id, buf + 8, 8);
+  event.type = static_cast<EventType>(buf[16]);
+  std::memcpy(&event.offset, buf + 24, 8);
+  std::memcpy(&event.size, buf + 32, 8);
+  return event;
+}
+
+}  // namespace
+
+StatusOr<EventStoreWriter> EventStoreWriter::Create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot create event store: " + path);
+  }
+  char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, 4);
+  if (std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes) {
+    std::fclose(file);
+    return InternalError("cannot write event store header: " + path);
+  }
+  return EventStoreWriter(file);
+}
+
+EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept
+    : file_(other.file_), events_written_(other.events_written_) {
+  other.file_ = nullptr;
+}
+
+EventStoreWriter& EventStoreWriter::operator=(
+    EventStoreWriter&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    file_ = other.file_;
+    events_written_ = other.events_written_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+EventStoreWriter::~EventStoreWriter() { (void)Close(); }
+
+Status EventStoreWriter::Append(const Event& event) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("event store already closed");
+  }
+  char buf[kRecordBytes];
+  EncodeRecord(event, buf);
+  if (std::fwrite(buf, 1, kRecordBytes, file_) != kRecordBytes) {
+    return InternalError("event store write failed");
+  }
+  ++events_written_;
+  return OkStatus();
+}
+
+Status EventStoreWriter::AppendAll(const EventLog& log) {
+  for (const Event& event : log.events()) {
+    KONDO_RETURN_IF_ERROR(Append(event));
+  }
+  return OkStatus();
+}
+
+Status EventStoreWriter::Close() {
+  if (file_ == nullptr) {
+    return OkStatus();
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return InternalError("event store close failed");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<Event>> ReadEventStore(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open event store: " + path);
+  }
+  char header[kHeaderBytes];
+  if (std::fread(header, 1, kHeaderBytes, file) != kHeaderBytes ||
+      std::memcmp(header, kMagic, 4) != 0) {
+    std::fclose(file);
+    return DataLossError("not a KEL event store: " + path);
+  }
+  std::vector<Event> events;
+  char buf[kRecordBytes];
+  while (true) {
+    const size_t n = std::fread(buf, 1, kRecordBytes, file);
+    if (n < kRecordBytes) {
+      break;  // EOF, possibly dropping a torn trailing record.
+    }
+    events.push_back(DecodeRecord(buf));
+  }
+  std::fclose(file);
+  return events;
+}
+
+Status ReplayEventStore(const std::string& path, EventLog* log) {
+  KONDO_ASSIGN_OR_RETURN(std::vector<Event> events, ReadEventStore(path));
+  for (const Event& event : events) {
+    log->Record(event);
+  }
+  return OkStatus();
+}
+
+}  // namespace kondo

@@ -1,0 +1,63 @@
+#ifndef KONDO_AUDIT_EVENT_STORE_H_
+#define KONDO_AUDIT_EVENT_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audit/event.h"
+#include "audit/event_log.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace kondo {
+
+/// Durable storage for audited events — the paper's interposition layer
+/// "records system call arguments in a data store" so the re-execution side
+/// can map accesses back to file offsets. The KEL ("Kondo Event Log")
+/// format is an append-friendly stream:
+///
+///   magic "KEL1" | u32 reserved | record*
+///   record: i64 pid | i64 file_id | u8 type | 7 pad bytes
+///           | i64 offset | i64 size                        (40 bytes)
+///
+/// The record count is implied by the file length, so a crashed writer
+/// loses at most one partial trailing record.
+class EventStoreWriter {
+ public:
+  /// Creates (truncates) `path` and writes the header.
+  static StatusOr<EventStoreWriter> Create(const std::string& path);
+
+  EventStoreWriter(EventStoreWriter&& other) noexcept;
+  EventStoreWriter& operator=(EventStoreWriter&& other) noexcept;
+  ~EventStoreWriter();
+
+  /// Appends one event record.
+  Status Append(const Event& event);
+
+  /// Appends every event of `log` in arrival order.
+  Status AppendAll(const EventLog& log);
+
+  /// Flushes and closes; further Appends fail. Idempotent.
+  Status Close();
+
+  int64_t events_written() const { return events_written_; }
+
+ private:
+  explicit EventStoreWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_ = nullptr;
+  int64_t events_written_ = 0;
+};
+
+/// Reads a KEL file back. A trailing partial record (torn write) is
+/// tolerated and dropped.
+StatusOr<std::vector<Event>> ReadEventStore(const std::string& path);
+
+/// Convenience: reads `path` and replays every event into `log`.
+Status ReplayEventStore(const std::string& path, EventLog* log);
+
+}  // namespace kondo
+
+#endif  // KONDO_AUDIT_EVENT_STORE_H_

@@ -1,0 +1,201 @@
+#include "audit/interval_btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+IntervalBTree::IntervalBTree(int min_degree) : min_degree_(min_degree) {
+  KONDO_CHECK_GE(min_degree_, 2);
+}
+
+void IntervalBTree::Insert(const Interval& interval, int64_t payload) {
+  const Entry entry{interval, payload};
+  if (root_ == nullptr) {
+    root_ = std::make_unique<Node>();
+    root_->entries.reserve(static_cast<size_t>(2 * min_degree_ - 1));
+  }
+  if (static_cast<int>(root_->entries.size()) == 2 * min_degree_ - 1) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), entry);
+  ++size_;
+}
+
+void IntervalBTree::SplitChild(Node* parent, size_t child_index) {
+  Node* child = parent->children[child_index].get();
+  const int t = min_degree_;
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  right->entries.reserve(static_cast<size_t>(2 * t - 1));
+
+  // Move the upper t-1 entries (and t children) to the new right node;
+  // the median entry moves up into the parent.
+  right->entries.assign(child->entries.begin() + t, child->entries.end());
+  Entry median = child->entries[t - 1];
+  child->entries.resize(t - 1);
+  if (!child->leaf) {
+    for (int i = t; i < 2 * t; ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->children.resize(t);
+  }
+  child->max_end = RecomputeMaxEnd(child);
+  right->max_end = RecomputeMaxEnd(right.get());
+
+  // A freshly created root starts with max_end = INT64_MIN, so fold in the
+  // children's subtree maxima, not just the promoted median.
+  const int64_t children_max = std::max(child->max_end, right->max_end);
+  parent->entries.insert(parent->entries.begin() + child_index, median);
+  parent->children.insert(parent->children.begin() + child_index + 1,
+                          std::move(right));
+  parent->max_end = std::max(
+      {parent->max_end, median.interval.end, children_max});
+}
+
+void IntervalBTree::InsertNonFull(Node* node, const Entry& entry) {
+  node->max_end = std::max(node->max_end, entry.interval.end);
+  if (node->leaf) {
+    auto pos = std::upper_bound(node->entries.begin(), node->entries.end(),
+                                entry, EntryLess);
+    node->entries.insert(pos, entry);
+    return;
+  }
+  size_t i = static_cast<size_t>(
+      std::upper_bound(node->entries.begin(), node->entries.end(), entry,
+                       EntryLess) -
+      node->entries.begin());
+  if (static_cast<int>(node->children[i]->entries.size()) ==
+      2 * min_degree_ - 1) {
+    SplitChild(node, i);
+    if (EntryLess(node->entries[i], entry)) {
+      ++i;
+    }
+  }
+  InsertNonFull(node->children[i].get(), entry);
+}
+
+int64_t IntervalBTree::RecomputeMaxEnd(const Node* node) {
+  int64_t max_end = INT64_MIN;
+  for (const Entry& entry : node->entries) {
+    max_end = std::max(max_end, entry.interval.end);
+  }
+  for (const auto& child : node->children) {
+    max_end = std::max(max_end, child->max_end);
+  }
+  return max_end;
+}
+
+void IntervalBTree::VisitOverlaps(
+    int64_t begin, int64_t end,
+    const std::function<void(const Entry&)>& visitor) const {
+  if (root_ != nullptr && begin < end) {
+    VisitNode(root_.get(), begin, end, visitor);
+  }
+}
+
+void IntervalBTree::VisitNode(
+    const Node* node, int64_t begin, int64_t end,
+    const std::function<void(const Entry&)>& visitor) const {
+  if (node->max_end <= begin) {
+    return;  // No interval in this subtree reaches past `begin`.
+  }
+  const size_t n = node->entries.size();
+  for (size_t i = 0; i <= n; ++i) {
+    if (!node->leaf) {
+      VisitNode(node->children[i].get(), begin, end, visitor);
+    }
+    if (i == n) {
+      break;
+    }
+    const Interval& iv = node->entries[i].interval;
+    if (iv.begin >= end) {
+      // Entries (and subtrees) to the right all start at or after `end`.
+      break;
+    }
+    if (iv.end > begin) {
+      visitor(node->entries[i]);
+    }
+  }
+}
+
+std::vector<IntervalBTree::Entry> IntervalBTree::QueryOverlaps(
+    int64_t begin, int64_t end) const {
+  std::vector<Entry> result;
+  VisitOverlaps(begin, end,
+                [&result](const Entry& entry) { result.push_back(entry); });
+  return result;
+}
+
+bool IntervalBTree::AnyOverlap(int64_t begin, int64_t end) const {
+  bool found = false;
+  VisitOverlaps(begin, end, [&found](const Entry&) { found = true; });
+  return found;
+}
+
+int IntervalBTree::Height() const {
+  int height = 0;
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    ++height;
+    node = node->leaf ? nullptr : node->children[0].get();
+  }
+  return height;
+}
+
+int IntervalBTree::LeafDepth(const Node* node) const {
+  int depth = 0;
+  while (!node->leaf) {
+    ++depth;
+    node = node->children[0].get();
+  }
+  return depth;
+}
+
+void IntervalBTree::CheckInvariants() const {
+  if (root_ == nullptr) {
+    KONDO_CHECK_EQ(size_, 0);
+    return;
+  }
+  CheckNode(root_.get(), /*is_root=*/true, 0, LeafDepth(root_.get()));
+}
+
+void IntervalBTree::CheckNode(const Node* node, bool is_root, int depth,
+                              int leaf_depth) const {
+  const int t = min_degree_;
+  const int n = static_cast<int>(node->entries.size());
+  KONDO_CHECK_LE(n, 2 * t - 1);
+  if (!is_root) {
+    KONDO_CHECK_GE(n, t - 1);
+  }
+  for (int i = 1; i < n; ++i) {
+    KONDO_CHECK(!EntryLess(node->entries[i], node->entries[i - 1]));
+  }
+  KONDO_CHECK_EQ(node->max_end, RecomputeMaxEnd(node));
+  if (node->leaf) {
+    KONDO_CHECK_EQ(depth, leaf_depth);
+    KONDO_CHECK(node->children.empty());
+    return;
+  }
+  KONDO_CHECK_EQ(static_cast<int>(node->children.size()), n + 1);
+  for (int i = 0; i <= n; ++i) {
+    const Node* child = node->children[i].get();
+    // All entries in child i are <= entry i and >= entry i-1.
+    for (const Entry& e : child->entries) {
+      if (i < n) {
+        KONDO_CHECK(!EntryLess(node->entries[i], e));
+      }
+      if (i > 0) {
+        KONDO_CHECK(!EntryLess(e, node->entries[i - 1]));
+      }
+    }
+    CheckNode(child, /*is_root=*/false, depth + 1, leaf_depth);
+  }
+}
+
+}  // namespace kondo

@@ -1,0 +1,90 @@
+#ifndef KONDO_AUDIT_INTERVAL_BTREE_H_
+#define KONDO_AUDIT_INTERVAL_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/interval_set.h"
+
+namespace kondo {
+
+/// An interval B-tree: a disk-friendly ordered index over half-open byte
+/// ranges with an interval-max augmentation for fast overlap queries.
+///
+/// The paper (Section IV-C): "Generally, events are large in number from a
+/// data-intensive process. Kondo uses interval-based B-trees to index events
+/// and performs per-process lookup." Entries are ordered by (begin, end);
+/// every node carries the maximum `end` of its subtree so overlap queries
+/// prune whole subtrees.
+class IntervalBTree {
+ public:
+  /// An indexed entry: the interval plus an opaque payload (the event
+  /// sequence number in the EventLog).
+  struct Entry {
+    Interval interval;
+    int64_t payload = 0;
+  };
+
+  /// `min_degree` is the classic B-tree t parameter: nodes hold between
+  /// t-1 and 2t-1 entries (root exempt from the lower bound).
+  explicit IntervalBTree(int min_degree = 16);
+
+  /// Inserts an entry. Duplicate intervals are allowed.
+  void Insert(const Interval& interval, int64_t payload);
+
+  /// Invokes `visitor` for every entry overlapping [begin, end). Order of
+  /// visitation is ascending by (begin, end).
+  void VisitOverlaps(int64_t begin, int64_t end,
+                     const std::function<void(const Entry&)>& visitor) const;
+
+  /// Collects the entries overlapping [begin, end).
+  std::vector<Entry> QueryOverlaps(int64_t begin, int64_t end) const;
+
+  /// True when some entry overlaps [begin, end).
+  bool AnyOverlap(int64_t begin, int64_t end) const;
+
+  /// Number of entries.
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height (0 for an empty tree; 1 for a root-only tree).
+  int Height() const;
+
+  /// Validates B-tree structural invariants (ordering, fill factors,
+  /// max-end augmentation). Used by tests; aborts on violation.
+  void CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+    std::vector<std::unique_ptr<Node>> children;
+    int64_t max_end = INT64_MIN;
+  };
+
+  static bool EntryLess(const Entry& a, const Entry& b) {
+    if (a.interval.begin != b.interval.begin) {
+      return a.interval.begin < b.interval.begin;
+    }
+    return a.interval.end < b.interval.end;
+  }
+
+  void SplitChild(Node* parent, size_t child_index);
+  void InsertNonFull(Node* node, const Entry& entry);
+  static int64_t RecomputeMaxEnd(const Node* node);
+  void VisitNode(const Node* node, int64_t begin, int64_t end,
+                 const std::function<void(const Entry&)>& visitor) const;
+  void CheckNode(const Node* node, bool is_root, int depth,
+                 int leaf_depth) const;
+  int LeafDepth(const Node* node) const;
+
+  int min_degree_;
+  std::unique_ptr<Node> root_;
+  int64_t size_ = 0;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_AUDIT_INTERVAL_BTREE_H_

@@ -1,0 +1,36 @@
+#include "audit/offset_mapper.h"
+
+#include <vector>
+
+namespace kondo {
+
+IndexSet OffsetMapper::IndicesForRanges(const IntervalSet& ranges) const {
+  IndexSet result(layout_->shape());
+  std::vector<Index> scratch;
+  for (const Interval& range : ranges.ToIntervals()) {
+    scratch.clear();
+    layout_->ElementsInByteRange(range.begin - payload_offset_,
+                                 range.end - payload_offset_, &scratch);
+    for (const Index& index : scratch) {
+      result.Insert(index);
+    }
+  }
+  return result;
+}
+
+IntervalSet OffsetMapper::RangesForIndices(const IndexSet& indices) const {
+  IntervalSet ranges;
+  indices.ForEach([this, &ranges](const Index& index) {
+    ranges.Add(RangeForIndex(index));
+  });
+  return ranges;
+}
+
+Interval OffsetMapper::RangeForIndex(const Index& index) const {
+  Interval range = layout_->ByteRangeOf(index);
+  range.begin += payload_offset_;
+  range.end += payload_offset_;
+  return range;
+}
+
+}  // namespace kondo

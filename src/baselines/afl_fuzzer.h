@@ -1,0 +1,81 @@
+#ifndef KONDO_BASELINES_AFL_FUZZER_H_
+#define KONDO_BASELINES_AFL_FUZZER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/index_set.h"
+#include "common/rng.h"
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// Configuration of the AFL baseline (Section V-C). The paper retargets AFL
+/// from code coverage to index coverage by inserting one `if (i,j)==(x,y)`
+/// check per array index next to every read; the branch-coverage signal then
+/// *is* the accessed-index set, which is what this simulation feeds back.
+struct AflConfig {
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double max_seconds = 1.0;
+  /// Maximum executions (0 = unlimited).
+  int64_t max_execs = 0;
+  /// Simulated per-execution cost in microseconds, busy-waited: fork-server
+  /// spawn plus instrumentation bookkeeping. Real AFL sustains on the order
+  /// of 10^3..10^4 execs/s on small targets; the in-process call here would
+  /// otherwise be unrealistically cheap ("AFL has additional book-keeping
+  /// operations that results in it taking more time").
+  int64_t exec_overhead_micros = 100;
+  /// Havoc stacking: each mutant applies 1..max_stacked byte-level ops.
+  int max_stacked = 16;
+  uint64_t rng_seed = 1;
+};
+
+/// Result of an AFL campaign. Like BF it reports raw covered indices, so
+/// precision is 1 by construction.
+struct AflResult {
+  IndexSet coverage;
+  int64_t execs = 0;
+  int64_t valid_execs = 0;   // Inputs that parsed into m integer arguments.
+  int64_t queue_size = 0;    // Coverage-increasing inputs retained.
+  double elapsed_seconds = 0.0;
+};
+
+/// A byte-level coverage-guided fuzzer in the style of AFL's havoc stage.
+///
+/// Inputs are raw byte strings parsed as whitespace-separated decimal
+/// integers (the program's argv). Mutations are AFL's havoc repertoire —
+/// bit flips, interesting-value and arithmetic byte ops, insert/delete/
+/// duplicate, and splicing of two queue entries. An input joins the queue
+/// iff it covers a new array index. The characteristic AFL weaknesses the
+/// paper observes fall out naturally: most byte mutations yield unparsable
+/// or duplicate integers ("mutation of input other than integers and
+/// repetition of input, which wastes time").
+class AflFuzzer {
+ public:
+  AflFuzzer(const Program& program, AflConfig config);
+
+  /// Runs the campaign until the budget expires.
+  AflResult Run();
+
+  /// Parses `input` into a parameter vector of the program's arity.
+  /// Exposed for tests. Returns nullopt for malformed input.
+  std::optional<ParamValue> ParseInput(const std::string& input) const;
+
+ private:
+  /// One havoc mutation of `input` (in place).
+  void MutateOnce(std::string* input);
+
+  /// Renders a parameter value as an argv-style input string.
+  std::string FormatInput(const ParamValue& v) const;
+
+  const Program& program_;
+  AflConfig config_;
+  Rng rng_;
+  std::vector<std::string> queue_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_BASELINES_AFL_FUZZER_H_

@@ -1,0 +1,47 @@
+#ifndef KONDO_BASELINES_BRUTE_FORCE_H_
+#define KONDO_BASELINES_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "array/index_set.h"
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// Configuration of the brute-force (BF) baseline of Section V-C.
+struct BruteForceConfig {
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double max_seconds = 0.0;
+  /// Maximum number of executions (0 = unlimited).
+  int64_t max_runs = 0;
+  /// Visit valuations in a random order instead of lexicographic. Random
+  /// order makes partial coverage spatially uniform — the fairer variant
+  /// under a time budget — and is the default.
+  bool shuffled = true;
+  uint64_t rng_seed = 1;
+  /// Simulated per-execution cost in microseconds (busy-waited): the
+  /// process-spawn cost every real brute-force run pays. Time-budget
+  /// comparisons charge the same cost to every tool (see bench/README
+  /// notes in DESIGN.md).
+  int64_t exec_overhead_micros = 0;
+};
+
+/// Result of a brute-force campaign. BF reports raw accessed indices (no
+/// carving), so its precision is 1 by construction; its recall under a
+/// budget is the enumerated fraction's coverage of I_Θ.
+struct BruteForceResult {
+  IndexSet discovered;
+  int64_t runs = 0;
+  double elapsed_seconds = 0.0;
+  /// True when every valuation of Θ was executed (recall is then exactly 1).
+  bool exhausted = false;
+};
+
+/// Executes the program on valuations of Θ until the budget expires or Θ is
+/// exhausted, recording the accessed indices. Requires an all-integer Θ.
+BruteForceResult RunBruteForce(const Program& program,
+                               const BruteForceConfig& config);
+
+}  // namespace kondo
+
+#endif  // KONDO_BASELINES_BRUTE_FORCE_H_

@@ -1,0 +1,135 @@
+#include "baselines/invariant_baseline.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace kondo {
+namespace {
+
+/// Pair slot for (d, e), d < e, within rank r.
+size_t PairSlot(int d, int e, int rank) {
+  // Slots in lexicographic order of (d, e).
+  size_t slot = 0;
+  for (int i = 0; i < d; ++i) {
+    slot += static_cast<size_t>(rank - i - 1);
+  }
+  return slot + static_cast<size_t>(e - d - 1);
+}
+
+}  // namespace
+
+OctagonInvariant OctagonInvariant::Infer(const IndexSet& points) {
+  KONDO_CHECK(!points.empty());
+  OctagonInvariant invariant;
+  const int rank = points.shape().rank();
+  invariant.rank_ = rank;
+
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  invariant.interval_.assign(static_cast<size_t>(rank), Bound{kMax, kMin});
+  const size_t pairs = static_cast<size_t>(rank * (rank - 1) / 2);
+  invariant.diff_.assign(pairs, Bound{kMax, kMin});
+  invariant.sum_.assign(pairs, Bound{kMax, kMin});
+
+  points.ForEach([&invariant, rank](const Index& index) {
+    for (int d = 0; d < rank; ++d) {
+      Bound& b = invariant.interval_[static_cast<size_t>(d)];
+      b.lo = std::min(b.lo, index[d]);
+      b.hi = std::max(b.hi, index[d]);
+      for (int e = d + 1; e < rank; ++e) {
+        const size_t slot = PairSlot(d, e, rank);
+        Bound& diff = invariant.diff_[slot];
+        diff.lo = std::min(diff.lo, index[d] - index[e]);
+        diff.hi = std::max(diff.hi, index[d] - index[e]);
+        Bound& sum = invariant.sum_[slot];
+        sum.lo = std::min(sum.lo, index[d] + index[e]);
+        sum.hi = std::max(sum.hi, index[d] + index[e]);
+      }
+    }
+  });
+  return invariant;
+}
+
+bool OctagonInvariant::Satisfies(const Index& index) const {
+  if (index.rank() != rank_) {
+    return false;
+  }
+  for (int d = 0; d < rank_; ++d) {
+    const Bound& b = interval_[static_cast<size_t>(d)];
+    if (index[d] < b.lo || index[d] > b.hi) {
+      return false;
+    }
+    for (int e = d + 1; e < rank_; ++e) {
+      const size_t slot = PairSlot(d, e, rank_);
+      const int64_t diff = index[d] - index[e];
+      if (diff < diff_[slot].lo || diff > diff_[slot].hi) {
+        return false;
+      }
+      const int64_t sum = index[d] + index[e];
+      if (sum < sum_[slot].lo || sum > sum_[slot].hi) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+IndexSet OctagonInvariant::Rasterize(const Shape& shape) const {
+  IndexSet result(shape);
+  KONDO_CHECK_EQ(shape.rank(), rank_);
+  // Scan only the interval bounding box.
+  std::vector<int64_t> lo(static_cast<size_t>(rank_)),
+      hi(static_cast<size_t>(rank_)), cur(static_cast<size_t>(rank_));
+  for (int d = 0; d < rank_; ++d) {
+    lo[static_cast<size_t>(d)] =
+        std::max<int64_t>(interval_[static_cast<size_t>(d)].lo, 0);
+    hi[static_cast<size_t>(d)] = std::min<int64_t>(
+        interval_[static_cast<size_t>(d)].hi, shape.dim(d) - 1);
+    if (lo[static_cast<size_t>(d)] > hi[static_cast<size_t>(d)]) {
+      return result;
+    }
+    cur[static_cast<size_t>(d)] = lo[static_cast<size_t>(d)];
+  }
+  Index index(rank_);
+  while (true) {
+    for (int d = 0; d < rank_; ++d) {
+      index[d] = cur[static_cast<size_t>(d)];
+    }
+    if (Satisfies(index)) {
+      result.Insert(index);
+    }
+    int d = rank_ - 1;
+    while (d >= 0 &&
+           ++cur[static_cast<size_t>(d)] > hi[static_cast<size_t>(d)]) {
+      cur[static_cast<size_t>(d)] = lo[static_cast<size_t>(d)];
+      --d;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+  return result;
+}
+
+std::string OctagonInvariant::ToString() const {
+  std::ostringstream os;
+  for (int d = 0; d < rank_; ++d) {
+    const Bound& b = interval_[static_cast<size_t>(d)];
+    os << b.lo << " <= x" << d << " <= " << b.hi << "\n";
+  }
+  for (int d = 0; d < rank_; ++d) {
+    for (int e = d + 1; e < rank_; ++e) {
+      const size_t slot = PairSlot(d, e, rank_);
+      os << diff_[slot].lo << " <= x" << d << " - x" << e
+         << " <= " << diff_[slot].hi << "\n";
+      os << sum_[slot].lo << " <= x" << d << " + x" << e
+         << " <= " << sum_[slot].hi << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace kondo

@@ -1,0 +1,58 @@
+#ifndef KONDO_BASELINES_INVARIANT_BASELINE_H_
+#define KONDO_BASELINES_INVARIANT_BASELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/index_set.h"
+
+namespace kondo {
+
+/// A conjunctive invariant-inference baseline in the style of
+/// Daikon/DIG/LPGen (paper §VII, "Invariant inference"): from the observed
+/// access points it infers the tightest conjunction of octagon-domain
+/// constraints
+///
+///     lo_d <= x_d <= hi_d                       (interval bounds)
+///     lo_{d,e} <= x_d - x_e <= hi_{d,e}         (difference bounds)
+///     lo'_{d,e} <= x_d + x_e <= hi'_{d,e}       (sum bounds)
+///
+/// over the index subscripts — "an invariant involving the array access
+/// subscripts". Being conjunctive, the inferred region is one convex
+/// octagon: it cannot express the disjunctive (multi-region, holed)
+/// subsets Kondo's hull set carves, which is precisely the limitation the
+/// paper cites for these tools.
+class OctagonInvariant {
+ public:
+  /// Infers the invariant from observed points. Requires a non-empty set.
+  static OctagonInvariant Infer(const IndexSet& points);
+
+  int rank() const { return rank_; }
+
+  /// True when `index` satisfies every inferred constraint.
+  bool Satisfies(const Index& index) const;
+
+  /// All integer indices of `shape` satisfying the invariant.
+  IndexSet Rasterize(const Shape& shape) const;
+
+  /// Human-readable constraint list, e.g. "0 <= x0 <= 9".
+  std::string ToString() const;
+
+ private:
+  OctagonInvariant() = default;
+
+  struct Bound {
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+
+  int rank_ = 0;
+  std::vector<Bound> interval_;  // Per dimension.
+  std::vector<Bound> diff_;      // Per (d, e) pair, d < e: x_d - x_e.
+  std::vector<Bound> sum_;       // Per (d, e) pair, d < e: x_d + x_e.
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_BASELINES_INVARIANT_BASELINE_H_

@@ -1,0 +1,41 @@
+#ifndef KONDO_CARVE_CARVE_CONFIG_H_
+#define KONDO_CARVE_CARVE_CONFIG_H_
+
+#include <cstdint>
+
+namespace kondo {
+
+/// How the CLOSE(h1, h2) predicate of Algorithm 2 combines its two distance
+/// criteria. The paper's wording — "if center distance and boundary
+/// distance is below a certain threshold, it merges" — is the conjunctive
+/// form, and only that form reproduces the Fig. 11b/11c sensitivity (recall
+/// rising and precision falling as center_d_thresh grows); the disjunctive
+/// form is kept for the ablation bench.
+enum class CloseMode {
+  kBoundaryOrCenter = 0,
+  kBoundaryAndCenter = 1,
+};
+
+/// Configuration of the convex-hull Carver (the carving entries of Fig. 5).
+struct CarveConfig {
+  /// Edge length of the fixed-size cells the offset space is split into
+  /// (Algorithm 2's SPLIT).
+  int64_t cell_size = 16;
+
+  /// `center_d_thresh`: centre distance threshold to merge hulls.
+  double center_d_thresh = 20.0;
+
+  /// `bound_d_thresh`: boundary (min vertex) distance threshold to merge
+  /// hulls.
+  double boundary_d_thresh = 10.0;
+
+  CloseMode close_mode = CloseMode::kBoundaryAndCenter;
+
+  /// Safety bound on merge passes; Algorithm 2 always terminates (each merge
+  /// reduces the hull count) but this guards pathological configs.
+  int max_merge_rounds = 10000;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_CARVE_CARVE_CONFIG_H_

@@ -1,0 +1,22 @@
+#include "carve/carved_subset.h"
+
+namespace kondo {
+
+bool CarvedSubset::Contains(const Index& index) const {
+  for (const Hull& hull : hulls_) {
+    if (hull.ContainsIndex(index)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+IndexSet CarvedSubset::Rasterize() const {
+  IndexSet result(shape_);
+  for (const Hull& hull : hulls_) {
+    hull.RasterizeInto(&result);
+  }
+  return result;
+}
+
+}  // namespace kondo

@@ -1,0 +1,39 @@
+#ifndef KONDO_CARVE_CARVED_SUBSET_H_
+#define KONDO_CARVE_CARVED_SUBSET_H_
+
+#include <vector>
+
+#include "array/index_set.h"
+#include "array/shape.h"
+#include "geom/hull.h"
+
+namespace kondo {
+
+/// The Carver's output `H`: a set of convex hulls whose union of interior
+/// integer points is the approximated index subset `I'_Θ` (Algorithm 2).
+class CarvedSubset {
+ public:
+  /// An empty subset over a rank-0 shape (useful as a default member).
+  CarvedSubset() = default;
+
+  CarvedSubset(Shape shape, std::vector<Hull> hulls)
+      : shape_(std::move(shape)), hulls_(std::move(hulls)) {}
+
+  const Shape& shape() const { return shape_; }
+  const std::vector<Hull>& hulls() const { return hulls_; }
+  int num_hulls() const { return static_cast<int>(hulls_.size()); }
+
+  /// True when `index` falls inside any hull.
+  bool Contains(const Index& index) const;
+
+  /// Materialises `I'_Θ`: every integer index of the shape inside some hull.
+  IndexSet Rasterize() const;
+
+ private:
+  Shape shape_;
+  std::vector<Hull> hulls_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_CARVE_CARVED_SUBSET_H_

@@ -1,0 +1,115 @@
+#include "carve/carver.h"
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "geom/vec.h"
+
+namespace kondo {
+namespace {
+
+/// Cell coordinate of an index under SPLIT.
+struct CellCoord {
+  int64_t c[3] = {0, 0, 0};
+
+  friend bool operator<(const CellCoord& a, const CellCoord& b) {
+    for (int d = 0; d < 3; ++d) {
+      if (a.c[d] != b.c[d]) {
+        return a.c[d] < b.c[d];
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool Carver::Close(const Hull& a, const Hull& b) const {
+  const bool boundary_close =
+      a.MinVertexDistance(b) <= config_.boundary_d_thresh;
+  const bool center_close = a.CentroidDistance(b) <= config_.center_d_thresh;
+  switch (config_.close_mode) {
+    case CloseMode::kBoundaryOrCenter:
+      return boundary_close || center_close;
+    case CloseMode::kBoundaryAndCenter:
+      return boundary_close && center_close;
+  }
+  return false;
+}
+
+CarvedSubset Carver::Carve(const IndexSet& points, CarveStats* stats) const {
+  const Shape& shape = points.shape();
+  const int rank = shape.rank();
+  KONDO_CHECK(rank >= 1 && rank <= 3);
+
+  // SPLIT: bucket points into fixed-size cells.
+  std::map<CellCoord, std::vector<Vec3>> cells;
+  points.ForEach([this, rank, &cells](const Index& index) {
+    CellCoord coord;
+    for (int d = 0; d < rank; ++d) {
+      coord.c[d] = index[d] / config_.cell_size;
+    }
+    cells[coord].push_back(Vec3::FromIndex(index));
+  });
+
+  // One hull per non-empty cell.
+  std::vector<Hull> hulls;
+  hulls.reserve(cells.size());
+  for (auto& [coord, cell_points] : cells) {
+    hulls.push_back(Hull::Build(cell_points, rank));
+  }
+
+  if (stats != nullptr) {
+    stats->num_cells = static_cast<int>(cells.size());
+    stats->initial_hulls = static_cast<int>(hulls.size());
+    stats->merge_operations = 0;
+  }
+
+  // Iterated pairwise merging until no two hulls are CLOSE. Each merge
+  // strictly decreases the hull count, so at most initial_hulls - 1 merges
+  // happen; the rounds bound is a config safety net.
+  int rounds = 0;
+  bool merged_any = true;
+  while (merged_any && rounds++ < config_.max_merge_rounds) {
+    merged_any = false;
+    for (size_t i = 0; i < hulls.size() && !merged_any; ++i) {
+      for (size_t j = i + 1; j < hulls.size() && !merged_any; ++j) {
+        if (!Close(hulls[i], hulls[j])) {
+          continue;
+        }
+        std::vector<Vec3> union_vertices = hulls[i].vertices();
+        union_vertices.insert(union_vertices.end(),
+                              hulls[j].vertices().begin(),
+                              hulls[j].vertices().end());
+        Hull merged = Hull::Build(union_vertices, rank);
+        hulls.erase(hulls.begin() + static_cast<int64_t>(j));
+        hulls[i] = std::move(merged);
+        merged_any = true;
+        if (stats != nullptr) {
+          ++stats->merge_operations;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->final_hulls = static_cast<int>(hulls.size());
+  }
+  return CarvedSubset(shape, std::move(hulls));
+}
+
+CarvedSubset SimpleConvexCarve(const IndexSet& points) {
+  const Shape& shape = points.shape();
+  std::vector<Vec3> all_points;
+  all_points.reserve(points.size());
+  points.ForEach([&all_points](const Index& index) {
+    all_points.push_back(Vec3::FromIndex(index));
+  });
+  std::vector<Hull> hulls;
+  if (!all_points.empty()) {
+    hulls.push_back(Hull::Build(all_points, shape.rank()));
+  }
+  return CarvedSubset(shape, std::move(hulls));
+}
+
+}  // namespace kondo

@@ -1,0 +1,53 @@
+#ifndef KONDO_CARVE_CHUNK_SUBSET_H_
+#define KONDO_CARVE_CHUNK_SUBSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/index_set.h"
+#include "array/layout.h"
+
+namespace kondo {
+
+/// Chunk-granularity statistics of a debloated subset.
+struct ChunkSubsetStats {
+  int64_t total_chunks = 0;
+  int64_t retained_chunks = 0;
+  int64_t subset_elements = 0;          // Input subset size.
+  int64_t chunk_aligned_elements = 0;   // After expanding to whole chunks.
+
+  /// Fraction of chunks eliminated.
+  double ChunkBloatFraction() const {
+    return total_chunks == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(retained_chunks) /
+                           static_cast<double>(total_chunks);
+  }
+};
+
+/// Section VI: "In general, chunks form the unit of access in a data file
+/// instead of single values... using the metadata, the byte offset of each
+/// chunk can also be described in terms of the d-dimensions of the dataset
+/// and array index." Chunk-granular debloating retains every chunk that
+/// contains at least one subset element, trading some size reduction for a
+/// payload the chunked reader can address without per-element masks.
+
+/// Returns the linear chunk ids (row-major over the chunk grid) touched by
+/// `subset`, sorted ascending.
+std::vector<int64_t> TouchedChunks(const IndexSet& subset,
+                                   const ChunkedLayout& layout);
+
+/// Expands `subset` to whole chunks: every element of every touched chunk.
+/// `stats` (optional) receives the granularity accounting.
+IndexSet ChunkAlignedSubset(const IndexSet& subset,
+                            const ChunkedLayout& layout,
+                            ChunkSubsetStats* stats = nullptr);
+
+/// Payload bytes of a chunk-granular debloated file: retained chunks at
+/// full (padded) chunk size plus an 8-byte id per retained chunk.
+int64_t ChunkSubsetPayloadBytes(int64_t retained_chunks,
+                                const ChunkedLayout& layout);
+
+}  // namespace kondo
+
+#endif  // KONDO_CARVE_CHUNK_SUBSET_H_

@@ -1,0 +1,69 @@
+#ifndef KONDO_COMMON_LOGGING_H_
+#define KONDO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kondo {
+
+/// Severity levels for the lightweight logging facility.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Returns the process-wide minimum severity that is emitted; messages below
+/// it are dropped. Defaults to kWarning so library users are not spammed.
+LogSeverity MinLogSeverity();
+
+/// Sets the minimum emitted severity (e.g. kInfo for verbose benches).
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace kondo
+
+#define KONDO_LOG(severity)                                                  \
+  ::kondo::internal::LogMessage(::kondo::LogSeverity::k##severity, __FILE__, \
+                                __LINE__)                                    \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Used for invariants that
+/// indicate programming errors (not user errors, which return Status).
+#define KONDO_CHECK(condition)                                   \
+  if (!(condition))                                              \
+  KONDO_LOG(Fatal) << "Check failed: " #condition " "
+
+#define KONDO_CHECK_EQ(a, b) KONDO_CHECK((a) == (b))
+#define KONDO_CHECK_NE(a, b) KONDO_CHECK((a) != (b))
+#define KONDO_CHECK_LT(a, b) KONDO_CHECK((a) < (b))
+#define KONDO_CHECK_LE(a, b) KONDO_CHECK((a) <= (b))
+#define KONDO_CHECK_GT(a, b) KONDO_CHECK((a) > (b))
+#define KONDO_CHECK_GE(a, b) KONDO_CHECK((a) >= (b))
+
+#endif  // KONDO_COMMON_LOGGING_H_

@@ -1,0 +1,92 @@
+#ifndef KONDO_COMMON_STATUS_H_
+#define KONDO_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace kondo {
+
+/// Canonical error codes, modelled after the Abseil/Google canonical space
+/// plus one Kondo-specific code: `kDataMissing`, raised by the debloat
+/// runtime when an access falls outside the carved subset `D_Θ`
+/// (Section III of the paper).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kResourceExhausted = 8,
+  kDataLoss = 9,
+  kDataMissing = 10,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result type. Kondo does not use C++
+/// exceptions; every fallible operation returns `Status` or `StatusOr<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Factory helpers mirroring absl::*Error.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status OutOfRangeError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status DataLossError(std::string_view message);
+/// The paper's "data missing" exception: an access hit a Null region of the
+/// debloated array.
+Status DataMissingError(std::string_view message);
+
+}  // namespace kondo
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define KONDO_RETURN_IF_ERROR(expr)                     \
+  do {                                                  \
+    ::kondo::Status kondo_status_macro_tmp = (expr);    \
+    if (!kondo_status_macro_tmp.ok()) {                 \
+      return kondo_status_macro_tmp;                    \
+    }                                                   \
+  } while (false)
+
+#endif  // KONDO_COMMON_STATUS_H_

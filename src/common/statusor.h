@@ -1,0 +1,100 @@
+#ifndef KONDO_COMMON_STATUSOR_H_
+#define KONDO_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kondo {
+
+/// A value-or-error union, modelled after absl::StatusOr<T>.
+///
+/// A `StatusOr<T>` holds either a `T` (when `ok()`) or a non-OK `Status`.
+/// Dereferencing a non-OK StatusOr aborts the process with a diagnostic:
+/// this mirrors absl's CHECK semantics and keeps call sites honest in a
+/// codebase without exceptions.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error and is converted to an internal error.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed with OK status");
+    }
+  }
+
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    CheckOk();
+    return &*value_;
+  }
+  T* operator->() {
+    CheckOk();
+    return &*value_;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "Attempted to access value of non-OK StatusOr: "
+                << status_ << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace kondo
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define KONDO_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  KONDO_ASSIGN_OR_RETURN_IMPL_(                                  \
+      KONDO_STATUS_MACRO_CONCAT_(kondo_statusor_, __LINE__), lhs, rexpr)
+
+#define KONDO_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                 \
+  if (!statusor.ok()) {                                    \
+    return statusor.status();                              \
+  }                                                        \
+  lhs = std::move(statusor).value()
+
+#define KONDO_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define KONDO_STATUS_MACRO_CONCAT_(x, y) KONDO_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // KONDO_COMMON_STATUSOR_H_

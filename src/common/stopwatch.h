@@ -1,0 +1,50 @@
+#ifndef KONDO_COMMON_STOPWATCH_H_
+#define KONDO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace kondo {
+
+/// Monotonic wall-clock stopwatch used for experiment time budgets
+/// (Section V-C fixes a per-program budget shared by Kondo and baselines).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction or the last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Busy-waits for `micros` microseconds. Used to model per-execution costs
+/// the in-process harness does not naturally pay (process spawn,
+/// fork-server and instrumentation overheads of the real tools); burning
+/// CPU, rather than sleeping, matches how those costs behave under a
+/// wall-clock budget.
+inline void BusyWaitMicros(int64_t micros) {
+  if (micros <= 0) {
+    return;
+  }
+  Stopwatch stopwatch;
+  while (stopwatch.ElapsedMicros() < micros) {
+  }
+}
+
+}  // namespace kondo
+
+#endif  // KONDO_COMMON_STOPWATCH_H_

@@ -1,0 +1,78 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace kondo {
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      result.append(separator);
+    }
+    result.append(pieces[i]);
+  }
+  return result;
+}
+
+bool ParseInt64(std::string_view text, int64_t* value) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return false;
+  }
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *value);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool ParseDouble(std::string_view text, double* value) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return false;
+  }
+  // std::from_chars for double is incomplete on some libstdc++ versions;
+  // strtod on a NUL-terminated copy is portable.
+  std::string copy(text);
+  char* end = nullptr;
+  *value = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+}  // namespace kondo

@@ -1,0 +1,31 @@
+#ifndef KONDO_COMMON_STRINGS_H_
+#define KONDO_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kondo {
+
+/// Splits `text` on `delimiter`, trimming nothing. Empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Returns `text` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `pieces` with `separator`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view separator);
+
+/// Parses a signed integer; returns false on malformed or trailing input.
+bool ParseInt64(std::string_view text, int64_t* value);
+
+/// Parses a double; returns false on malformed or trailing input.
+bool ParseDouble(std::string_view text, double* value);
+
+}  // namespace kondo
+
+#endif  // KONDO_COMMON_STRINGS_H_

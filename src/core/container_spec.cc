@@ -1,0 +1,165 @@
+#include "core/container_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/strings.h"
+
+namespace kondo {
+namespace {
+
+/// Strips surrounding brackets and splits on commas:
+/// `[a, b, c]` -> {"a", "b", "c"}.
+StatusOr<std::vector<std::string>> ParseBracketList(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    return InvalidArgumentError("expected a [...] list");
+  }
+  text = text.substr(1, text.size() - 2);
+  std::vector<std::string> items;
+  for (const std::string& piece : StrSplit(text, ',')) {
+    const std::string_view stripped = StripWhitespace(piece);
+    if (!stripped.empty()) {
+      items.emplace_back(stripped);
+    }
+  }
+  return items;
+}
+
+/// Parses one `lo-hi` range. Integer unless a decimal point appears.
+StatusOr<ParamRange> ParseRange(std::string_view text) {
+  const size_t dash = text.find('-', 1);  // Skip a (disallowed) leading '-'.
+  if (dash == std::string_view::npos) {
+    return InvalidArgumentError("PARAM range must be lo-hi: " +
+                                std::string(text));
+  }
+  ParamRange range;
+  range.integer = text.find('.') == std::string_view::npos;
+  if (!ParseDouble(text.substr(0, dash), &range.lo) ||
+      !ParseDouble(text.substr(dash + 1), &range.hi)) {
+    return InvalidArgumentError("malformed PARAM range: " +
+                                std::string(text));
+  }
+  if (range.lo > range.hi || range.lo < 0.0) {
+    return InvalidArgumentError("PARAM range must be 0 <= lo <= hi: " +
+                                std::string(text));
+  }
+  return range;
+}
+
+/// Strips optional quotes from an item.
+std::string Unquote(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    text = text.substr(1, text.size() - 2);
+  }
+  return std::string(text);
+}
+
+}  // namespace
+
+ParamSpace ContainerSpec::EffectiveParams() const {
+  return HasExplicitParams() ? params : DefaultParamSpaceFromCmd(cmd_args);
+}
+
+ParamSpace DefaultParamSpaceFromCmd(
+    const std::vector<std::string>& cmd_args) {
+  std::vector<ParamRange> ranges;
+  for (const std::string& arg : cmd_args) {
+    double value = 0.0;
+    if (!ParseDouble(arg, &value)) {
+      continue;  // File paths and flags are not fuzzable parameters.
+    }
+    ParamRange range;
+    range.integer = arg.find('.') == std::string::npos;
+    range.lo = 0.0;
+    range.hi = std::max(16.0, 4.0 * std::abs(value));
+    if (range.integer) {
+      range.hi = std::floor(range.hi);
+    }
+    ranges.push_back(range);
+  }
+  return ParamSpace(std::move(ranges));
+}
+
+std::vector<std::string> ContainerSpec::DataDependencies() const {
+  std::vector<std::string> deps;
+  for (const AddInstruction& add : adds) {
+    // Heuristic matching the paper's example: sources that are not C/C++
+    // program files are data dependencies.
+    const bool is_code = add.source.ends_with(".c") ||
+                         add.source.ends_with(".cc") ||
+                         add.source.ends_with(".py");
+    if (!is_code) {
+      deps.push_back(add.destination);
+    }
+  }
+  return deps;
+}
+
+StatusOr<ContainerSpec> ParseContainerSpec(std::string_view text) {
+  ContainerSpec spec;
+  bool saw_from = false;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    const size_t space_pos = line.find(' ');
+    const std::string_view keyword =
+        space_pos == std::string_view::npos ? line : line.substr(0, space_pos);
+    const std::string_view rest =
+        space_pos == std::string_view::npos
+            ? std::string_view()
+            : StripWhitespace(line.substr(space_pos + 1));
+
+    if (keyword == "FROM") {
+      spec.base_image = std::string(rest);
+      saw_from = true;
+    } else if (keyword == "RUN") {
+      spec.run_steps.emplace_back(rest);
+    } else if (keyword == "ADD") {
+      const size_t sep = rest.find(' ');
+      if (sep == std::string_view::npos) {
+        return InvalidArgumentError("ADD needs source and destination: " +
+                                    std::string(line));
+      }
+      spec.adds.push_back(
+          AddInstruction{std::string(StripWhitespace(rest.substr(0, sep))),
+                         std::string(StripWhitespace(rest.substr(sep + 1)))});
+    } else if (keyword == "PARAM") {
+      KONDO_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                             ParseBracketList(rest));
+      std::vector<ParamRange> ranges;
+      for (const std::string& item : items) {
+        KONDO_ASSIGN_OR_RETURN(ParamRange range, ParseRange(item));
+        ranges.push_back(range);
+      }
+      spec.params = ParamSpace(std::move(ranges));
+    } else if (keyword == "ENTRYPOINT") {
+      KONDO_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                             ParseBracketList(rest));
+      if (items.size() != 1) {
+        return InvalidArgumentError("ENTRYPOINT expects one element");
+      }
+      spec.entrypoint = Unquote(items[0]);
+    } else if (keyword == "CMD") {
+      KONDO_ASSIGN_OR_RETURN(std::vector<std::string> items,
+                             ParseBracketList(rest));
+      spec.cmd_args.clear();
+      for (const std::string& item : items) {
+        spec.cmd_args.push_back(Unquote(item));
+      }
+    } else {
+      return InvalidArgumentError("unknown instruction: " +
+                                  std::string(keyword));
+    }
+  }
+  if (!saw_from) {
+    return InvalidArgumentError("container spec requires a FROM line");
+  }
+  return spec;
+}
+
+}  // namespace kondo

@@ -1,0 +1,59 @@
+#ifndef KONDO_CORE_CONTAINER_SPEC_H_
+#define KONDO_CORE_CONTAINER_SPEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "fuzz/param_space.h"
+
+namespace kondo {
+
+/// One ADD instruction: a host-side source copied to a container path.
+struct AddInstruction {
+  std::string source;
+  std::string destination;
+};
+
+/// A parsed container specification (Fig. 2a): environment dependencies
+/// (FROM/RUN), data dependencies (ADD), the advertised parameter space
+/// (PARAM), and the entry executable with its default arguments
+/// (ENTRYPOINT/CMD). The PARAM line is Kondo's extension to the Dockerfile
+/// dialect: `PARAM [0-30, 300.00-1200.00, 0-50]` declares Θ.
+struct ContainerSpec {
+  std::string base_image;
+  std::vector<std::string> run_steps;
+  std::vector<AddInstruction> adds;
+  ParamSpace params;
+  std::string entrypoint;
+  std::vector<std::string> cmd_args;
+
+  /// Container paths of data dependencies (ADD destinations whose source
+  /// looks like a data file, i.e. not program source code).
+  std::vector<std::string> DataDependencies() const;
+
+  /// True when a PARAM line declared Θ explicitly.
+  bool HasExplicitParams() const { return params.num_params() > 0; }
+
+  /// The parameter space Kondo fuzzes: the PARAM declaration when present,
+  /// otherwise a default range inferred from the CMD arguments' data types
+  /// (Section VI: "If the developer does not specify any parameter ranges,
+  /// we take a default range over the parameters based on the data type").
+  ParamSpace EffectiveParams() const;
+};
+
+/// Infers a default Θ from example argument values: each numeric CMD
+/// argument becomes one parameter whose range is [0, 4 * |example|]
+/// (minimum width 16), integer-valued unless the example has a decimal
+/// point; non-numeric arguments (file paths) are skipped.
+ParamSpace DefaultParamSpaceFromCmd(const std::vector<std::string>& cmd_args);
+
+/// Parses the Kondofile dialect. Unknown instructions fail; blank lines and
+/// `#` comments are ignored. Parameter ranges are non-negative numbers
+/// `lo-hi`, integer-valued unless either bound contains a decimal point.
+StatusOr<ContainerSpec> ParseContainerSpec(std::string_view text);
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_CONTAINER_SPEC_H_

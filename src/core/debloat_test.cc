@@ -1,0 +1,26 @@
+#include "core/debloat_test.h"
+
+#include "audit/auditor.h"
+#include "common/logging.h"
+
+namespace kondo {
+
+DebloatTestFn MakeDebloatTest(const Program& program) {
+  return [&program](const ParamValue& v) { return program.AccessSet(v); };
+}
+
+DebloatTestFn MakeAuditedDebloatTest(const Program& program,
+                                     const std::string& kdf_path) {
+  return [&program, kdf_path](const ParamValue& v) {
+    StatusOr<AuditReport> report = RunAudited(
+        kdf_path, /*pid=*/1,
+        [&program, &v](TracedFile& file) {
+          return program.ExecuteOnFile(v, file);
+        });
+    KONDO_CHECK(report.ok()) << "audited debloat test failed: "
+                             << report.status();
+    return std::move(*report).accessed_indices;
+  };
+}
+
+}  // namespace kondo

@@ -1,0 +1,28 @@
+#ifndef KONDO_CORE_DEBLOAT_TEST_H_
+#define KONDO_CORE_DEBLOAT_TEST_H_
+
+#include <memory>
+#include <string>
+
+#include "fuzz/fuzz_schedule.h"
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// Builds the debloat test of Definition 2 in "offset-printing" mode: the
+/// program's reads are intercepted directly as index tuples without touching
+/// a data file — the methodology of Section V-C used for all fuzzing/carving
+/// experiments (it does not change the computed `I'_Θ`).
+DebloatTestFn MakeDebloatTest(const Program& program);
+
+/// Builds a fully audited debloat test: each invocation opens `kdf_path`
+/// through the interposition shim, executes the program's real positioned
+/// reads, and recovers `I_v` from the recorded `<id, c, l, sz>` events via
+/// the file's metadata. Slower; used by the audit-overhead experiment and
+/// integration tests. The file's shape must match the program's.
+DebloatTestFn MakeAuditedDebloatTest(const Program& program,
+                                     const std::string& kdf_path);
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_DEBLOAT_TEST_H_

@@ -1,0 +1,25 @@
+#include "core/ensemble.h"
+
+namespace kondo {
+
+EnsembleResult RunEnsembleKondo(const Program& program,
+                                const KondoConfig& base_config,
+                                int num_members) {
+  EnsembleResult result;
+  result.combined_discovered = IndexSet(program.data_shape());
+  for (int member = 0; member < num_members; ++member) {
+    KondoConfig config = base_config;
+    config.rng_seed = base_config.rng_seed + static_cast<uint64_t>(member);
+    const KondoResult member_result = KondoPipeline(config).Run(program);
+    result.combined_discovered.Union(member_result.fuzz.discovered);
+    result.member_approx_sizes.push_back(
+        static_cast<int64_t>(member_result.approx.size()));
+    result.total_evaluations += member_result.fuzz.stats.evaluations;
+  }
+  Carver carver(base_config.carve);
+  result.combined_approx =
+      carver.Carve(result.combined_discovered).Rasterize();
+  return result;
+}
+
+}  // namespace kondo

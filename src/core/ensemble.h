@@ -1,0 +1,33 @@
+#ifndef KONDO_CORE_ENSEMBLE_H_
+#define KONDO_CORE_ENSEMBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kondo.h"
+
+namespace kondo {
+
+/// Outcome of an ensemble of independent Kondo campaigns.
+struct EnsembleResult {
+  /// Union of the member campaigns' discovered offsets.
+  IndexSet combined_discovered;
+  /// Carved subset over the union.
+  IndexSet combined_approx;
+  /// Per-member approximation sizes (for diminishing-returns analysis).
+  std::vector<int64_t> member_approx_sizes;
+  int total_evaluations = 0;
+};
+
+/// Runs `num_members` independent campaigns with distinct RNG seeds and
+/// carves the union of their discoveries. Random initial seeds are the
+/// fuzzer's main variance source (Section V-C runs every experiment 10
+/// times for this reason); an ensemble converts that variance into recall
+/// at a linear cost in executions.
+EnsembleResult RunEnsembleKondo(const Program& program,
+                                const KondoConfig& base_config,
+                                int num_members);
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_ENSEMBLE_H_

@@ -1,0 +1,31 @@
+#include "core/hybrid.h"
+
+namespace kondo {
+
+HybridOutcome RunHybridKondoAfl(const Program& program,
+                                const KondoConfig& kondo_config,
+                                const AflConfig& afl_config) {
+  HybridOutcome outcome;
+  outcome.kondo = KondoPipeline(kondo_config).Run(program);
+
+  AflFuzzer fuzzer(program, afl_config);
+  outcome.afl = fuzzer.Run();
+
+  IndexSet combined = outcome.kondo.fuzz.discovered;
+  outcome.afl.coverage.ForEach(
+      [&outcome, &combined](const Index& index) {
+        if (!combined.Contains(index)) {
+          ++outcome.afl_new_offsets;
+          combined.Insert(index);
+          if (!outcome.kondo.carved.Contains(index)) {
+            ++outcome.repaired_offsets;
+          }
+        }
+      });
+
+  Carver carver(kondo_config.carve);
+  outcome.combined_approx = carver.Carve(combined).Rasterize();
+  return outcome;
+}
+
+}  // namespace kondo

@@ -1,0 +1,38 @@
+#ifndef KONDO_CORE_HYBRID_H_
+#define KONDO_CORE_HYBRID_H_
+
+#include <cstdint>
+
+#include "baselines/afl_fuzzer.h"
+#include "core/kondo.h"
+
+namespace kondo {
+
+/// Outcome of a hybrid campaign (Section VI, future work): "let Kondo run
+/// for some more time and in parallel consult other fuzzing schedules, such
+/// as those available in AFL, to determine if any other missed offsets are
+/// detected."
+struct HybridOutcome {
+  /// The plain Kondo result (fuzz + carve over Kondo's own discoveries).
+  KondoResult kondo;
+  /// AFL's raw campaign.
+  AflResult afl;
+  /// Offsets AFL covered that Kondo's fuzzer had not discovered.
+  int64_t afl_new_offsets = 0;
+  /// Of those, offsets that were *also* outside Kondo's carved hulls —
+  /// i.e. genuine recall repairs (points the hulls missed).
+  int64_t repaired_offsets = 0;
+  /// Carved subset over the union of both discovery sets.
+  IndexSet combined_approx;
+};
+
+/// Runs Kondo, then an AFL campaign on the same program, and re-carves the
+/// union of the two discovery sets. The AFL stage's value is concentrated
+/// where Kondo's recall is below 1; elsewhere it adds nothing.
+HybridOutcome RunHybridKondoAfl(const Program& program,
+                                const KondoConfig& kondo_config,
+                                const AflConfig& afl_config);
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_HYBRID_H_

@@ -1,0 +1,110 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+AccuracyMetrics ComputeAccuracy(const IndexSet& truth,
+                                const IndexSet& approx) {
+  AccuracyMetrics metrics;
+  metrics.truth_size = static_cast<int64_t>(truth.size());
+  metrics.approx_size = static_cast<int64_t>(approx.size());
+  metrics.intersection = truth.IntersectionSize(approx);
+  metrics.precision =
+      metrics.approx_size == 0
+          ? 1.0
+          : static_cast<double>(metrics.intersection) /
+                static_cast<double>(metrics.approx_size);
+  metrics.recall = metrics.truth_size == 0
+                       ? 1.0
+                       : static_cast<double>(metrics.intersection) /
+                             static_cast<double>(metrics.truth_size);
+  metrics.f1 = (metrics.precision + metrics.recall) > 0.0
+                   ? 2.0 * metrics.precision * metrics.recall /
+                         (metrics.precision + metrics.recall)
+                   : 0.0;
+  return metrics;
+}
+
+double BloatFraction(const Shape& shape, const IndexSet& subset) {
+  const double total = static_cast<double>(shape.NumElements());
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(subset.size()) / total;
+}
+
+MissedAccessStats ComputeMissedValuations(const Program& program,
+                                          const IndexSet& approx,
+                                          int64_t max_exhaustive,
+                                          int64_t sample_size,
+                                          uint64_t rng_seed) {
+  const ParamSpace& space = program.param_space();
+  MissedAccessStats stats;
+
+  auto run_misses = [&program, &approx](const ParamValue& v) {
+    bool missed = false;
+    program.Execute(v, [&approx, &missed](const Index& index) {
+      if (!missed && !approx.Contains(index)) {
+        missed = true;
+      }
+    });
+    return missed;
+  };
+
+  const double valuations = space.NumValuations();
+  if (std::isfinite(valuations) &&
+      valuations <= static_cast<double>(max_exhaustive)) {
+    stats.exhaustive = true;
+    const int m = space.num_params();
+    std::vector<int64_t> lo(static_cast<size_t>(m)),
+        hi(static_cast<size_t>(m)), cur(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      lo[static_cast<size_t>(i)] =
+          static_cast<int64_t>(std::ceil(space.range(i).lo));
+      hi[static_cast<size_t>(i)] =
+          static_cast<int64_t>(std::floor(space.range(i).hi));
+      cur[static_cast<size_t>(i)] = lo[static_cast<size_t>(i)];
+    }
+    ParamValue v(static_cast<size_t>(m));
+    while (true) {
+      for (int i = 0; i < m; ++i) {
+        v[static_cast<size_t>(i)] =
+            static_cast<double>(cur[static_cast<size_t>(i)]);
+      }
+      ++stats.valuations_checked;
+      if (run_misses(v)) {
+        ++stats.valuations_missed;
+      }
+      int d = m - 1;
+      while (d >= 0 && ++cur[static_cast<size_t>(d)] >
+                           hi[static_cast<size_t>(d)]) {
+        cur[static_cast<size_t>(d)] = lo[static_cast<size_t>(d)];
+        --d;
+      }
+      if (d < 0) {
+        break;
+      }
+    }
+  } else {
+    Rng rng(rng_seed);
+    for (int64_t i = 0; i < sample_size; ++i) {
+      ++stats.valuations_checked;
+      if (run_misses(space.Sample(rng))) {
+        ++stats.valuations_missed;
+      }
+    }
+  }
+
+  stats.missed_fraction =
+      stats.valuations_checked == 0
+          ? 0.0
+          : static_cast<double>(stats.valuations_missed) /
+                static_cast<double>(stats.valuations_checked);
+  return stats;
+}
+
+}  // namespace kondo

@@ -1,0 +1,52 @@
+#ifndef KONDO_CORE_METRICS_H_
+#define KONDO_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "array/index_set.h"
+#include "common/rng.h"
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// Accuracy of an approximated index subset `I'_Θ` against the ground truth
+/// `I_Θ` (Section V-C): precision = |I_Θ ∩ I'_Θ| / |I'_Θ| and recall =
+/// |I_Θ ∩ I'_Θ| / |I_Θ|. A recall of 1 signifies soundness.
+struct AccuracyMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int64_t truth_size = 0;
+  int64_t approx_size = 0;
+  int64_t intersection = 0;
+};
+
+/// Computes precision/recall of `approx` against `truth`. Empty `approx`
+/// has precision 1 by convention (nothing wasteful was included).
+AccuracyMetrics ComputeAccuracy(const IndexSet& truth, const IndexSet& approx);
+
+/// Fraction of the full index space `I` flagged as bloat by `subset`:
+/// |I - subset| / |I| (Fig. 9's y-axis).
+double BloatFraction(const Shape& shape, const IndexSet& subset);
+
+/// How often a user is hurt by recall < 1 (Section V-D1): the fraction of
+/// parameter valuations whose run would access at least one index missing
+/// from `approx`.
+struct MissedAccessStats {
+  int64_t valuations_checked = 0;
+  int64_t valuations_missed = 0;
+  double missed_fraction = 0.0;
+  bool exhaustive = false;  // All of Θ checked (vs. a uniform sample).
+};
+
+/// Checks every valuation when |Θ| <= `max_exhaustive`, otherwise checks
+/// `sample_size` uniform samples.
+MissedAccessStats ComputeMissedValuations(const Program& program,
+                                          const IndexSet& approx,
+                                          int64_t max_exhaustive = 100000,
+                                          int64_t sample_size = 20000,
+                                          uint64_t rng_seed = 7);
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_METRICS_H_

@@ -1,0 +1,64 @@
+#include "core/multi_kondo.h"
+
+#include <utility>
+
+namespace kondo {
+
+MultiKondoResult RunMultiFileKondo(const MultiFileProgram& program,
+                                   const KondoConfig& config) {
+  const int files = program.num_files();
+
+  // The schedule tracks discovery over a synthetic combined index space:
+  // file f's element `linear` maps to global id (offset_f + linear). This
+  // preserves the stopping criteria ("no new offset in any file") without
+  // teaching the schedule about files.
+  std::vector<int64_t> offsets(static_cast<size_t>(files) + 1, 0);
+  for (int f = 0; f < files; ++f) {
+    offsets[static_cast<size_t>(f) + 1] =
+        offsets[static_cast<size_t>(f)] +
+        program.file_shape(f).NumElements();
+  }
+  const Shape combined_shape({offsets.back()});
+
+  // Per-seed side channel: the wrapper records each file's accesses so the
+  // campaign's per-file union can be reconstructed without re-executing.
+  MultiIndexSets discovered;
+  for (int f = 0; f < files; ++f) {
+    discovered.emplace_back(program.file_shape(f));
+  }
+
+  const DebloatTestFn test = [&program, &discovered, &offsets,
+                              &combined_shape](const ParamValue& v) {
+    IndexSet combined(combined_shape);
+    program.Execute(v, [&](int file, const Index& index) {
+      const Shape& shape = program.file_shape(file);
+      if (!shape.Contains(index)) {
+        return;
+      }
+      discovered[static_cast<size_t>(file)].Insert(index);
+      combined.InsertLinear(offsets[static_cast<size_t>(file)] +
+                            shape.Linearize(index));
+    });
+    return combined;
+  };
+
+  FuzzSchedule schedule(program.param_space(), combined_shape, config.fuzz,
+                        config.rng_seed);
+  const FuzzResult fuzz = schedule.Run(test);
+
+  MultiKondoResult result;
+  result.fuzz_stats = fuzz.stats;
+  result.per_file_discovered = std::move(discovered);
+  Carver carver(config.carve);
+  for (int f = 0; f < files; ++f) {
+    CarveStats stats;
+    const CarvedSubset carved =
+        carver.Carve(result.per_file_discovered[static_cast<size_t>(f)],
+                     &stats);
+    result.per_file_approx.push_back(carved.Rasterize());
+    result.per_file_carve_stats.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace kondo

@@ -1,0 +1,62 @@
+#include "core/remote_fetch.h"
+
+#include "common/stopwatch.h"
+
+namespace kondo {
+
+StatusOr<std::unique_ptr<KdfRemoteSource>> KdfRemoteSource::Open(
+    const std::string& path, int64_t latency_micros) {
+  KONDO_ASSIGN_OR_RETURN(KdfReader reader, KdfReader::Open(path));
+  return std::unique_ptr<KdfRemoteSource>(
+      new KdfRemoteSource(std::move(reader), latency_micros));
+}
+
+StatusOr<double> KdfRemoteSource::Fetch(const Index& index) {
+  BusyWaitMicros(latency_micros_);
+  ++fetch_count_;
+  KONDO_ASSIGN_OR_RETURN(double value, reader_.ReadElement(index));
+  bytes_fetched_ += reader_.layout().element_size();
+  return value;
+}
+
+StatusOr<double> FetchingRuntime::Read(const Index& index) {
+  StatusOr<double> local = local_.Read(index);
+  if (local.ok()) {
+    ++stats_.local_hits;
+    return local;
+  }
+  if (local.status().code() != StatusCode::kDataMissing ||
+      remote_ == nullptr) {
+    ++stats_.hard_misses;
+    return local;
+  }
+  // Missing locally: consult the fetch cache, then the remote source.
+  const int64_t linear = local_array().shape().Linearize(index);
+  if (auto it = fetched_cache_.find(linear); it != fetched_cache_.end()) {
+    ++stats_.local_hits;
+    return it->second;
+  }
+  StatusOr<double> fetched = remote_->Fetch(index);
+  if (!fetched.ok()) {
+    ++stats_.hard_misses;
+    return fetched;
+  }
+  ++stats_.remote_fetches;
+  stats_.bytes_fetched = remote_->bytes_fetched();
+  fetched_cache_.emplace(linear, *fetched);
+  return fetched;
+}
+
+Status FetchingRuntime::ReplayRun(const Program& program,
+                                  const ParamValue& v) {
+  Status first_error = OkStatus();
+  program.Execute(v, [this, &first_error](const Index& index) {
+    StatusOr<double> value = Read(index);
+    if (!value.ok() && first_error.ok()) {
+      first_error = value.status();
+    }
+  });
+  return first_error;
+}
+
+}  // namespace kondo

@@ -1,0 +1,96 @@
+#ifndef KONDO_CORE_REMOTE_FETCH_H_
+#define KONDO_CORE_REMOTE_FETCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "array/index.h"
+#include "array/kdf_file.h"
+#include "common/statusor.h"
+#include "core/runtime.h"
+
+namespace kondo {
+
+/// A source the user-end runtime can pull missing elements from — the
+/// Section VI extension: "a container runtime can use audited information
+/// to pull missing data offsets from a remote server, when requested".
+class RemoteSource {
+ public:
+  virtual ~RemoteSource() = default;
+
+  /// Fetches the element at `index`. Implementations may fail (offline,
+  /// element genuinely absent).
+  virtual StatusOr<double> Fetch(const Index& index) = 0;
+
+  /// Bytes transferred so far (for the size-accounting in reports).
+  virtual int64_t bytes_fetched() const = 0;
+};
+
+/// A RemoteSource backed by the original (un-debloated) KDF file — the
+/// registry copy the container was built from. Each fetch costs one
+/// element-sized transfer plus a configurable simulated latency.
+class KdfRemoteSource final : public RemoteSource {
+ public:
+  /// Opens the registry copy at `path`. `latency_micros` models the
+  /// round-trip cost of one remote request (busy-waited).
+  static StatusOr<std::unique_ptr<KdfRemoteSource>> Open(
+      const std::string& path, int64_t latency_micros = 0);
+
+  StatusOr<double> Fetch(const Index& index) override;
+  int64_t bytes_fetched() const override { return bytes_fetched_; }
+
+  /// Number of fetch round-trips issued.
+  int64_t fetch_count() const { return fetch_count_; }
+
+ private:
+  KdfRemoteSource(KdfReader reader, int64_t latency_micros)
+      : reader_(std::move(reader)), latency_micros_(latency_micros) {}
+
+  KdfReader reader_;
+  int64_t latency_micros_;
+  int64_t bytes_fetched_ = 0;
+  int64_t fetch_count_ = 0;
+};
+
+/// Statistics of a fetching runtime session.
+struct FetchStats {
+  int64_t local_hits = 0;     // Served from the debloated payload.
+  int64_t remote_fetches = 0; // Pulled from the remote source.
+  int64_t hard_misses = 0;    // Remote also failed: data-missing surfaced.
+  int64_t bytes_fetched = 0;
+};
+
+/// A user-end runtime that serves reads from the debloated payload and
+/// falls back to a remote source for Null indices, caching fetched values
+/// so each missing element is pulled at most once. With a remote source
+/// attached, Kondo reaches effective recall 1 at the cost of a few
+/// round-trips (the paper's proposed path to 100% recall, Section VI).
+class FetchingRuntime {
+ public:
+  /// `remote` may be null: the runtime then degrades to plain debloated
+  /// behaviour (data-missing on Null access).
+  FetchingRuntime(DebloatedArray array, std::unique_ptr<RemoteSource> remote)
+      : local_(std::move(array)), remote_(std::move(remote)) {}
+
+  const FetchStats& stats() const { return stats_; }
+  const DebloatedArray& local_array() const { return local_.array(); }
+
+  /// Serves one element read: local payload first, then the remote source.
+  StatusOr<double> Read(const Index& index);
+
+  /// Replays a full program run. With a working remote source this always
+  /// succeeds for in-shape accesses.
+  Status ReplayRun(const Program& program, const ParamValue& v);
+
+ private:
+  DebloatRuntime local_;
+  std::unique_ptr<RemoteSource> remote_;
+  std::unordered_map<int64_t, double> fetched_cache_;
+  FetchStats stats_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_REMOTE_FETCH_H_

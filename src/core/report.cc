@@ -1,0 +1,117 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace kondo {
+namespace {
+
+/// Bins `subset` into a width x height grid of counts (projecting away any
+/// third dimension) and returns per-cell fill ratios in [0, 1].
+std::vector<double> BinFillRatios(const IndexSet& subset, int width,
+                                  int height) {
+  const Shape& shape = subset.shape();
+  KONDO_CHECK(shape.rank() >= 2);
+  const int64_t dim_x = shape.dim(0);
+  const int64_t dim_y = shape.dim(1);
+  const int64_t depth = shape.rank() >= 3 ? shape.dim(2) : 1;
+
+  std::vector<int64_t> counts(static_cast<size_t>(width * height), 0);
+  subset.ForEach([&](const Index& index) {
+    const int row = static_cast<int>(index[0] * height / dim_x);
+    const int col = static_cast<int>(index[1] * width / dim_y);
+    ++counts[static_cast<size_t>(row * width + col)];
+  });
+
+  // Capacity of one bin: ceil per axis times the projected depth.
+  const double bin_capacity =
+      (static_cast<double>(dim_x) / height) *
+      (static_cast<double>(dim_y) / width) * static_cast<double>(depth);
+  std::vector<double> ratios(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    ratios[i] = std::min(1.0, static_cast<double>(counts[i]) / bin_capacity);
+  }
+  return ratios;
+}
+
+char FillChar(double ratio) {
+  if (ratio <= 0.0) return ' ';
+  if (ratio < 0.15) return '.';
+  if (ratio < 0.6) return ':';
+  return '#';
+}
+
+}  // namespace
+
+std::string RenderIndexMap(const IndexSet& subset, int width, int height) {
+  const std::vector<double> ratios = BinFillRatios(subset, width, height);
+  std::ostringstream os;
+  os << "+" << std::string(static_cast<size_t>(width), '-') << "+\n";
+  for (int row = 0; row < height; ++row) {
+    os << "|";
+    for (int col = 0; col < width; ++col) {
+      os << FillChar(ratios[static_cast<size_t>(row * width + col)]);
+    }
+    os << "|\n";
+  }
+  os << "+" << std::string(static_cast<size_t>(width), '-') << "+\n";
+  return os.str();
+}
+
+std::string RenderComparison(const IndexSet& truth, const IndexSet& approx,
+                             int width, int height) {
+  KONDO_CHECK(truth.shape() == approx.shape());
+  const std::vector<double> truth_ratios =
+      BinFillRatios(truth, width, height);
+  const std::vector<double> approx_ratios =
+      BinFillRatios(approx, width, height);
+  std::ostringstream os;
+  os << "legend: '#' both, '+' carved only (precision loss), "
+        "'-' truth only (recall loss)\n";
+  os << "+" << std::string(static_cast<size_t>(width), '-') << "+\n";
+  for (int row = 0; row < height; ++row) {
+    os << "|";
+    for (int col = 0; col < width; ++col) {
+      const size_t i = static_cast<size_t>(row * width + col);
+      const bool in_truth = truth_ratios[i] > 0.0;
+      const bool in_approx = approx_ratios[i] > 0.0;
+      char c = ' ';
+      if (in_truth && in_approx) {
+        c = '#';
+      } else if (in_approx) {
+        c = '+';
+      } else if (in_truth) {
+        c = '-';
+      }
+      os << c;
+    }
+    os << "|\n";
+  }
+  os << "+" << std::string(static_cast<size_t>(width), '-') << "+\n";
+  return os.str();
+}
+
+std::string FormatCampaignReport(const KondoResult& result,
+                                 const AccuracyMetrics& metrics) {
+  std::ostringstream os;
+  os << "campaign: " << result.fuzz.stats.evaluations << " debloat tests ("
+     << result.fuzz.stats.useful_evaluations << " useful, "
+     << result.fuzz.stats.restarts << " restarts";
+  if (result.fuzz.stats.stopped_by_stagnation) {
+    os << ", stopped by stagnation";
+  }
+  os << ")\n";
+  os << "carving:  " << result.carve_stats.initial_hulls << " cell hulls -> "
+     << result.carve_stats.final_hulls << " hulls after "
+     << result.carve_stats.merge_operations << " merges\n";
+  os << "subset:   " << metrics.approx_size << " indices; ground truth "
+     << metrics.truth_size << "\n";
+  os << "quality:  precision " << metrics.precision << ", recall "
+     << metrics.recall << "\n";
+  return os.str();
+}
+
+}  // namespace kondo

@@ -1,0 +1,32 @@
+#ifndef KONDO_CORE_REPORT_H_
+#define KONDO_CORE_REPORT_H_
+
+#include <string>
+
+#include "array/index_set.h"
+#include "core/kondo.h"
+#include "core/metrics.h"
+
+namespace kondo {
+
+/// Renders a 2-D index set as an ASCII density map: the index space is
+/// binned into a `width` x `height` character grid and each cell shows its
+/// fill level (' ' empty, '.' sparse, ':' medium, '#' dense). 3-D sets are
+/// rendered as the projection along the last axis. Handy for eyeballing
+/// carved subsets in a terminal (cf. Fig. 1's shaded array).
+std::string RenderIndexMap(const IndexSet& subset, int width = 64,
+                           int height = 32);
+
+/// Renders both the ground truth and the approximation side by side with a
+/// difference map ('+' carved but not true, '-' true but missed).
+std::string RenderComparison(const IndexSet& truth, const IndexSet& approx,
+                             int width = 48, int height = 24);
+
+/// One-paragraph human-readable campaign report: seed counts, hull counts,
+/// accuracy, subset/bloat sizes.
+std::string FormatCampaignReport(const KondoResult& result,
+                                 const AccuracyMetrics& metrics);
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_REPORT_H_

@@ -1,0 +1,34 @@
+#include "core/runtime.h"
+
+namespace kondo {
+
+StatusOr<double> DebloatRuntime::Read(const Index& index) {
+  ++stats_.reads;
+  StatusOr<double> value = array_.At(index);
+  if (value.ok()) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+    missing_log_.push_back(index);
+  }
+  return value;
+}
+
+Status DebloatRuntime::ReplayRun(const Program& program,
+                                 const ParamValue& v) {
+  Status first_error = OkStatus();
+  program.Execute(v, [this, &first_error](const Index& index) {
+    StatusOr<double> value = Read(index);
+    if (!value.ok() && first_error.ok()) {
+      first_error = value.status();
+    }
+  });
+  return first_error;
+}
+
+void DebloatRuntime::ResetStats() {
+  stats_ = RuntimeStats{};
+  missing_log_.clear();
+}
+
+}  // namespace kondo

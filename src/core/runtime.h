@@ -1,0 +1,52 @@
+#ifndef KONDO_CORE_RUNTIME_H_
+#define KONDO_CORE_RUNTIME_H_
+
+#include <cstdint>
+
+#include "array/debloated_array.h"
+#include "common/statusor.h"
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// Statistics of debloated replays.
+struct RuntimeStats {
+  int64_t reads = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;  // Reads that raised the data-missing exception.
+};
+
+/// Kondo's user-end run-time system (Section III): recreates `D_Θ` from the
+/// debloated container payload and serves the application's reads. An
+/// access to a Null index raises the "data missing" exception
+/// (StatusCode::kDataMissing); Section VI notes a container runtime could
+/// instead pull the missing offsets from a remote server — `missing_log()`
+/// records exactly the indices such a fetcher would request.
+class DebloatRuntime {
+ public:
+  explicit DebloatRuntime(DebloatedArray array) : array_(std::move(array)) {}
+
+  const DebloatedArray& array() const { return array_; }
+  const RuntimeStats& stats() const { return stats_; }
+  const std::vector<Index>& missing_log() const { return missing_log_; }
+
+  /// Serves one element read.
+  StatusOr<double> Read(const Index& index);
+
+  /// Replays a full program run against the debloated data. Returns OK when
+  /// every access hit retained data; otherwise the first data-missing error
+  /// (the replay still executes to completion so `missing_log` is complete
+  /// for the run).
+  Status ReplayRun(const Program& program, const ParamValue& v);
+
+  void ResetStats();
+
+ private:
+  DebloatedArray array_;
+  RuntimeStats stats_;
+  std::vector<Index> missing_log_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_CORE_RUNTIME_H_

@@ -1,0 +1,118 @@
+#include "fuzz/campaign_state.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace kondo {
+
+Status SaveCampaignState(const std::string& path,
+                         const CampaignState& state) {
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open campaign state for write: " + path);
+  }
+  // Header: KCS1 <rank> <dim...>
+  out << "KCS1 " << state.shape.rank();
+  for (int d = 0; d < state.shape.rank(); ++d) {
+    out << " " << state.shape.dim(d);
+  }
+  out << "\n";
+  // Seeds: S <useful> <v...> with full double precision.
+  for (const Seed& seed : state.seeds) {
+    out << "S " << (seed.useful ? 1 : 0);
+    for (double v : seed.value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " %.17g", v);
+      out << buf;
+    }
+    out << "\n";
+  }
+  // Discovered ids: I <linear>, sorted for reproducible files.
+  for (int64_t id : state.discovered.ToSortedLinearIds()) {
+    out << "I " << id << "\n";
+  }
+  if (!out.good()) {
+    return InternalError("campaign state write failed: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<CampaignState> LoadCampaignState(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open campaign state: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return DataLossError("empty campaign state: " + path);
+  }
+  std::istringstream header(line);
+  std::string magic;
+  int rank = 0;
+  header >> magic >> rank;
+  if (magic != "KCS1" || rank < 1 || rank > kMaxRank) {
+    return DataLossError("bad campaign state header: " + path);
+  }
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  for (int64_t& dim : dims) {
+    if (!(header >> dim) || dim <= 0) {
+      return DataLossError("bad campaign state dims: " + path);
+    }
+  }
+
+  CampaignState state;
+  state.shape = Shape(dims);
+  state.discovered = IndexSet(state.shape);
+  const int64_t num_elements = state.shape.NumElements();
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'S') {
+      int useful = 0;
+      fields >> useful;
+      Seed seed;
+      seed.useful = useful != 0;
+      double v = 0.0;
+      while (fields >> v) {
+        seed.value.push_back(v);
+      }
+      state.seeds.push_back(std::move(seed));
+    } else if (tag == 'I') {
+      int64_t id = -1;
+      if (!(fields >> id) || id < 0 || id >= num_elements) {
+        return DataLossError("bad discovered id in campaign state: " + line);
+      }
+      state.discovered.InsertLinear(id);
+    } else {
+      return DataLossError("unknown campaign state line: " + line);
+    }
+  }
+  return state;
+}
+
+CampaignState MakeCampaignState(const Shape& shape,
+                                const FuzzResult& result) {
+  CampaignState state;
+  state.shape = shape;
+  state.seeds = result.seeds;
+  state.discovered = result.discovered;
+  return state;
+}
+
+void MergeCampaignState(CampaignState* base, const CampaignState& extra) {
+  KONDO_CHECK(base->shape == extra.shape);
+  base->seeds.insert(base->seeds.end(), extra.seeds.begin(),
+                     extra.seeds.end());
+  base->discovered.Union(extra.discovered);
+}
+
+}  // namespace kondo

@@ -1,0 +1,41 @@
+#include "fuzz/cluster.h"
+
+#include <limits>
+
+namespace kondo {
+
+int ClusterStore::Add(const ParamValue& v, double diameter) {
+  double distance = 0.0;
+  const int nearest = Nearest(v, &distance);
+  if (nearest < 0 || distance > diameter) {
+    clusters_.push_back(Cluster{v, 1});
+    return static_cast<int>(clusters_.size()) - 1;
+  }
+  // Join the nearest cluster; the centre tracks the running mean of its
+  // members so later joins see the cluster's true location.
+  Cluster& cluster = clusters_[static_cast<size_t>(nearest)];
+  ++cluster.count;
+  const double weight = 1.0 / static_cast<double>(cluster.count);
+  for (size_t i = 0; i < v.size(); ++i) {
+    cluster.center[i] += (v[i] - cluster.center[i]) * weight;
+  }
+  return nearest;
+}
+
+int ClusterStore::Nearest(const ParamValue& v, double* distance) const {
+  int best = -1;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    const double d = ParamDistance(v, clusters_[i].center);
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<int>(i);
+    }
+  }
+  if (distance != nullptr) {
+    *distance = best_distance;
+  }
+  return best;
+}
+
+}  // namespace kondo

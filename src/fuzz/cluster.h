@@ -1,0 +1,45 @@
+#ifndef KONDO_FUZZ_CLUSTER_H_
+#define KONDO_FUZZ_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/param_space.h"
+
+namespace kondo {
+
+/// A spatial cluster of parameter values of one kind (useful or non-useful).
+struct Cluster {
+  ParamValue center;
+  int64_t count = 0;
+};
+
+/// The cluster store behind the boundary-based exploit-and-explore schedule
+/// (Section IV-A2): the ADD_TO_CLUSTER routine computes the minimum
+/// euclidean distance of a parameter value to the existing cluster centres
+/// of the same type; if it exceeds the configured cluster diameter the value
+/// founds a new cluster, otherwise it joins (and re-centres) the nearest.
+class ClusterStore {
+ public:
+  ClusterStore() = default;
+
+  /// ADD_TO_CLUSTER. Returns the index of the cluster joined or created.
+  int Add(const ParamValue& v, double diameter);
+
+  /// Index of the cluster whose centre is nearest to `v`, or -1 when empty.
+  /// `distance` (optional) receives the centre distance.
+  int Nearest(const ParamValue& v, double* distance = nullptr) const;
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  bool empty() const { return clusters_.empty(); }
+  int size() const { return static_cast<int>(clusters_.size()); }
+
+  void Clear() { clusters_.clear(); }
+
+ private:
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_FUZZ_CLUSTER_H_

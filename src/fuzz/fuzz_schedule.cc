@@ -1,0 +1,171 @@
+#include "fuzz/fuzz_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+
+namespace kondo {
+
+FuzzSchedule::FuzzSchedule(ParamSpace space, Shape shape, FuzzConfig config,
+                           uint64_t rng_seed)
+    : space_(std::move(space)),
+      shape_(std::move(shape)),
+      config_(config),
+      rng_(rng_seed),
+      epsilon_(config.epsilon0) {}
+
+void FuzzSchedule::RandomRestart() {
+  queue_.clear();
+  for (int i = 0; i < config_.init_seeds; ++i) {
+    ParamValue v = space_.Sample(rng_);
+    const std::string key = space_.QuantizeKey(v);
+    if (enqueued_or_evaluated_.insert(key).second) {
+      queue_.push_back(std::move(v));
+    }
+  }
+}
+
+FuzzResult FuzzSchedule::Run(const DebloatTestFn& test,
+                             const FuzzObserver& observer) {
+  FuzzResult result;
+  result.discovered = IndexSet(shape_);
+  Stopwatch stopwatch;
+
+  int itr = 0;
+  int new_itr = 0;  // Iterations since the last newly discovered offset.
+  while (true) {
+    if (itr >= config_.max_iter) {
+      break;
+    }
+    if (new_itr >= config_.stop_iter) {
+      result.stats.stopped_by_stagnation = true;
+      break;
+    }
+    if (config_.max_seconds > 0.0 &&
+        stopwatch.ElapsedSeconds() >= config_.max_seconds) {
+      result.stats.stopped_by_budget = true;
+      break;
+    }
+    ++itr;
+
+    if (queue_.empty() || (config_.restart > 0 && itr % config_.restart == 0)) {
+      RandomRestart();
+      ++result.stats.restarts;
+      if (queue_.empty()) {
+        // Every sample was a duplicate; extremely small Θ. Give up.
+        break;
+      }
+    }
+
+    ParamValue v = std::move(queue_.front());
+    queue_.pop_front();
+
+    const IndexSet index_subset = test(v);
+    ++result.stats.evaluations;
+    const bool useful = !index_subset.empty();
+    if (useful) {
+      ++result.stats.useful_evaluations;
+    }
+
+    const size_t before = result.discovered.size();
+    result.discovered.Union(index_subset);
+    if (result.discovered.size() > before) {
+      new_itr = 0;
+    } else {
+      ++new_itr;
+    }
+
+    if (useful) {
+      useful_clusters_.Add(v, config_.diameter);
+    } else {
+      non_useful_clusters_.Add(v, config_.diameter);
+    }
+    result.seeds.push_back(Seed{v, useful});
+    if (observer != nullptr) {
+      observer(itr, v, useful, result.discovered.size());
+    }
+
+    for (ParamValue& candidate : Mutate(v, useful)) {
+      const std::string key = space_.QuantizeKey(candidate);
+      if (enqueued_or_evaluated_.insert(key).second) {
+        queue_.push_back(std::move(candidate));
+      }
+    }
+
+    if (config_.decay_iter > 0 && itr % config_.decay_iter == 0) {
+      epsilon_ *= config_.decay;
+    }
+  }
+
+  result.stats.iterations = itr;
+  result.stats.final_epsilon = epsilon_;
+  result.stats.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+std::vector<ParamValue> FuzzSchedule::Mutate(const ParamValue& v,
+                                             bool useful) {
+  const DistRange& dist = useful ? config_.u_dist : config_.n_dist;
+  const int reps = useful ? config_.u_reps : config_.n_reps;
+
+  // With probability ε mutate uniformly (plain exploit/explore); otherwise
+  // use the boundary-based schedule: a useful seed moves toward the nearest
+  // non-useful cluster and vice versa, homing in on the subset boundary.
+  const bool use_uniform = rng_.Bernoulli(epsilon_);
+  const ClusterStore& opposite =
+      useful ? non_useful_clusters_ : useful_clusters_;
+
+  std::vector<ParamValue> candidates;
+  candidates.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    if (use_uniform || opposite.empty()) {
+      candidates.push_back(UniformMutation(v, dist));
+      continue;
+    }
+    const int nearest = opposite.Nearest(v);
+    candidates.push_back(
+        GreedyMutation(v, opposite.clusters()[static_cast<size_t>(nearest)].center,
+                       dist));
+  }
+  return candidates;
+}
+
+ParamValue FuzzSchedule::UniformMutation(const ParamValue& v,
+                                         const DistRange& dist) {
+  ParamValue candidate = v;
+  for (double& coord : candidate) {
+    const double magnitude = rng_.UniformDouble(dist.lo, dist.hi);
+    const double sign = rng_.Bernoulli(0.5) ? 1.0 : -1.0;
+    coord += sign * magnitude;
+  }
+  return space_.Clamp(std::move(candidate));
+}
+
+ParamValue FuzzSchedule::GreedyMutation(const ParamValue& v,
+                                        const ParamValue& target,
+                                        const DistRange& dist) {
+  const double distance = ParamDistance(v, target);
+  // Scale the frame by the distance to the opposite-type cluster: far from
+  // the boundary we take bigger steps, close to it we densify (Section
+  // IV-A2). The cluster diameter serves as the reference length.
+  const double scale =
+      std::clamp(distance / std::max(config_.diameter, 1e-9), 0.25, 4.0);
+  double step = rng_.UniformDouble(dist.lo, dist.hi) * scale;
+  // Never overshoot past the target centre; the boundary lies between.
+  step = std::min(step, distance);
+
+  ParamValue candidate = v;
+  if (distance > 1e-12) {
+    for (size_t i = 0; i < candidate.size(); ++i) {
+      candidate[i] += (target[i] - v[i]) / distance * step;
+    }
+  }
+  // Small orthogonal jitter diversifies the approach path.
+  for (double& coord : candidate) {
+    coord += rng_.UniformDouble(-dist.lo, dist.lo) * 0.5;
+  }
+  return space_.Clamp(std::move(candidate));
+}
+
+}  // namespace kondo

@@ -1,0 +1,105 @@
+#ifndef KONDO_FUZZ_FUZZ_SCHEDULE_H_
+#define KONDO_FUZZ_FUZZ_SCHEDULE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "array/index_set.h"
+#include "common/rng.h"
+#include "fuzz/cluster.h"
+#include "fuzz/fuzz_config.h"
+#include "fuzz/param_space.h"
+
+namespace kondo {
+
+/// The debloat test of Definition 2: an audited execution of the application
+/// for parameter value `v` that returns the accessed index subset `I_v`
+/// without the caller needing the data contents.
+using DebloatTestFn = std::function<IndexSet(const ParamValue&)>;
+
+/// An evaluated seed: the parameter value and whether its debloat test found
+/// any accessed index ("useful" in the paper's terminology).
+struct Seed {
+  ParamValue value;
+  bool useful = false;
+};
+
+/// Counters reported by a fuzz campaign.
+struct FuzzStats {
+  int iterations = 0;        // Schedule iterations executed.
+  int evaluations = 0;       // Debloat tests actually run (deduplicated).
+  int useful_evaluations = 0;
+  int restarts = 0;
+  double final_epsilon = 1.0;
+  double elapsed_seconds = 0.0;
+  bool stopped_by_stagnation = false;  // stop_iter triggered.
+  bool stopped_by_budget = false;      // max_seconds triggered.
+};
+
+/// Result of a fuzz campaign: `IS = ∪ I_v` over the evaluated seeds, plus
+/// the seeds themselves (the Fig. 4 scatter) and run statistics.
+struct FuzzResult {
+  IndexSet discovered;
+  std::vector<Seed> seeds;
+  FuzzStats stats;
+};
+
+/// Optional per-iteration observer: (iteration, seed evaluated, usefulness,
+/// total discovered offsets so far). Used for discovery-trajectory analyses
+/// and progress reporting; ignored when null.
+using FuzzObserver =
+    std::function<void(int itr, const ParamValue& v, bool useful,
+                       size_t discovered)>;
+
+/// The fuzz schedule of Algorithm 1. Starts from uniformly sampled seeds,
+/// evaluates the debloat test per seed, clusters useful and non-useful
+/// values, and mutates each seed either uniformly within a frame (plain
+/// exploit/explore) or greedily toward the nearest opposite-type cluster
+/// centre (boundary-based), transitioning between the two with an ε-greedy
+/// policy. Random restarts prevent localisation.
+class FuzzSchedule {
+ public:
+  /// `shape` is the data array shape (used to size the discovered IndexSet);
+  /// `rng_seed` fixes the stochastic stream.
+  FuzzSchedule(ParamSpace space, Shape shape, FuzzConfig config,
+               uint64_t rng_seed);
+
+  /// Runs the campaign to completion under the configured stopping criteria.
+  FuzzResult Run(const DebloatTestFn& test,
+                 const FuzzObserver& observer = nullptr);
+
+ private:
+  /// Enqueues `config_.init_seeds` fresh uniform samples, clearing the queue
+  /// (Algorithm 1's RANDOM_RESTART).
+  void RandomRestart();
+
+  /// MUTATE(v, C): returns up to `reps` candidate values.
+  std::vector<ParamValue> Mutate(const ParamValue& v, bool useful);
+
+  /// Plain exploit/explore mutation: each coordinate moves by a magnitude
+  /// drawn from `dist` with random sign.
+  ParamValue UniformMutation(const ParamValue& v, const DistRange& dist);
+
+  /// Boundary-based mutation: step toward `target` (the nearest
+  /// opposite-type cluster centre), frame scaled by the distance to it.
+  ParamValue GreedyMutation(const ParamValue& v, const ParamValue& target,
+                            const DistRange& dist);
+
+  ParamSpace space_;
+  Shape shape_;
+  FuzzConfig config_;
+  Rng rng_;
+
+  std::deque<ParamValue> queue_;
+  std::unordered_set<std::string> enqueued_or_evaluated_;
+  ClusterStore useful_clusters_;
+  ClusterStore non_useful_clusters_;
+  double epsilon_ = 1.0;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_FUZZ_FUZZ_SCHEDULE_H_

@@ -1,0 +1,103 @@
+#include "fuzz/param_space.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+ParamValue ParamSpace::Sample(Rng& rng) const {
+  ParamValue v(ranges_.size());
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    const ParamRange& r = ranges_[i];
+    if (r.integer) {
+      v[i] = static_cast<double>(rng.UniformInt(
+          static_cast<int64_t>(std::ceil(r.lo)),
+          static_cast<int64_t>(std::floor(r.hi))));
+    } else {
+      v[i] = rng.UniformDouble(r.lo, r.hi);
+    }
+  }
+  return v;
+}
+
+bool ParamSpace::Contains(const ParamValue& v) const {
+  if (v.size() != ranges_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (v[i] < ranges_[i].lo || v[i] > ranges_[i].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ParamValue ParamSpace::Clamp(ParamValue v) const {
+  KONDO_CHECK_EQ(v.size(), ranges_.size());
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    const ParamRange& r = ranges_[i];
+    if (r.integer) {
+      v[i] = std::round(v[i]);
+    }
+    if (v[i] < r.lo) v[i] = r.integer ? std::ceil(r.lo) : r.lo;
+    if (v[i] > r.hi) v[i] = r.integer ? std::floor(r.hi) : r.hi;
+  }
+  return v;
+}
+
+double ParamSpace::NumValuations() const {
+  double count = 1.0;
+  for (const ParamRange& r : ranges_) {
+    if (!r.integer) {
+      return std::numeric_limits<double>::infinity();
+    }
+    count *= r.Cardinality();
+  }
+  return count;
+}
+
+std::string ParamSpace::QuantizeKey(const ParamValue& v) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    if (i < ranges_.size() && ranges_[i].integer) {
+      os << static_cast<int64_t>(std::llround(v[i]));
+    } else {
+      os << static_cast<int64_t>(std::llround(v[i] * 1e6));
+    }
+  }
+  return os.str();
+}
+
+std::string ParamSpace::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < ranges_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << ranges_[i].lo << "-" << ranges_[i].hi;
+    if (!ranges_[i].integer) {
+      os << " (real)";
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+double ParamDistance(const ParamValue& a, const ParamValue& b) {
+  KONDO_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace kondo

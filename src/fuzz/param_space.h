@@ -1,0 +1,71 @@
+#ifndef KONDO_FUZZ_PARAM_SPACE_H_
+#define KONDO_FUZZ_PARAM_SPACE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kondo {
+
+/// A parameter value `v = (v_1, ..., v_m)` (Section III).
+using ParamValue = std::vector<double>;
+
+/// The supported range Θ_i of one input parameter variable.
+struct ParamRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Integer-valued parameters are sampled and mutated on the integer grid.
+  bool integer = true;
+
+  /// Number of distinct values (integer ranges only; 0 for real ranges).
+  double Cardinality() const { return integer ? (hi - lo + 1.0) : 0.0; }
+};
+
+/// The parameter space `Θ = (Θ_1, ..., Θ_m)` the container creator
+/// advertises. Provides sampling, clamping, membership, and the valuation
+/// count used to size brute-force baselines.
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+  ParamSpace(std::initializer_list<ParamRange> ranges) : ranges_(ranges) {}
+  explicit ParamSpace(std::vector<ParamRange> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  int num_params() const { return static_cast<int>(ranges_.size()); }
+  const ParamRange& range(int i) const { return ranges_[i]; }
+  const std::vector<ParamRange>& ranges() const { return ranges_; }
+
+  /// Uniform sample from Θ (integer dims on the grid).
+  ParamValue Sample(Rng& rng) const;
+
+  /// True when v ∈ Θ (with integer dims on-grid up to rounding).
+  bool Contains(const ParamValue& v) const;
+
+  /// Projects `v` back into Θ: clamps each coordinate and rounds integer
+  /// dims to the grid.
+  ParamValue Clamp(ParamValue v) const;
+
+  /// |Θ| for all-integer spaces (as a double to tolerate huge spaces);
+  /// +inf when any dimension is real-valued.
+  double NumValuations() const;
+
+  /// Stable deduplication key: integer dims exactly, real dims quantised to
+  /// a fine grid. Two values with equal keys are treated as the same seed.
+  std::string QuantizeKey(const ParamValue& v) const;
+
+  /// Renders e.g. "[0-30, 300.00-1200.00, 0-50]".
+  std::string ToString() const;
+
+ private:
+  std::vector<ParamRange> ranges_;
+};
+
+/// Euclidean distance between parameter values.
+double ParamDistance(const ParamValue& a, const ParamValue& b);
+
+}  // namespace kondo
+
+#endif  // KONDO_FUZZ_PARAM_SPACE_H_

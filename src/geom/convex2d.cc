@@ -1,0 +1,107 @@
+#include "geom/convex2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kondo {
+namespace {
+
+/// Distance from p to segment [a, b].
+double PointSegmentDistance(const Vec2& a, const Vec2& b, const Vec2& p) {
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double len_sq = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double px = a.x + t * dx - p.x;
+  const double py = a.y + t * dy - p.y;
+  return std::sqrt(px * px + py * py);
+}
+
+}  // namespace
+
+double Cross2(const Vec2& a, const Vec2& b, const Vec2& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+std::vector<Vec2> ConvexHull2D(std::vector<Vec2> points) {
+  std::sort(points.begin(), points.end(), [](const Vec2& a, const Vec2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](const Vec2& a, const Vec2& b) {
+                             return a.x == b.x && a.y == b.y;
+                           }),
+               points.end());
+  const size_t n = points.size();
+  if (n <= 2) {
+    return points;
+  }
+
+  std::vector<Vec2> hull(2 * n);
+  size_t k = 0;
+  // Lower chain.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross2(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  // Upper chain.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size &&
+           Cross2(hull[k - 2], hull[k - 1], points[i]) <= 0.0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  if (hull.size() == 2 && hull[0].x == hull[1].x && hull[0].y == hull[1].y) {
+    hull.resize(1);
+  }
+  return hull;
+}
+
+bool PointInConvexPolygon(const std::vector<Vec2>& hull, const Vec2& p,
+                          double tol) {
+  if (hull.empty()) {
+    return false;
+  }
+  if (hull.size() == 1) {
+    return std::abs(hull[0].x - p.x) <= tol && std::abs(hull[0].y - p.y) <= tol;
+  }
+  if (hull.size() == 2) {
+    return PointSegmentDistance(hull[0], hull[1], p) <= tol;
+  }
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Vec2& a = hull[i];
+    const Vec2& b = hull[(i + 1) % hull.size()];
+    // Normalise the signed area by the edge length to get a true distance.
+    const double cross = Cross2(a, b, p);
+    const double edge_len =
+        std::hypot(b.x - a.x, b.y - a.y);
+    if (edge_len > 0.0 && cross < -tol * edge_len) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double ConvexPolygonArea(const std::vector<Vec2>& hull) {
+  if (hull.size() < 3) {
+    return 0.0;
+  }
+  double twice_area = 0.0;
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Vec2& a = hull[i];
+    const Vec2& b = hull[(i + 1) % hull.size()];
+    twice_area += a.x * b.y - b.x * a.y;
+  }
+  return 0.5 * std::abs(twice_area);
+}
+
+}  // namespace kondo

@@ -1,0 +1,35 @@
+#ifndef KONDO_GEOM_CONVEX2D_H_
+#define KONDO_GEOM_CONVEX2D_H_
+
+#include <vector>
+
+namespace kondo {
+
+/// A point in the plane (local 2-D hull coordinates).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Twice the signed area of triangle (a, b, c); positive when c is to the
+/// left of the directed line a->b.
+double Cross2(const Vec2& a, const Vec2& b, const Vec2& c);
+
+/// Andrew's monotone chain convex hull. Returns the hull vertices in
+/// counter-clockwise order without a repeated first vertex. Collinear points
+/// on hull edges are dropped. Requires at least one point; degenerate inputs
+/// (all equal / all collinear) return 1 or 2 vertices respectively.
+std::vector<Vec2> ConvexHull2D(std::vector<Vec2> points);
+
+/// True when `p` lies inside or on the boundary of the CCW convex polygon
+/// `hull` (as produced by ConvexHull2D), with absolute tolerance `tol`.
+/// Handles degenerate hulls of 1 or 2 vertices.
+bool PointInConvexPolygon(const std::vector<Vec2>& hull, const Vec2& p,
+                          double tol);
+
+/// Area of the CCW convex polygon (0 for degenerate hulls).
+double ConvexPolygonArea(const std::vector<Vec2>& hull);
+
+}  // namespace kondo
+
+#endif  // KONDO_GEOM_CONVEX2D_H_

@@ -1,0 +1,48 @@
+#ifndef KONDO_GEOM_CONVEX3D_H_
+#define KONDO_GEOM_CONVEX3D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec.h"
+
+namespace kondo {
+
+/// A triangular facet of a 3-D convex hull: vertex indices into the input
+/// point array plus the outward-facing plane (unit `normal`, `offset` such
+/// that points q on the plane satisfy Dot(normal, q) == offset).
+struct HullFacet {
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  Vec3 normal;
+  double offset = 0.0;
+
+  /// Signed distance of `p` from the facet plane; positive outside.
+  double SignedDistance(const Vec3& p) const {
+    return Dot(normal, p) - offset;
+  }
+};
+
+/// Result of a 3-D hull computation.
+struct Hull3D {
+  std::vector<HullFacet> facets;
+  /// Indices (into the input points) of the vertices on the hull.
+  std::vector<int> vertex_indices;
+};
+
+/// Incremental 3-D convex hull. Requires the input to be full-dimensional:
+/// at least 4 points not all coplanar (the caller performs affine-rank
+/// reduction first; see hull.h). Complexity O(n * f), ample for the cell- and
+/// merge-sized point sets the Carver produces.
+Hull3D ConvexHull3D(const std::vector<Vec3>& points);
+
+/// True when `p` is inside or on the hull (within `tol` of every facet).
+bool PointInHull3D(const Hull3D& hull, const Vec3& p, double tol);
+
+/// Volume of the hull polytope.
+double Hull3DVolume(const Hull3D& hull, const std::vector<Vec3>& points);
+
+}  // namespace kondo
+
+#endif  // KONDO_GEOM_CONVEX3D_H_

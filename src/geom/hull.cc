@@ -1,0 +1,256 @@
+#include "geom/hull.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kondo {
+namespace {
+
+/// Sort-and-dedupe for exact coordinate duplicates.
+void DedupePoints(std::vector<Vec3>* points) {
+  std::sort(points->begin(), points->end(),
+            [](const Vec3& a, const Vec3& b) {
+              if (a.x != b.x) return a.x < b.x;
+              if (a.y != b.y) return a.y < b.y;
+              return a.z < b.z;
+            });
+  points->erase(std::unique(points->begin(), points->end()), points->end());
+}
+
+}  // namespace
+
+Hull Hull::Build(const std::vector<Vec3>& input_points, int rank) {
+  KONDO_CHECK(rank >= 1 && rank <= 3);
+  KONDO_CHECK(!input_points.empty());
+  std::vector<Vec3> points = input_points;
+  DedupePoints(&points);
+
+  Hull hull;
+  hull.rank_ = rank;
+  hull.origin_ = points[0];
+
+  // Greedy affine-basis construction: repeatedly pick the point with the
+  // largest residual after projecting onto the current basis.
+  int affine_rank = 0;
+  while (affine_rank < rank) {
+    double best_residual = kGeomTol;
+    Vec3 best_direction;
+    bool found = false;
+    for (const Vec3& p : points) {
+      Vec3 rel = p - hull.origin_;
+      for (int b = 0; b < affine_rank; ++b) {
+        rel = rel - hull.basis_[b] * Dot(rel, hull.basis_[b]);
+      }
+      const double residual = Norm(rel);
+      if (residual > best_residual) {
+        best_residual = residual;
+        best_direction = rel / residual;
+        found = true;
+      }
+    }
+    if (!found) {
+      break;
+    }
+    hull.basis_[affine_rank++] = best_direction;
+  }
+  hull.affine_rank_ = affine_rank;
+
+  switch (affine_rank) {
+    case 0: {
+      hull.vertices_ = {hull.origin_};
+      break;
+    }
+    case 1: {
+      double lo = 0.0;
+      double hi = 0.0;
+      for (const Vec3& p : points) {
+        const double t = Dot(p - hull.origin_, hull.basis_[0]);
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+      hull.seg_lo_ = lo;
+      hull.seg_hi_ = hi;
+      hull.vertices_ = {hull.origin_ + hull.basis_[0] * lo,
+                        hull.origin_ + hull.basis_[0] * hi};
+      break;
+    }
+    case 2: {
+      std::vector<Vec2> local(points.size());
+      for (size_t i = 0; i < points.size(); ++i) {
+        const Vec3 rel = points[i] - hull.origin_;
+        local[i] = Vec2{Dot(rel, hull.basis_[0]), Dot(rel, hull.basis_[1])};
+      }
+      hull.polygon_ = ConvexHull2D(std::move(local));
+      hull.vertices_.reserve(hull.polygon_.size());
+      for (const Vec2& v : hull.polygon_) {
+        hull.vertices_.push_back(hull.origin_ + hull.basis_[0] * v.x +
+                                 hull.basis_[1] * v.y);
+      }
+      break;
+    }
+    case 3: {
+      hull.local_points_.resize(points.size());
+      for (size_t i = 0; i < points.size(); ++i) {
+        const Vec3 rel = points[i] - hull.origin_;
+        hull.local_points_[i] =
+            Vec3(Dot(rel, hull.basis_[0]), Dot(rel, hull.basis_[1]),
+                 Dot(rel, hull.basis_[2]));
+      }
+      hull.hull3d_ = ConvexHull3D(hull.local_points_);
+      hull.vertices_.reserve(hull.hull3d_.vertex_indices.size());
+      for (int idx : hull.hull3d_.vertex_indices) {
+        hull.vertices_.push_back(points[static_cast<size_t>(idx)]);
+      }
+      break;
+    }
+    default:
+      KONDO_LOG(Fatal) << "unreachable affine rank";
+  }
+
+  Vec3 sum;
+  for (const Vec3& v : hull.vertices_) {
+    sum += v;
+  }
+  hull.centroid_ = sum / static_cast<double>(hull.vertices_.size());
+  return hull;
+}
+
+Hull Hull::FromIndices(const std::vector<Index>& indices, int rank) {
+  std::vector<Vec3> points;
+  points.reserve(indices.size());
+  for (const Index& index : indices) {
+    points.push_back(Vec3::FromIndex(index));
+  }
+  return Build(points, rank);
+}
+
+Vec3 Hull::ToLocal(const Vec3& p, double* residual) const {
+  Vec3 rel = p - origin_;
+  Vec3 local;
+  for (int b = 0; b < affine_rank_; ++b) {
+    local[b] = Dot(rel, basis_[b]);
+    rel = rel - basis_[b] * local[b];
+  }
+  if (residual != nullptr) {
+    *residual = Norm(rel);
+  }
+  return local;
+}
+
+bool Hull::Contains(const Vec3& p, double tol) const {
+  double residual = 0.0;
+  const Vec3 local = ToLocal(p, &residual);
+  if (residual > tol) {
+    return false;
+  }
+  switch (affine_rank_) {
+    case 0:
+      return true;  // residual already checked against the single point.
+    case 1:
+      return local.x >= seg_lo_ - tol && local.x <= seg_hi_ + tol;
+    case 2:
+      return PointInConvexPolygon(polygon_, Vec2{local.x, local.y}, tol);
+    case 3:
+      return PointInHull3D(hull3d_, local, tol);
+    default:
+      return false;
+  }
+}
+
+bool Hull::ContainsIndex(const Index& index, double tol) const {
+  return Contains(Vec3::FromIndex(index), tol);
+}
+
+double Hull::Measure() const {
+  switch (affine_rank_) {
+    case 0:
+      return 0.0;
+    case 1:
+      return seg_hi_ - seg_lo_;
+    case 2:
+      return ConvexPolygonArea(polygon_);
+    case 3:
+      return Hull3DVolume(hull3d_, local_points_);
+    default:
+      return 0.0;
+  }
+}
+
+double Hull::MinVertexDistance(const Hull& other) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Vec3& a : vertices_) {
+    for (const Vec3& b : other.vertices_) {
+      best = std::min(best, Distance(a, b));
+    }
+  }
+  return best;
+}
+
+double Hull::CentroidDistance(const Hull& other) const {
+  return Distance(centroid_, other.centroid_);
+}
+
+void Hull::IntegerBounds(int64_t lo[3], int64_t hi[3]) const {
+  for (int d = 0; d < 3; ++d) {
+    lo[d] = 0;
+    hi[d] = 0;
+  }
+  bool first = true;
+  for (const Vec3& v : vertices_) {
+    for (int d = 0; d < rank_; ++d) {
+      const int64_t vlo = static_cast<int64_t>(std::floor(v[d] - kGeomTol));
+      const int64_t vhi = static_cast<int64_t>(std::ceil(v[d] + kGeomTol));
+      if (first) {
+        lo[d] = vlo;
+        hi[d] = vhi;
+      } else {
+        lo[d] = std::min(lo[d], vlo);
+        hi[d] = std::max(hi[d], vhi);
+      }
+    }
+    first = false;
+  }
+}
+
+void Hull::RasterizeInto(IndexSet* out, double tol) const {
+  const Shape& shape = out->shape();
+  KONDO_CHECK_EQ(shape.rank(), rank_);
+  int64_t lo[3];
+  int64_t hi[3];
+  IntegerBounds(lo, hi);
+  for (int d = 0; d < rank_; ++d) {
+    lo[d] = std::max<int64_t>(lo[d], 0);
+    hi[d] = std::min<int64_t>(hi[d], shape.dim(d) - 1);
+  }
+  // Dimensions beyond rank_ are degenerate single iterations.
+  for (int d = rank_; d < 3; ++d) {
+    lo[d] = 0;
+    hi[d] = 0;
+  }
+  Index index(rank_);
+  for (int64_t x = lo[0]; x <= hi[0]; ++x) {
+    for (int64_t y = lo[1]; y <= hi[1]; ++y) {
+      for (int64_t z = lo[2]; z <= hi[2]; ++z) {
+        Vec3 p(static_cast<double>(x), static_cast<double>(y),
+               static_cast<double>(z));
+        if (!Contains(p, tol)) {
+          continue;
+        }
+        index[0] = x;
+        if (rank_ > 1) index[1] = y;
+        if (rank_ > 2) index[2] = z;
+        out->Insert(index);
+      }
+    }
+  }
+}
+
+int64_t Hull::CountIntegerPoints(const Shape& shape, double tol) const {
+  IndexSet scratch(shape);
+  RasterizeInto(&scratch, tol);
+  return static_cast<int64_t>(scratch.size());
+}
+
+}  // namespace kondo

@@ -1,0 +1,91 @@
+#ifndef KONDO_GEOM_VEC_H_
+#define KONDO_GEOM_VEC_H_
+
+#include <cmath>
+#include <ostream>
+
+#include "array/index.h"
+
+namespace kondo {
+
+/// Numeric tolerance for geometric predicates. Index coordinates are
+/// integers (unit spacing), so an absolute tolerance is appropriate.
+inline constexpr double kGeomTol = 1e-7;
+
+/// A point/vector in up to three dimensions. Hull computation supports
+/// ambient ranks 1..3 (the ranks evaluated in the paper); unused coordinates
+/// are zero.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3() = default;
+  Vec3(double x_in, double y_in, double z_in = 0.0)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  /// Converts an array index (rank <= 3) to a point.
+  static Vec3 FromIndex(const Index& index) {
+    Vec3 v;
+    if (index.rank() > 0) v.x = static_cast<double>(index[0]);
+    if (index.rank() > 1) v.y = static_cast<double>(index[1]);
+    if (index.rank() > 2) v.z = static_cast<double>(index[2]);
+    return v;
+  }
+
+  double operator[](int d) const { return d == 0 ? x : (d == 1 ? y : z); }
+  double& operator[](int d) {
+    return d == 0 ? x : (d == 1 ? y : z);
+  }
+
+  friend Vec3 operator+(const Vec3& a, const Vec3& b) {
+    return Vec3(a.x + b.x, a.y + b.y, a.z + b.z);
+  }
+  friend Vec3 operator-(const Vec3& a, const Vec3& b) {
+    return Vec3(a.x - b.x, a.y - b.y, a.z - b.z);
+  }
+  friend Vec3 operator*(const Vec3& a, double s) {
+    return Vec3(a.x * s, a.y * s, a.z * s);
+  }
+  friend Vec3 operator*(double s, const Vec3& a) { return a * s; }
+  friend Vec3 operator/(const Vec3& a, double s) {
+    return Vec3(a.x / s, a.y / s, a.z / s);
+  }
+  Vec3& operator+=(const Vec3& b) {
+    x += b.x;
+    y += b.y;
+    z += b.z;
+    return *this;
+  }
+
+  friend bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+inline double Dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3 Cross(const Vec3& a, const Vec3& b) {
+  return Vec3(a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+              a.x * b.y - a.y * b.x);
+}
+
+inline double NormSquared(const Vec3& a) { return Dot(a, a); }
+inline double Norm(const Vec3& a) { return std::sqrt(NormSquared(a)); }
+inline double Distance(const Vec3& a, const Vec3& b) { return Norm(a - b); }
+
+/// Returns `a` scaled to unit length; zero vectors are returned unchanged.
+inline Vec3 Normalized(const Vec3& a) {
+  const double n = Norm(a);
+  return n > 0.0 ? a / n : a;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace kondo
+
+#endif  // KONDO_GEOM_VEC_H_

@@ -1,0 +1,59 @@
+#include "workloads/block_programs.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+BlockProgram::BlockProgram(BlockCorners corners, int rank, int64_t n)
+    : corners_(corners), rank_(rank) {
+  KONDO_CHECK(rank == 2 || rank == 3);
+  n_ = n > 0 ? n : (rank == 2 ? 128 : 64);
+  block_ = n_ / 8;
+  name_ = corners == BlockCorners::kLeftDiagonal ? "LDC" : "RDC";
+  if (rank == 3) {
+    name_ += "3D";
+  }
+  description_ =
+      std::string("two separated solid blocks on the ") +
+      (corners == BlockCorners::kLeftDiagonal ? "left" : "right") +
+      " diagonal";
+
+  std::vector<ParamRange> ranges(
+      static_cast<size_t>(rank),
+      ParamRange{0.0, static_cast<double>(n_ / 4), true});
+  space_ = ParamSpace(std::move(ranges));
+
+  std::vector<int64_t> dims(static_cast<size_t>(rank), n_);
+  shape_ = Shape(dims);
+  block_stencil_ = rank == 2 ? SolidRectStencil(block_, block_)
+                             : SolidBoxStencil(block_, block_, block_);
+}
+
+void BlockProgram::Execute(const ParamValue& v, const ReadFn& read) const {
+  Index anchor(rank_);
+  for (int d = 0; d < rank_; ++d) {
+    const int64_t a = static_cast<int64_t>(std::llround(v[d]));
+    if (a < 0 || a > n_ / 4) {
+      return;
+    }
+    anchor[d] = a;
+  }
+
+  // First block: anchored directly (LDC) or mirrored in x (RDC).
+  Index first = anchor;
+  if (corners_ == BlockCorners::kRightDiagonal) {
+    first[0] = n_ - block_ - anchor[0];
+  }
+  block_stencil_.Apply(shape_, first, read);
+
+  // Second block: the opposite corner (mirror every dimension of `first`).
+  Index second(rank_);
+  for (int d = 0; d < rank_; ++d) {
+    second[d] = n_ - block_ - first[d];
+  }
+  block_stencil_.Apply(shape_, second, read);
+}
+
+}  // namespace kondo

@@ -1,0 +1,51 @@
+#ifndef KONDO_WORKLOADS_BLOCK_PROGRAMS_H_
+#define KONDO_WORKLOADS_BLOCK_PROGRAMS_H_
+
+#include <string>
+
+#include "workloads/program.h"
+#include "workloads/stencil.h"
+
+namespace kondo {
+
+/// Which diagonal the two block regions sit on.
+enum class BlockCorners {
+  kLeftDiagonal,   // LDC: blocks near (0,0,..) and (n-1,n-1,..).
+  kRightDiagonal,  // RDC: blocks near (n-1,0,..) and (0,n-1,..).
+};
+
+/// LDC / RDC — the solid-rectangle-stencil micro-benchmarks. A run reads
+/// one solid block at a parameter-chosen anchor in each of two opposite
+/// corner regions; the union over Θ is two clearly separated solid squares
+/// (cubes in 3-D). The separation is what gives Kondo precision 1 on these
+/// programs (Section V-D2): the two carved hulls never merge.
+class BlockProgram final : public Program {
+ public:
+  /// `rank` is 2 or 3; `n` the array extent per dimension (defaults 128 in
+  /// 2-D, 64 in 3-D when `n` = 0). The block edge is n/8 and anchors range
+  /// over [0, n/4] per dimension.
+  BlockProgram(BlockCorners corners, int rank, int64_t n = 0);
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  const ParamSpace& param_space() const override { return space_; }
+  const Shape& data_shape() const override { return shape_; }
+  void Execute(const ParamValue& v, const ReadFn& read) const override;
+
+  int64_t block_edge() const { return block_; }
+
+ private:
+  BlockCorners corners_;
+  int rank_;
+  int64_t n_;
+  int64_t block_;
+  std::string name_;
+  std::string description_;
+  ParamSpace space_;
+  Shape shape_;
+  Stencil block_stencil_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_BLOCK_PROGRAMS_H_

@@ -1,0 +1,66 @@
+#ifndef KONDO_WORKLOADS_CS_PROGRAMS_H_
+#define KONDO_WORKLOADS_CS_PROGRAMS_H_
+
+#include <string>
+
+#include "workloads/program.h"
+#include "workloads/stencil.h"
+
+namespace kondo {
+
+/// The cross-stencil program family. `kBase` is the Listing-1 program: a
+/// walk from the origin with per-run steps (stepX, stepY), reading the 2x2
+/// cross at each position, guarded by stepX <= stepY — its index subset over
+/// all runs is the lower-triangular region of Fig. 1. The synthetic variants
+/// modify the parameter constraint (Section V-A, Table II column 3); their
+/// exact constraints are reconstructions from the paper's prose (CS1/CS5
+/// have "distant sparse regions", CS3 has the narrowest useful window and
+/// the lowest recall, CS2 is a diagonal band):
+///
+///  * kCs1 — disjoint second triangle, sparsely read (every 4th step).
+///  * kCs2 — |stepX - stepY| <= 4 band walk.
+///  * kCs3 — useful only when stepY >= 3N/4: a thin far stripe.
+///  * kCs5 — dense small-step cone plus a distant sparse 4-lattice corner.
+enum class CsVariant { kBase, kCs1, kCs2, kCs3, kCs5 };
+
+/// Builds the Table II name for a variant ("CS", "CS1", ...).
+std::string CsVariantName(CsVariant variant);
+
+class CsProgram final : public Program {
+ public:
+  /// `n` is the square array extent (paper default 128; Fig. 11a scales it
+  /// to 2048). Θ is (stepX, stepY) ∈ [0, n-1]^2, "the maximum dataset size"
+  /// per Section V-D4.
+  explicit CsProgram(CsVariant variant, int64_t n = 128);
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  const ParamSpace& param_space() const override { return space_; }
+  const Shape& data_shape() const override { return shape_; }
+
+  void Execute(const ParamValue& v, const ReadFn& read) const override;
+
+  /// CS3 carries an analytic ground truth (validated against enumeration in
+  /// tests) so the Fig. 11a bench can scale n to 2048 where enumerating
+  /// |Θ| = n^2 walks is infeasible; other variants use the base-class
+  /// enumeration.
+  const IndexSet& GroundTruth() const override;
+
+ private:
+  /// Cross-stencil walk from (i0, j0) with steps (sx, sy); when
+  /// `read_modulo` > 1 only every read_modulo-th position is read.
+  void Walk(int64_t i0, int64_t j0, int64_t sx, int64_t sy, int read_modulo,
+            const ReadFn& read) const;
+
+  CsVariant variant_;
+  int64_t n_;
+  std::string name_;
+  std::string description_;
+  ParamSpace space_;
+  Shape shape_;
+  Stencil cross_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_CS_PROGRAMS_H_

@@ -1,0 +1,41 @@
+#include "workloads/demo_program.h"
+
+#include <cmath>
+
+namespace kondo {
+
+DemoMultiRegionProgram::DemoMultiRegionProgram(int64_t n)
+    : n_(n),
+      space_({ParamRange{0, static_cast<double>(n - 1), true},
+              ParamRange{0, static_cast<double>(n - 1), true}}),
+      shape_({n, n}),
+      cross_(CrossStencil2D()) {}
+
+bool DemoMultiRegionProgram::IsUseful(double p, double q) const {
+  const double s = static_cast<double>(n_) / 128.0;  // Region scale factor.
+  if (p <= q - 16.0 * s) {
+    return true;  // Large band region.
+  }
+  const double dx = p - 104.0 * s;
+  const double dy = q - 24.0 * s;
+  if (std::sqrt(dx * dx + dy * dy) <= 10.0 * s) {
+    return true;  // Bottom-right island.
+  }
+  if (p >= 88.0 * s && p <= 104.0 * s && q >= 56.0 * s && q <= 72.0 * s) {
+    return true;  // Mid-right island (disjoint from the band).
+  }
+  return false;
+}
+
+void DemoMultiRegionProgram::Execute(const ParamValue& v,
+                                     const ReadFn& read) const {
+  const int64_t p = static_cast<int64_t>(std::llround(v[0]));
+  const int64_t q = static_cast<int64_t>(std::llround(v[1]));
+  if (p < 0 || q < 0 || p > n_ - 1 || q > n_ - 1 ||
+      !IsUseful(static_cast<double>(p), static_cast<double>(q))) {
+    return;
+  }
+  cross_.Apply(shape_, Index{p, q}, read);
+}
+
+}  // namespace kondo

@@ -1,0 +1,47 @@
+#ifndef KONDO_WORKLOADS_DEMO_PROGRAM_H_
+#define KONDO_WORKLOADS_DEMO_PROGRAM_H_
+
+#include "workloads/program.h"
+#include "workloads/stencil.h"
+
+namespace kondo {
+
+/// The multi-region contrast program behind Fig. 4: a cross-stencil variant
+/// whose *useful* parameter region consists of one large region plus two
+/// small disjoint islands (top-left and bottom-right of Θ). The plain
+/// exploit-and-explore schedule localises around the big region and misses
+/// the islands; boundary-based EE's random restarts and boundary homing find
+/// them and densify samples along the region boundaries.
+///
+/// Useful v = (p, q) regions (n = 128):
+///   * the band  p <= q - 16            (large region),
+///   * the disk  |(p,q) - (104, 24)| <= 10   (bottom-right island),
+///   * the square 8 <= p <= 24, 96 <= q <= 112 ... mapped below the band —
+///     chosen inside p > q - 16 so it stays disjoint from the band.
+/// A useful run reads the cross stencil at (p, q), making the accessed index
+/// space mirror the parameter space for easy visualisation.
+class DemoMultiRegionProgram final : public Program {
+ public:
+  explicit DemoMultiRegionProgram(int64_t n = 128);
+
+  std::string_view name() const override { return "FIG4"; }
+  std::string_view description() const override {
+    return "multi-region useful space for schedule contrast (Fig. 4)";
+  }
+  const ParamSpace& param_space() const override { return space_; }
+  const Shape& data_shape() const override { return shape_; }
+  void Execute(const ParamValue& v, const ReadFn& read) const override;
+
+  /// True when (p, q) passes the debloat test (is useful).
+  bool IsUseful(double p, double q) const;
+
+ private:
+  int64_t n_;
+  ParamSpace space_;
+  Shape shape_;
+  Stencil cross_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_DEMO_PROGRAM_H_

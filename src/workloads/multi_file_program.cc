@@ -1,0 +1,105 @@
+#include "workloads/multi_file_program.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace kondo {
+
+MultiIndexSets MultiFileProgram::AccessSets(const ParamValue& v) const {
+  MultiIndexSets sets;
+  sets.reserve(static_cast<size_t>(num_files()));
+  for (int f = 0; f < num_files(); ++f) {
+    sets.emplace_back(file_shape(f));
+  }
+  Execute(v, [&sets](int file, const Index& index) {
+    sets[static_cast<size_t>(file)].Insert(index);
+  });
+  return sets;
+}
+
+MultiIndexSets MultiFileProgram::GroundTruths(
+    double max_enumerated_valuations) const {
+  const ParamSpace& space = param_space();
+  const double valuations = space.NumValuations();
+  KONDO_CHECK(std::isfinite(valuations) &&
+              valuations <= max_enumerated_valuations)
+      << "Θ too large to enumerate for " << name();
+
+  MultiIndexSets truths;
+  truths.reserve(static_cast<size_t>(num_files()));
+  for (int f = 0; f < num_files(); ++f) {
+    truths.emplace_back(file_shape(f));
+  }
+
+  const int m = space.num_params();
+  std::vector<int64_t> lo(static_cast<size_t>(m)), hi(static_cast<size_t>(m)),
+      cur(static_cast<size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    lo[static_cast<size_t>(i)] =
+        static_cast<int64_t>(std::ceil(space.range(i).lo));
+    hi[static_cast<size_t>(i)] =
+        static_cast<int64_t>(std::floor(space.range(i).hi));
+    cur[static_cast<size_t>(i)] = lo[static_cast<size_t>(i)];
+  }
+  ParamValue v(static_cast<size_t>(m));
+  while (true) {
+    for (int i = 0; i < m; ++i) {
+      v[static_cast<size_t>(i)] =
+          static_cast<double>(cur[static_cast<size_t>(i)]);
+    }
+    Execute(v, [&truths](int file, const Index& index) {
+      truths[static_cast<size_t>(file)].Insert(index);
+    });
+    int d = m - 1;
+    while (d >= 0 &&
+           ++cur[static_cast<size_t>(d)] > hi[static_cast<size_t>(d)]) {
+      cur[static_cast<size_t>(d)] = lo[static_cast<size_t>(d)];
+      --d;
+    }
+    if (d < 0) {
+      break;
+    }
+  }
+  return truths;
+}
+
+StormTrackProgram::StormTrackProgram(int64_t n, int64_t levels)
+    : n_(n),
+      levels_(levels),
+      space_({ParamRange{0, static_cast<double>(n - 1), true},
+              ParamRange{0, static_cast<double>(n - 1), true}}),
+      terrain_shape_({n, n}),
+      atmosphere_shape_({n / 2, n / 2, levels}) {}
+
+void StormTrackProgram::Execute(const ParamValue& v,
+                                const MultiReadFn& read) const {
+  const int64_t x0 = static_cast<int64_t>(std::llround(v[0]));
+  const int64_t y0 = static_cast<int64_t>(std::llround(v[1]));
+  if (x0 < 0 || y0 < 0 || x0 > n_ - 1 || y0 > n_ - 1 || x0 > y0) {
+    return;  // Unsupported entry point (cf. Listing 1's guard).
+  }
+  int64_t x = x0;
+  int64_t y = y0;
+  int64_t step = 0;
+  while (x < n_ && y < n_) {
+    // Terrain under the track cell (file 0: the 2-D grid).
+    read(0, Index{x, y});
+    // Every other step, the full pressure column of the coarser
+    // atmosphere mesh above the track (file 1: the 3-D mesh).
+    if (step % 2 == 0) {
+      const Index base{x / 2, y / 2};
+      if (base[0] < atmosphere_shape_.dim(0) &&
+          base[1] < atmosphere_shape_.dim(1)) {
+        for (int64_t level = 0; level < levels_; ++level) {
+          read(1, Index{base[0], base[1], level});
+        }
+      }
+    }
+    ++x;
+    ++y;
+    ++step;
+  }
+}
+
+}  // namespace kondo

@@ -1,0 +1,110 @@
+#include "workloads/prl_programs.h"
+
+#include <cmath>
+
+namespace kondo {
+
+Prl2DProgram::Prl2DProgram(int64_t n)
+    : n_(n),
+      min_extent_(n / 8),
+      space_({ParamRange{static_cast<double>(n / 8),
+                         static_cast<double>(n / 2 - 1), true},
+              ParamRange{static_cast<double>(n / 8),
+                         static_cast<double>(n / 2 - 1), true}}),
+      shape_({n, n}) {}
+
+void Prl2DProgram::Execute(const ParamValue& v, const ReadFn& read) const {
+  const int64_t w = static_cast<int64_t>(std::llround(v[0]));
+  const int64_t h = static_cast<int64_t>(std::llround(v[1]));
+  if (w < min_extent_ || h < min_extent_ || w > n_ / 2 - 1 ||
+      h > n_ / 2 - 1) {
+    return;
+  }
+  const int64_t c = n_ / 2;
+  // Horizontal edges of the ring.
+  for (int64_t x = c - w; x <= c + w; ++x) {
+    read(Index{x, c - h});
+    read(Index{x, c + h});
+  }
+  // Vertical edges (corners already read above).
+  for (int64_t y = c - h + 1; y <= c + h - 1; ++y) {
+    read(Index{c - w, y});
+    read(Index{c + w, y});
+  }
+}
+
+Prl3DProgram::Prl3DProgram(int64_t n)
+    // The 3-D hole (min extent n/4 vs n/8 in 2-D) has a larger relative
+    // volume, reproducing the paper's observation that "the hole enlarges
+    // in PRL3D" and costs more precision than in 2-D.
+    : n_(n),
+      min_extent_(n / 4),
+      space_({ParamRange{static_cast<double>(n / 4),
+                         static_cast<double>(n / 2 - 1), true},
+              ParamRange{static_cast<double>(n / 4),
+                         static_cast<double>(n / 2 - 1), true},
+              ParamRange{static_cast<double>(n / 4),
+                         static_cast<double>(n / 2 - 1), true}}),
+      shape_({n, n, n}) {}
+
+void Prl3DProgram::Execute(const ParamValue& v, const ReadFn& read) const {
+  const int64_t w = static_cast<int64_t>(std::llround(v[0]));
+  const int64_t h = static_cast<int64_t>(std::llround(v[1]));
+  const int64_t d = static_cast<int64_t>(std::llround(v[2]));
+  const int64_t max_extent = n_ / 2 - 1;
+  if (w < min_extent_ || h < min_extent_ || d < min_extent_ ||
+      w > max_extent || h > max_extent || d > max_extent) {
+    return;
+  }
+  const int64_t c = n_ / 2;
+  // z faces.
+  for (int64_t x = c - w; x <= c + w; ++x) {
+    for (int64_t y = c - h; y <= c + h; ++y) {
+      read(Index{x, y, c - d});
+      read(Index{x, y, c + d});
+    }
+  }
+  // y faces (excluding rows already covered by the z faces).
+  for (int64_t x = c - w; x <= c + w; ++x) {
+    for (int64_t z = c - d + 1; z <= c + d - 1; ++z) {
+      read(Index{x, c - h, z});
+      read(Index{x, c + h, z});
+    }
+  }
+  // x faces (excluding both).
+  for (int64_t y = c - h + 1; y <= c + h - 1; ++y) {
+    for (int64_t z = c - d + 1; z <= c + d - 1; ++z) {
+      read(Index{c - w, y, z});
+      read(Index{c + w, y, z});
+    }
+  }
+}
+
+const IndexSet& Prl3DProgram::GroundTruth() const {
+  if (!ground_truth_ready_) {
+    // A point at absolute offsets (a, b, e) from the centre is read by some
+    // run iff it lies inside the largest box (all offsets <= max extent)
+    // and on the surface of some admissible box — i.e. at least one offset
+    // reaches the minimum extent.
+    IndexSet gt(shape_);
+    const int64_t c = n_ / 2;
+    const int64_t max_extent = n_ / 2 - 1;
+    for (int64_t x = c - max_extent; x <= c + max_extent; ++x) {
+      for (int64_t y = c - max_extent; y <= c + max_extent; ++y) {
+        for (int64_t z = c - max_extent; z <= c + max_extent; ++z) {
+          const int64_t a = std::llabs(x - c);
+          const int64_t b = std::llabs(y - c);
+          const int64_t e = std::llabs(z - c);
+          if (a >= min_extent_ || b >= min_extent_ || e >= min_extent_) {
+            gt.Insert(Index{x, y, z});
+          }
+        }
+      }
+    }
+    ground_truth_cache_ = std::move(gt);
+    ground_truth_ready_ = true;
+  }
+  return ground_truth_cache_;
+}
+
+}  // namespace kondo

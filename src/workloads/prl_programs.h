@@ -1,0 +1,70 @@
+#ifndef KONDO_WORKLOADS_PRL_PROGRAMS_H_
+#define KONDO_WORKLOADS_PRL_PROGRAMS_H_
+
+#include <string>
+
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// PRL — the "periphery ring" micro-benchmark built on H5bench's
+/// rectangle-with-a-hole stencil. A run reads the boundary ring of the
+/// axis-aligned rectangle centred in the array whose half-extents are the
+/// parameters; the union over Θ is a solid frame with a central hole (the
+/// rectangle-with-hole region of Table I). The convex hull over the frame
+/// necessarily covers the hole, which is why the paper reports the PRL
+/// precision dip — larger in 3-D where the hole's relative volume grows.
+class Prl2DProgram final : public Program {
+ public:
+  /// `n` is the square array extent; Θ is (w, h) ∈ [n/16, n/2 - 1]^2
+  /// (half-extents of the ring read by a run).
+  explicit Prl2DProgram(int64_t n = 128);
+
+  std::string_view name() const override { return "PRL"; }
+  std::string_view description() const override {
+    return "2-D periphery ring; union is a frame with a central hole";
+  }
+  const ParamSpace& param_space() const override { return space_; }
+  const Shape& data_shape() const override { return shape_; }
+  void Execute(const ParamValue& v, const ReadFn& read) const override;
+
+  /// Minimum ring half-extent (the hole's half-size).
+  int64_t min_extent() const { return min_extent_; }
+
+ private:
+  int64_t n_;
+  int64_t min_extent_;
+  ParamSpace space_;
+  Shape shape_;
+};
+
+/// 3-D PRL: a run reads the rectangular shell (all faces) of the box with
+/// half-extents (w, h, d); three parameters (Table II column 5).
+class Prl3DProgram final : public Program {
+ public:
+  explicit Prl3DProgram(int64_t n = 64);
+
+  std::string_view name() const override { return "PRL3D"; }
+  std::string_view description() const override {
+    return "3-D periphery shell; union is a thick shell with a cubic hole";
+  }
+  const ParamSpace& param_space() const override { return space_; }
+  const Shape& data_shape() const override { return shape_; }
+  void Execute(const ParamValue& v, const ReadFn& read) const override;
+
+  /// Analytic ground truth (enumerating |Θ| shell reads is quadratic in n;
+  /// validated against enumeration on small n in tests).
+  const IndexSet& GroundTruth() const override;
+
+  int64_t min_extent() const { return min_extent_; }
+
+ private:
+  int64_t n_;
+  int64_t min_extent_;
+  ParamSpace space_;
+  Shape shape_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_PRL_PROGRAMS_H_

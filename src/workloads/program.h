@@ -1,0 +1,70 @@
+#ifndef KONDO_WORKLOADS_PROGRAM_H_
+#define KONDO_WORKLOADS_PROGRAM_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "array/index_set.h"
+#include "array/shape.h"
+#include "audit/traced_file.h"
+#include "common/status.h"
+#include "fuzz/param_space.h"
+
+namespace kondo {
+
+/// Element-read callback handed to a program run.
+using ReadFn = std::function<void(const Index&)>;
+
+/// A containerized application under debloating analysis: an executable `X`
+/// with `m` input parameters over a parameter space Θ, reading a data array
+/// of a fixed shape (Section II/III).
+///
+/// Two execution modes mirror the paper's methodology (Section V-C):
+///  * `Execute(v, read)` drives the access pattern through a callback —
+///    the "replace each HDF5 read with a loop that prints offsets"
+///    transformation used to measure fuzzing and carving in isolation;
+///  * `ExecuteOnFile(v, file)` issues real positioned reads through the
+///    audited interposition shim, used for the I/O-overhead experiment.
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual const ParamSpace& param_space() const = 0;
+  virtual const Shape& data_shape() const = 0;
+
+  int rank() const { return data_shape().rank(); }
+
+  /// Runs the program for parameter value `v`, reporting every element
+  /// access through `read`. Accesses outside the data shape are the
+  /// program's bugs, not the framework's: implementations clip to bounds.
+  virtual void Execute(const ParamValue& v, const ReadFn& read) const = 0;
+
+  /// The index subset `I_v` of one run.
+  IndexSet AccessSet(const ParamValue& v) const;
+
+  /// Runs against a real data file through the (optionally audited) shim.
+  Status ExecuteOnFile(const ParamValue& v, TracedFile& file) const;
+
+  /// The ground truth `I_Θ = ∪_{v∈Θ} I_v`. The base implementation
+  /// enumerates every integer valuation of Θ (requires |Θ| <=
+  /// `max_enumerated_valuations`); programs with huge Θ override this with
+  /// an analytic region fill. Results are cached.
+  virtual const IndexSet& GroundTruth() const;
+
+  /// Enumerates I_Θ exhaustively (the base implementation of GroundTruth).
+  /// Aborts when |Θ| exceeds the guard or any parameter is real-valued.
+  /// Public so tests can validate analytic overrides against enumeration on
+  /// shrunken instances.
+  IndexSet GroundTruthByEnumeration(double max_enumerated_valuations) const;
+
+ protected:
+  mutable IndexSet ground_truth_cache_;
+  mutable bool ground_truth_ready_ = false;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_PROGRAM_H_

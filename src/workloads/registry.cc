@@ -1,0 +1,83 @@
+#include "workloads/registry.h"
+
+#include "workloads/block_programs.h"
+#include "workloads/cs_programs.h"
+#include "workloads/demo_program.h"
+#include "workloads/prl_programs.h"
+#include "workloads/real_app_programs.h"
+#include "workloads/vpic_program.h"
+
+namespace kondo {
+
+std::vector<std::string> TableTwoProgramNames() {
+  return {"CS",  "CS1",   "CS2",   "CS3",   "CS5",  "PRL",
+          "LDC", "RDC",   "PRL3D", "LDC3D", "RDC3D"};
+}
+
+std::vector<std::string> MicroBenchmarkNames() {
+  return {"CS", "PRL", "LDC", "RDC"};
+}
+
+std::vector<std::string> AllProgramNames() {
+  std::vector<std::string> names = TableTwoProgramNames();
+  names.push_back("ARD");
+  names.push_back("MSI");
+  names.push_back("VPIC");
+  names.push_back("FIG4");
+  return names;
+}
+
+std::unique_ptr<Program> CreateProgram(std::string_view name, int64_t n) {
+  const int64_t n2 = n > 0 ? n : 128;
+  const int64_t n3 = n > 0 ? n : 64;
+  if (name == "CS") {
+    return std::make_unique<CsProgram>(CsVariant::kBase, n2);
+  }
+  if (name == "CS1") {
+    return std::make_unique<CsProgram>(CsVariant::kCs1, n2);
+  }
+  if (name == "CS2") {
+    return std::make_unique<CsProgram>(CsVariant::kCs2, n2);
+  }
+  if (name == "CS3") {
+    return std::make_unique<CsProgram>(CsVariant::kCs3, n2);
+  }
+  if (name == "CS5") {
+    return std::make_unique<CsProgram>(CsVariant::kCs5, n2);
+  }
+  if (name == "PRL") {
+    return std::make_unique<Prl2DProgram>(n2);
+  }
+  if (name == "PRL3D") {
+    return std::make_unique<Prl3DProgram>(n3);
+  }
+  if (name == "LDC") {
+    return std::make_unique<BlockProgram>(BlockCorners::kLeftDiagonal, 2, n2);
+  }
+  if (name == "RDC") {
+    return std::make_unique<BlockProgram>(BlockCorners::kRightDiagonal, 2,
+                                          n2);
+  }
+  if (name == "LDC3D") {
+    return std::make_unique<BlockProgram>(BlockCorners::kLeftDiagonal, 3, n3);
+  }
+  if (name == "RDC3D") {
+    return std::make_unique<BlockProgram>(BlockCorners::kRightDiagonal, 3,
+                                          n3);
+  }
+  if (name == "ARD") {
+    return std::make_unique<ArdProgram>();
+  }
+  if (name == "MSI") {
+    return std::make_unique<MsiProgram>();
+  }
+  if (name == "VPIC") {
+    return std::make_unique<VpicProgram>(n > 0 ? n : 32);
+  }
+  if (name == "FIG4") {
+    return std::make_unique<DemoMultiRegionProgram>(n2);
+  }
+  return nullptr;
+}
+
+}  // namespace kondo

@@ -1,0 +1,31 @@
+#ifndef KONDO_WORKLOADS_REGISTRY_H_
+#define KONDO_WORKLOADS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/program.h"
+
+namespace kondo {
+
+/// Names of the 11 micro-benchmark and synthetic programs of Table II, in
+/// the paper's presentation order.
+std::vector<std::string> TableTwoProgramNames();
+
+/// Names of the four H5bench micro-benchmarks (Fig. 7 groups).
+std::vector<std::string> MicroBenchmarkNames();
+
+/// All registered program names (Table II + ARD, MSI, FIG4).
+std::vector<std::string> AllProgramNames();
+
+/// Instantiates a program by name. `n` overrides the default array extent
+/// when positive (2-D programs default to 128, 3-D to 64; ARD/MSI have
+/// their own scaled defaults and ignore `n`). Returns nullptr for unknown
+/// names.
+std::unique_ptr<Program> CreateProgram(std::string_view name, int64_t n = 0);
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_REGISTRY_H_

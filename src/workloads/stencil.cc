@@ -1,0 +1,80 @@
+#include "workloads/stencil.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace kondo {
+
+Stencil CrossStencil2D() {
+  return Stencil{"cross2x2",
+                 {Index{0, 0}, Index{1, 0}, Index{0, 1}, Index{1, 1}}};
+}
+
+Stencil SolidRectStencil(int64_t w, int64_t h) {
+  Stencil stencil;
+  stencil.name = "rect" + std::to_string(w) + "x" + std::to_string(h);
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) {
+      stencil.offsets.push_back(Index{x, y});
+    }
+  }
+  return stencil;
+}
+
+Stencil SolidBoxStencil(int64_t w, int64_t h, int64_t d) {
+  Stencil stencil;
+  stencil.name = "box" + std::to_string(w) + "x" + std::to_string(h) + "x" +
+                 std::to_string(d);
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t z = 0; z < d; ++z) {
+        stencil.offsets.push_back(Index{x, y, z});
+      }
+    }
+  }
+  return stencil;
+}
+
+Stencil HoledRectStencil(int64_t w, int64_t h, int64_t hole) {
+  Stencil stencil;
+  stencil.name = "holed" + std::to_string(w) + "x" + std::to_string(h);
+  const int64_t hx0 = (w - hole) / 2;
+  const int64_t hy0 = (h - hole) / 2;
+  for (int64_t x = 0; x < w; ++x) {
+    for (int64_t y = 0; y < h; ++y) {
+      const bool in_hole =
+          x >= hx0 && x < hx0 + hole && y >= hy0 && y < hy0 + hole;
+      if (!in_hole) {
+        stencil.offsets.push_back(Index{x, y});
+      }
+    }
+  }
+  return stencil;
+}
+
+std::string RenderStencil2D(const Stencil& stencil) {
+  if (stencil.offsets.empty()) {
+    return "";
+  }
+  int64_t min_x = stencil.offsets[0][0], max_x = min_x;
+  int64_t min_y = stencil.offsets[0][1], max_y = min_y;
+  std::set<std::pair<int64_t, int64_t>> members;
+  for (const Index& offset : stencil.offsets) {
+    min_x = std::min(min_x, offset[0]);
+    max_x = std::max(max_x, offset[0]);
+    min_y = std::min(min_y, offset[1]);
+    max_y = std::max(max_y, offset[1]);
+    members.insert({offset[0], offset[1]});
+  }
+  std::ostringstream os;
+  for (int64_t x = min_x; x <= max_x; ++x) {
+    for (int64_t y = min_y; y <= max_y; ++y) {
+      os << (members.count({x, y}) > 0 ? '#' : '.');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace kondo

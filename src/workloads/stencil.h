@@ -1,0 +1,55 @@
+#ifndef KONDO_WORKLOADS_STENCIL_H_
+#define KONDO_WORKLOADS_STENCIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "array/index.h"
+#include "array/shape.h"
+
+namespace kondo {
+
+/// A stencil: a geometric neighbourhood of relative offsets applied at a
+/// base index (H5bench's data abstraction, Section V-A / Table I). The
+/// benchmark suite uses two stencil families — solid rectangles and
+/// rectangles with a hole — plus the cross used by the Listing-1 program.
+struct Stencil {
+  std::string name;
+  std::vector<Index> offsets;
+
+  /// Applies the stencil at `base`, invoking `fn` for each in-bounds index.
+  template <typename Fn>
+  void Apply(const Shape& shape, const Index& base, Fn&& fn) const {
+    for (const Index& offset : offsets) {
+      Index target = base;
+      for (int d = 0; d < base.rank(); ++d) {
+        target[d] = base[d] + offset[d];
+      }
+      if (shape.Contains(target)) {
+        fn(target);
+      }
+    }
+  }
+};
+
+/// The 2x2 cross stencil of the Listing-1 program: (0,0) (1,0) (0,1) (1,1).
+Stencil CrossStencil2D();
+
+/// Solid w x h rectangle anchored at the base index.
+Stencil SolidRectStencil(int64_t w, int64_t h);
+
+/// Solid w x h x d box anchored at the base index (3-D extension).
+Stencil SolidBoxStencil(int64_t w, int64_t h, int64_t d);
+
+/// w x h rectangle with a centred hole of `hole` cells per side removed —
+/// H5bench's "rectangular shape with a hole".
+Stencil HoledRectStencil(int64_t w, int64_t h, int64_t hole);
+
+/// ASCII rendering of a 2-D stencil (for the Table I bench): '#' marks
+/// member offsets, '.' holes, over the stencil's bounding box.
+std::string RenderStencil2D(const Stencil& stencil);
+
+}  // namespace kondo
+
+#endif  // KONDO_WORKLOADS_STENCIL_H_

@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "array/data_array.h"
+#include "array/kdf_file.h"
+#include "audit/auditor.h"
+#include "audit/event.h"
+#include "audit/event_log.h"
+#include "audit/interval_btree.h"
+#include "audit/offset_mapper.h"
+#include "audit/traced_file.h"
+#include "common/rng.h"
+
+namespace kondo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ----------------------------------------------------------------- Event --
+
+TEST(EventTest, ToStringMatchesDefinitionFour) {
+  Event event;
+  event.id = EventId{7, 3};
+  event.type = EventType::kPread;
+  event.offset = 100;
+  event.size = 16;
+  EXPECT_EQ(event.ToString(), "<pid=7,file=3,pread,100,16>");
+}
+
+TEST(EventTest, DataAccessClassification) {
+  Event event;
+  for (EventType type : {EventType::kRead, EventType::kPread,
+                         EventType::kMmap}) {
+    event.type = type;
+    EXPECT_TRUE(event.IsDataAccess());
+  }
+  for (EventType type : {EventType::kOpen, EventType::kWrite,
+                         EventType::kClose}) {
+    event.type = type;
+    EXPECT_FALSE(event.IsDataAccess());
+  }
+}
+
+// --------------------------------------------------------- IntervalBTree --
+
+TEST(IntervalBTreeTest, EmptyTree) {
+  IntervalBTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_FALSE(tree.AnyOverlap(0, 100));
+  tree.CheckInvariants();
+}
+
+TEST(IntervalBTreeTest, SingleInsertAndQuery) {
+  IntervalBTree tree;
+  tree.Insert(Interval{10, 20}, 1);
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_TRUE(tree.AnyOverlap(15, 16));
+  EXPECT_TRUE(tree.AnyOverlap(0, 11));
+  EXPECT_FALSE(tree.AnyOverlap(20, 30));
+  EXPECT_FALSE(tree.AnyOverlap(0, 10));
+  tree.CheckInvariants();
+}
+
+TEST(IntervalBTreeTest, DuplicateIntervalsAllowed) {
+  IntervalBTree tree;
+  tree.Insert(Interval{5, 10}, 1);
+  tree.Insert(Interval{5, 10}, 2);
+  EXPECT_EQ(tree.QueryOverlaps(5, 6).size(), 2u);
+  tree.CheckInvariants();
+}
+
+TEST(IntervalBTreeTest, SplitsGrowHeight) {
+  IntervalBTree tree(/*min_degree=*/2);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Interval{i * 10, i * 10 + 5}, i);
+    tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.size(), 100);
+  EXPECT_GT(tree.Height(), 2);
+}
+
+TEST(IntervalBTreeTest, VisitationOrderIsSorted) {
+  IntervalBTree tree(/*min_degree=*/2);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t begin = rng.UniformInt(0, 1000);
+    tree.Insert(Interval{begin, begin + rng.UniformInt(1, 20)}, i);
+  }
+  std::vector<IntervalBTree::Entry> all = tree.QueryOverlaps(-10, 2000);
+  ASSERT_EQ(all.size(), 200u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    const bool sorted =
+        all[i - 1].interval.begin < all[i].interval.begin ||
+        (all[i - 1].interval.begin == all[i].interval.begin &&
+         all[i - 1].interval.end <= all[i].interval.end);
+    EXPECT_TRUE(sorted) << i;
+  }
+}
+
+class IntervalBTreeDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalBTreeDegreeTest, RandomizedQueriesMatchBruteForce) {
+  const int min_degree = GetParam();
+  Rng rng(42 + static_cast<uint64_t>(min_degree));
+  IntervalBTree tree(min_degree);
+  std::vector<Interval> reference;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t begin = rng.UniformInt(0, 500);
+    const Interval interval{begin, begin + rng.UniformInt(1, 40)};
+    tree.Insert(interval, i);
+    reference.push_back(interval);
+  }
+  tree.CheckInvariants();
+  for (int q = 0; q < 100; ++q) {
+    const int64_t begin = rng.UniformInt(-10, 550);
+    const int64_t end = begin + rng.UniformInt(0, 60);
+    size_t expected = 0;
+    for (const Interval& interval : reference) {
+      // Half-open semantics: an empty query range overlaps nothing.
+      if (begin < end && interval.begin < end && interval.end > begin) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(tree.QueryOverlaps(begin, end).size(), expected)
+        << "q=[" << begin << "," << end << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, IntervalBTreeDegreeTest,
+                         ::testing::Values(2, 3, 8, 16, 64));
+
+TEST(IntervalBTreeTest, EmptyQueryRangeFindsNothing) {
+  IntervalBTree tree;
+  tree.Insert(Interval{0, 100}, 0);
+  EXPECT_TRUE(tree.QueryOverlaps(50, 50).empty());
+}
+
+// -------------------------------------------------------------- EventLog --
+
+Event MakeRead(int64_t pid, int64_t file, int64_t offset, int64_t size) {
+  Event event;
+  event.id = EventId{pid, file};
+  event.type = EventType::kRead;
+  event.offset = offset;
+  event.size = size;
+  return event;
+}
+
+TEST(EventLogTest, PaperWorkedExample) {
+  // e1(P1,R,0,110), e2(P2,R,70,30), e3(P1,R,130,20), e4(P1,R,90,30)
+  // -> accessed offsets (0,120) and (130,150).
+  EventLog log;
+  log.Record(MakeRead(1, 1, 0, 110));
+  log.Record(MakeRead(2, 1, 70, 30));
+  log.Record(MakeRead(1, 1, 130, 20));
+  log.Record(MakeRead(1, 1, 90, 30));
+  EXPECT_EQ(log.AccessedRanges(1).ToString(), "[0,120) [130,150)");
+}
+
+TEST(EventLogTest, PerProcessRangesAreSeparate) {
+  EventLog log;
+  log.Record(MakeRead(1, 1, 0, 110));
+  log.Record(MakeRead(2, 1, 70, 30));
+  log.Record(MakeRead(1, 1, 130, 20));
+  log.Record(MakeRead(1, 1, 90, 30));
+  EXPECT_EQ(log.AccessedRangesForProcess(1, 1).ToString(),
+            "[0,120) [130,150)");
+  EXPECT_EQ(log.AccessedRangesForProcess(2, 1).ToString(), "[70,100)");
+  EXPECT_TRUE(log.AccessedRangesForProcess(3, 1).empty());
+}
+
+TEST(EventLogTest, PerProcessLookupReturnsEvents) {
+  EventLog log;
+  log.Record(MakeRead(1, 1, 0, 50));
+  log.Record(MakeRead(1, 1, 100, 50));
+  log.Record(MakeRead(2, 1, 10, 5));
+  const std::vector<Event> hits = log.LookupProcessRange(1, 1, 40, 110);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].offset, 0);
+  EXPECT_EQ(hits[1].offset, 100);
+}
+
+TEST(EventLogTest, FilesAreIndependent) {
+  EventLog log;
+  log.Record(MakeRead(1, 1, 0, 10));
+  log.Record(MakeRead(1, 2, 50, 10));
+  EXPECT_EQ(log.AccessedRanges(1).ToString(), "[0,10)");
+  EXPECT_EQ(log.AccessedRanges(2).ToString(), "[50,60)");
+  EXPECT_TRUE(log.AccessedRanges(3).empty());
+}
+
+TEST(EventLogTest, TracksWrites) {
+  EventLog log;
+  EXPECT_FALSE(log.HasWrites(1));
+  Event write = MakeRead(1, 1, 0, 10);
+  write.type = EventType::kWrite;
+  log.Record(write);
+  EXPECT_TRUE(log.HasWrites(1));
+  EXPECT_FALSE(log.HasWrites(2));
+  // Writes do not count as accessed read ranges.
+  EXPECT_TRUE(log.AccessedRanges(1).empty());
+}
+
+TEST(EventLogTest, NonDataEventsAreRecordedButNotIndexed) {
+  EventLog log;
+  Event open = MakeRead(1, 1, 0, 0);
+  open.type = EventType::kOpen;
+  log.Record(open);
+  EXPECT_EQ(log.NumEvents(), 1);
+  EXPECT_TRUE(log.AccessedRanges(1).empty());
+  EXPECT_EQ(log.ProcessIndex(1, 1), nullptr);
+}
+
+TEST(EventLogTest, ZeroSizeReadIgnoredByIndex) {
+  EventLog log;
+  log.Record(MakeRead(1, 1, 42, 0));
+  EXPECT_TRUE(log.AccessedRanges(1).empty());
+}
+
+TEST(EventLogTest, ClearResetsEverything) {
+  EventLog log;
+  log.Record(MakeRead(1, 1, 0, 10));
+  log.Clear();
+  EXPECT_EQ(log.NumEvents(), 0);
+  EXPECT_TRUE(log.AccessedRanges(1).empty());
+}
+
+TEST(EventLogTest, ManyEventsBuildDeepIndex) {
+  EventLog log;
+  Rng rng(3);
+  IntervalSet reference;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t offset = rng.UniformInt(0, 100000);
+    const int64_t size = rng.UniformInt(1, 64);
+    log.Record(MakeRead(1, 1, offset, size));
+    reference.Add(offset, offset + size);
+  }
+  EXPECT_EQ(log.AccessedRanges(1), reference);
+  const IntervalBTree* index = log.ProcessIndex(1, 1);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->size(), 3000);
+  index->CheckInvariants();
+}
+
+// ---------------------------------------------------------- OffsetMapper --
+
+TEST(OffsetMapperTest, RangesToIndicesRowMajor) {
+  RowMajorLayout layout(Shape{4, 4}, DType::kFloat64);
+  OffsetMapper mapper(&layout, /*payload_offset=*/24);
+  IntervalSet ranges;
+  ranges.Add(24, 24 + 3 * 8);  // First three elements.
+  const IndexSet indices = mapper.IndicesForRanges(ranges);
+  EXPECT_EQ(indices.size(), 3u);
+  EXPECT_TRUE(indices.Contains(Index{0, 0}));
+  EXPECT_TRUE(indices.Contains(Index{0, 2}));
+}
+
+TEST(OffsetMapperTest, HeaderBytesMapToNothing) {
+  RowMajorLayout layout(Shape{4, 4}, DType::kFloat64);
+  OffsetMapper mapper(&layout, 24);
+  IntervalSet ranges;
+  ranges.Add(0, 24);  // Pure header read.
+  EXPECT_TRUE(mapper.IndicesForRanges(ranges).empty());
+}
+
+TEST(OffsetMapperTest, PartialElementCountsAsAccessed) {
+  RowMajorLayout layout(Shape{4, 4}, DType::kFloat64);
+  OffsetMapper mapper(&layout, 0);
+  IntervalSet ranges;
+  ranges.Add(4, 12);  // Second half of element 0, first half of element 1.
+  const IndexSet indices = mapper.IndicesForRanges(ranges);
+  EXPECT_EQ(indices.size(), 2u);
+}
+
+TEST(OffsetMapperTest, ChunkedPaddingSkipped) {
+  ChunkedLayout layout(Shape{3, 3}, DType::kFloat64, {2, 2});
+  OffsetMapper mapper(&layout, 0);
+  IntervalSet ranges;
+  ranges.Add(0, layout.PayloadBytes());  // Whole payload incl. padding.
+  EXPECT_EQ(mapper.IndicesForRanges(ranges).size(), 9u);
+}
+
+TEST(OffsetMapperTest, RoundTripIndexSet) {
+  ChunkedLayout layout(Shape{6, 6}, DType::kFloat128, {4, 4});
+  OffsetMapper mapper(&layout, 100);
+  IndexSet indices(layout.shape());
+  indices.Insert(Index{0, 0});
+  indices.Insert(Index{5, 5});
+  indices.Insert(Index{2, 3});
+  const IntervalSet ranges = mapper.RangesForIndices(indices);
+  const IndexSet back = mapper.IndicesForRanges(ranges);
+  EXPECT_EQ(back.size(), indices.size());
+  indices.ForEach([&back](const Index& index) {
+    EXPECT_TRUE(back.Contains(index));
+  });
+}
+
+// ------------------------------------------------------------ TracedFile --
+
+class TracedFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DataArray array(Shape{8, 8}, DType::kFloat64);
+    array.FillWith([](const Index& index) {
+      return static_cast<double>(index[0] * 8 + index[1]);
+    });
+    path_ = TempPath("traced.kdf");
+    ASSERT_TRUE(WriteKdfFile(path_, array).ok());
+  }
+
+  std::string path_;
+};
+
+TEST_F(TracedFileTest, OpenLogsOpenEvent) {
+  EventLog log;
+  StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 9, &log);
+  ASSERT_TRUE(file.ok());
+  ASSERT_GE(log.NumEvents(), 1);
+  EXPECT_EQ(log.events()[0].type, EventType::kOpen);
+  EXPECT_EQ(log.events()[0].id.file_id, 9);
+}
+
+TEST_F(TracedFileTest, ReadElementLogsPreadWithElementRange) {
+  EventLog log;
+  StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 1, &log);
+  ASSERT_TRUE(file.ok());
+  StatusOr<double> value = file->ReadElement(Index{2, 3});
+  ASSERT_TRUE(value.ok());
+  EXPECT_DOUBLE_EQ(*value, 19.0);
+  const Event& event = log.events().back();
+  EXPECT_EQ(event.type, EventType::kPread);
+  EXPECT_EQ(event.size, 8);
+  // Offset = header + linear(2,3)*8 = 24 + 19*8.
+  EXPECT_EQ(event.offset, 24 + 19 * 8);
+}
+
+TEST_F(TracedFileTest, CloseIsIdempotentAndLogged) {
+  EventLog log;
+  {
+    StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 1, &log);
+    ASSERT_TRUE(file.ok());
+    file->Close();
+    file->Close();
+  }
+  int close_events = 0;
+  for (const Event& event : log.events()) {
+    if (event.type == EventType::kClose) {
+      ++close_events;
+    }
+  }
+  EXPECT_EQ(close_events, 1);
+}
+
+TEST_F(TracedFileTest, DestructorLogsClose) {
+  EventLog log;
+  {
+    StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 1, &log);
+    ASSERT_TRUE(file.ok());
+  }
+  EXPECT_EQ(log.events().back().type, EventType::kClose);
+}
+
+TEST_F(TracedFileTest, NullLogDisablesAuditing) {
+  StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 1, nullptr);
+  ASSERT_TRUE(file.ok());
+  StatusOr<double> value = file->ReadElement(Index{0, 1});
+  ASSERT_TRUE(value.ok());
+  EXPECT_DOUBLE_EQ(*value, 1.0);
+  EXPECT_EQ(file->access_count(), 1);
+}
+
+TEST_F(TracedFileTest, MultiProcessEventsViaSetPid) {
+  EventLog log;
+  StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 1, &log);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->ReadElement(Index{0, 0}).ok());
+  file->SetPid(2);
+  ASSERT_TRUE(file->ReadElement(Index{0, 1}).ok());
+  EXPECT_FALSE(log.AccessedRangesForProcess(1, 1).empty());
+  EXPECT_FALSE(log.AccessedRangesForProcess(2, 1).empty());
+}
+
+TEST_F(TracedFileTest, TouchMmapLogsWithoutReading) {
+  EventLog log;
+  StatusOr<TracedFile> file = TracedFile::Open(path_, 1, 1, &log);
+  ASSERT_TRUE(file.ok());
+  file->TouchMmap(24, 64);
+  EXPECT_EQ(log.AccessedRanges(1).ToString(), "[24,88)");
+}
+
+// --------------------------------------------------------------- Auditor --
+
+TEST_F(TracedFileTest, RunAuditedRecoversIndexSubset) {
+  StatusOr<AuditReport> report =
+      RunAudited(path_, /*pid=*/1, [](TracedFile& file) {
+        KONDO_RETURN_IF_ERROR(file.ReadElement(Index{1, 1}).status());
+        KONDO_RETURN_IF_ERROR(file.ReadElement(Index{1, 2}).status());
+        KONDO_RETURN_IF_ERROR(file.ReadElement(Index{1, 1}).status());
+        return OkStatus();
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accessed_indices.size(), 2u);
+  EXPECT_TRUE(report->accessed_indices.Contains(Index{1, 1}));
+  EXPECT_TRUE(report->accessed_indices.Contains(Index{1, 2}));
+  EXPECT_FALSE(report->saw_writes);
+  // Adjacent elements coalesce into one byte range.
+  EXPECT_EQ(report->accessed_ranges.size(), 1u);
+}
+
+TEST_F(TracedFileTest, RunAuditedPropagatesBodyError) {
+  StatusOr<AuditReport> report = RunAudited(
+      path_, 1, [](TracedFile&) { return InternalError("boom"); });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace kondo

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baselines/afl_fuzzer.h"
+#include "baselines/brute_force.h"
+#include "baselines/invariant_baseline.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "workloads/registry.h"
+
+namespace kondo {
+namespace {
+
+// ------------------------------------------------------------ BruteForce --
+
+TEST(BruteForceTest, ExhaustionReachesRecallOne) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 16);
+  BruteForceConfig config;  // Unlimited budget.
+  const BruteForceResult result = RunBruteForce(*program, config);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.runs, 256);
+  const AccuracyMetrics metrics =
+      ComputeAccuracy(program->GroundTruth(), result.discovered);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+}
+
+TEST(BruteForceTest, MaxRunsBudgetRespected) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  BruteForceConfig config;
+  config.max_runs = 100;
+  const BruteForceResult result = RunBruteForce(*program, config);
+  EXPECT_EQ(result.runs, 100);
+  EXPECT_FALSE(result.exhausted);
+}
+
+TEST(BruteForceTest, PrecisionAlwaysOne) {
+  std::unique_ptr<Program> program = CreateProgram("PRL", 32);
+  BruteForceConfig config;
+  config.max_runs = 50;
+  const BruteForceResult result = RunBruteForce(*program, config);
+  // BF never reports unaccessed indices (Section V-D2).
+  EXPECT_TRUE(result.discovered.IsSubsetOf(program->GroundTruth()));
+}
+
+TEST(BruteForceTest, ShuffledOrderIsSeedDeterministic) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  BruteForceConfig config;
+  config.max_runs = 64;
+  config.rng_seed = 5;
+  const BruteForceResult a = RunBruteForce(*program, config);
+  const BruteForceResult b = RunBruteForce(*program, config);
+  EXPECT_EQ(a.discovered.size(), b.discovered.size());
+  config.rng_seed = 6;
+  const BruteForceResult c = RunBruteForce(*program, config);
+  // Different permutation ⇒ (almost surely) different partial coverage.
+  EXPECT_NE(a.discovered.size(), c.discovered.size());
+}
+
+TEST(BruteForceTest, LexicographicOrderCoversPrefix) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 16);
+  BruteForceConfig config;
+  config.shuffled = false;
+  config.max_runs = 16;  // Valuations (0,0) .. (0,15): stepX=0 column.
+  const BruteForceResult result = RunBruteForce(*program, config);
+  // stepX=0 walks read column x∈{0,1}: all useful, subsets of the truth.
+  EXPECT_FALSE(result.discovered.empty());
+  EXPECT_TRUE(result.discovered.Contains(Index{0, 0}));
+}
+
+TEST(BruteForceTest, TimeBudgetStopsEarly) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 128);
+  BruteForceConfig config;
+  config.max_seconds = 0.02;
+  const BruteForceResult result = RunBruteForce(*program, config);
+  EXPECT_LE(result.runs, 16384);
+  EXPECT_GT(result.runs, 0);
+}
+
+// ------------------------------------------------------------------- AFL --
+
+TEST(AflFuzzerTest, ParsesWellFormedInput) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflFuzzer fuzzer(*program, AflConfig{});
+  const std::optional<ParamValue> v = fuzzer.ParseInput("3 7");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ((*v)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*v)[1], 7.0);
+}
+
+TEST(AflFuzzerTest, RejectsMalformedInput) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflFuzzer fuzzer(*program, AflConfig{});
+  EXPECT_FALSE(fuzzer.ParseInput("").has_value());
+  EXPECT_FALSE(fuzzer.ParseInput("3").has_value());        // Arity.
+  EXPECT_FALSE(fuzzer.ParseInput("3 7 9").has_value());    // Arity.
+  EXPECT_FALSE(fuzzer.ParseInput("3 x").has_value());      // Garbage.
+  EXPECT_FALSE(fuzzer.ParseInput("3.5 7").has_value());    // Non-integer.
+}
+
+TEST(AflFuzzerTest, ParsesNegativeAndPaddedIntegers) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflFuzzer fuzzer(*program, AflConfig{});
+  const std::optional<ParamValue> v = fuzzer.ParseInput("  -4   009 ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ((*v)[0], -4.0);
+  EXPECT_DOUBLE_EQ((*v)[1], 9.0);
+}
+
+TEST(AflFuzzerTest, CampaignFindsCoverage) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflConfig config;
+  config.max_seconds = 0.0;
+  config.max_execs = 3000;
+  config.exec_overhead_micros = 0;
+  config.rng_seed = 3;
+  AflFuzzer fuzzer(*program, config);
+  const AflResult result = fuzzer.Run();
+  EXPECT_EQ(result.execs, 3000);
+  EXPECT_GT(result.valid_execs, 0);
+  EXPECT_GT(result.coverage.size(), 0u);
+  EXPECT_GE(result.queue_size, 2);
+}
+
+TEST(AflFuzzerTest, CoverageIsSubsetOfGroundTruth) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflConfig config;
+  config.max_execs = 2000;
+  config.max_seconds = 0.0;
+  config.exec_overhead_micros = 0;
+  const AflResult result = AflFuzzer(*program, config).Run();
+  // AFL reports raw covered indices -> precision 1 by construction.
+  EXPECT_TRUE(result.coverage.IsSubsetOf(program->GroundTruth()));
+}
+
+TEST(AflFuzzerTest, ManyExecsAreWasted) {
+  // The paper attributes AFL's low recall to mutations that produce
+  // non-integer or duplicate inputs; most executions should be invalid.
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflConfig config;
+  config.max_execs = 3000;
+  config.max_seconds = 0.0;
+  config.exec_overhead_micros = 0;
+  const AflResult result = AflFuzzer(*program, config).Run();
+  EXPECT_LT(result.valid_execs, result.execs);
+}
+
+TEST(AflFuzzerTest, ExecOverheadSlowsCampaign) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflConfig fast;
+  fast.max_seconds = 0.05;
+  fast.exec_overhead_micros = 0;
+  AflConfig slow = fast;
+  slow.exec_overhead_micros = 200;
+  const AflResult fast_result = AflFuzzer(*program, fast).Run();
+  const AflResult slow_result = AflFuzzer(*program, slow).Run();
+  EXPECT_GT(fast_result.execs, slow_result.execs * 2);
+}
+
+TEST(AflFuzzerTest, DeterministicUnderSeed) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  AflConfig config;
+  config.max_execs = 500;
+  config.max_seconds = 0.0;
+  config.exec_overhead_micros = 0;
+  config.rng_seed = 11;
+  const AflResult a = AflFuzzer(*program, config).Run();
+  const AflResult b = AflFuzzer(*program, config).Run();
+  EXPECT_EQ(a.coverage.size(), b.coverage.size());
+  EXPECT_EQ(a.valid_execs, b.valid_execs);
+  EXPECT_EQ(a.queue_size, b.queue_size);
+}
+
+// --------------------------------------------------- invariant baseline --
+
+IndexSet PointsOf(const Shape& shape, std::initializer_list<Index> indices) {
+  IndexSet set(shape);
+  for (const Index& index : indices) {
+    set.Insert(index);
+  }
+  return set;
+}
+
+TEST(OctagonInvariantTest, IntervalBoundsAreTight) {
+  const Shape shape{32, 32};
+  const IndexSet points =
+      PointsOf(shape, {Index{2, 5}, Index{7, 9}, Index{4, 6}});
+  const OctagonInvariant invariant = OctagonInvariant::Infer(points);
+  EXPECT_TRUE(invariant.Satisfies(Index{2, 5}));
+  EXPECT_TRUE(invariant.Satisfies(Index{7, 9}));
+  EXPECT_FALSE(invariant.Satisfies(Index{1, 5}));   // x0 below lo.
+  EXPECT_FALSE(invariant.Satisfies(Index{8, 9}));   // x0 above hi.
+  EXPECT_FALSE(invariant.Satisfies(Index{2, 10}));  // x1 above hi.
+}
+
+TEST(OctagonInvariantTest, DifferenceBoundsCutCorners) {
+  const Shape shape{32, 32};
+  // Diagonal points: x0 - x1 == 0 everywhere.
+  const IndexSet points =
+      PointsOf(shape, {Index{1, 1}, Index{5, 5}, Index{9, 9}});
+  const OctagonInvariant invariant = OctagonInvariant::Infer(points);
+  EXPECT_TRUE(invariant.Satisfies(Index{3, 3}));
+  // Inside the interval box but off the diagonal: rejected by diff bound.
+  EXPECT_FALSE(invariant.Satisfies(Index{3, 7}));
+  // Sum bound rejects points with x0 + x1 outside [2, 18].
+  EXPECT_FALSE(invariant.Satisfies(Index{1, 0}));
+}
+
+TEST(OctagonInvariantTest, RasterizeContainsAllObservedPoints) {
+  const Shape shape{64, 64};
+  IndexSet points(shape);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    points.Insert(Index{rng.UniformInt(10, 40), rng.UniformInt(10, 40)});
+  }
+  const OctagonInvariant invariant = OctagonInvariant::Infer(points);
+  const IndexSet raster = invariant.Rasterize(shape);
+  EXPECT_TRUE(points.IsSubsetOf(raster));
+}
+
+TEST(OctagonInvariantTest, CannotExpressDisjointRegions) {
+  // Two distant blobs: the conjunctive invariant covers the gap between
+  // them — the §VII limitation Kondo's disjunctive hulls avoid.
+  const Shape shape{128, 128};
+  IndexSet points(shape);
+  for (int64_t x = 0; x <= 8; ++x) {
+    for (int64_t y = 0; y <= 8; ++y) {
+      points.Insert(Index{x, y});
+      points.Insert(Index{x + 100, y + 100});
+    }
+  }
+  const OctagonInvariant invariant = OctagonInvariant::Infer(points);
+  EXPECT_TRUE(invariant.Satisfies(Index{54, 54}));  // Middle of the gap.
+  const IndexSet raster = invariant.Rasterize(shape);
+  EXPECT_GT(raster.size(), points.size() * 3);
+}
+
+TEST(OctagonInvariantTest, ThreeDimensional) {
+  const Shape shape{16, 16, 16};
+  const IndexSet points =
+      PointsOf(shape, {Index{1, 2, 3}, Index{4, 5, 6}, Index{2, 3, 4}});
+  const OctagonInvariant invariant = OctagonInvariant::Infer(points);
+  EXPECT_TRUE(invariant.Satisfies(Index{2, 3, 4}));
+  EXPECT_FALSE(invariant.Satisfies(Index{4, 2, 3}));  // Violates x0 - x1.
+  EXPECT_FALSE(invariant.Rasterize(shape).empty());
+}
+
+TEST(OctagonInvariantTest, ToStringListsConstraints) {
+  const Shape shape{16, 16};
+  const IndexSet points = PointsOf(shape, {Index{1, 2}, Index{3, 4}});
+  const std::string rendered =
+      OctagonInvariant::Infer(points).ToString();
+  EXPECT_NE(rendered.find("1 <= x0 <= 3"), std::string::npos);
+  EXPECT_NE(rendered.find("x0 - x1"), std::string::npos);
+  EXPECT_NE(rendered.find("x0 + x1"), std::string::npos);
+}
+
+TEST(OctagonInvariantTest, SinglePointIsExact) {
+  const Shape shape{8, 8};
+  const IndexSet points = PointsOf(shape, {Index{3, 5}});
+  const OctagonInvariant invariant = OctagonInvariant::Infer(points);
+  const IndexSet raster = invariant.Rasterize(shape);
+  EXPECT_EQ(raster.size(), 1u);
+  EXPECT_TRUE(raster.Contains(Index{3, 5}));
+}
+
+}  // namespace
+}  // namespace kondo

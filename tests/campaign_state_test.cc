@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/debloat_test.h"
+#include "fuzz/campaign_state.h"
+#include "workloads/registry.h"
+
+namespace kondo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+CampaignState SmallCampaign() {
+  CampaignState state;
+  state.shape = Shape{16, 16};
+  state.discovered = IndexSet(state.shape);
+  state.discovered.Insert(Index{1, 2});
+  state.discovered.Insert(Index{15, 15});
+  state.seeds.push_back(Seed{{3.0, 4.0}, true});
+  state.seeds.push_back(Seed{{100.0, -2.5}, false});
+  return state;
+}
+
+TEST(CampaignStateTest, RoundTrip) {
+  const std::string path = TempPath("campaign.kcs");
+  ASSERT_TRUE(SaveCampaignState(path, SmallCampaign()).ok());
+  StatusOr<CampaignState> loaded = LoadCampaignState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->shape, (Shape{16, 16}));
+  ASSERT_EQ(loaded->seeds.size(), 2u);
+  EXPECT_TRUE(loaded->seeds[0].useful);
+  EXPECT_DOUBLE_EQ(loaded->seeds[0].value[1], 4.0);
+  EXPECT_FALSE(loaded->seeds[1].useful);
+  EXPECT_DOUBLE_EQ(loaded->seeds[1].value[1], -2.5);
+  EXPECT_EQ(loaded->discovered.size(), 2u);
+  EXPECT_TRUE(loaded->discovered.Contains(Index{1, 2}));
+}
+
+TEST(CampaignStateTest, DoublePrecisionPreserved) {
+  CampaignState state = SmallCampaign();
+  state.seeds[0].value = {0.1234567890123456789, 1e-300};
+  const std::string path = TempPath("precise.kcs");
+  ASSERT_TRUE(SaveCampaignState(path, state).ok());
+  StatusOr<CampaignState> loaded = LoadCampaignState(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->seeds[0].value[0], state.seeds[0].value[0]);
+  EXPECT_DOUBLE_EQ(loaded->seeds[0].value[1], 1e-300);
+}
+
+TEST(CampaignStateTest, RejectsGarbage) {
+  const std::string path = TempPath("garbage.kcs");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not a campaign\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCampaignState(path).ok());
+}
+
+TEST(CampaignStateTest, RejectsOutOfRangeIds) {
+  const std::string path = TempPath("badid.kcs");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("KCS1 2 4 4\nI 99\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadCampaignState(path).ok());
+}
+
+TEST(CampaignStateTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadCampaignState(TempPath("absent.kcs")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CampaignStateTest, MergeUnionsDiscoveryAndConcatenatesSeeds) {
+  CampaignState base = SmallCampaign();
+  CampaignState extra;
+  extra.shape = base.shape;
+  extra.discovered = IndexSet(extra.shape);
+  extra.discovered.Insert(Index{1, 2});  // Duplicate.
+  extra.discovered.Insert(Index{0, 0});  // New.
+  extra.seeds.push_back(Seed{{7.0, 7.0}, true});
+  MergeCampaignState(&base, extra);
+  EXPECT_EQ(base.seeds.size(), 3u);
+  EXPECT_EQ(base.discovered.size(), 3u);
+}
+
+TEST(CampaignStateTest, ResumedCampaignExtendsDiscovery) {
+  // A short campaign persisted, then a second campaign merged in: the
+  // combined state discovers at least as much as either alone.
+  const std::unique_ptr<Program> program = CreateProgram("CS", 64);
+  const DebloatTestFn test = MakeDebloatTest(*program);
+
+  FuzzConfig short_config;
+  short_config.max_iter = 150;
+  FuzzSchedule first(program->param_space(), program->data_shape(),
+                     short_config, 1);
+  CampaignState state =
+      MakeCampaignState(program->data_shape(), first.Run(test));
+  const size_t after_first = state.discovered.size();
+
+  const std::string path = TempPath("resume.kcs");
+  ASSERT_TRUE(SaveCampaignState(path, state).ok());
+  StatusOr<CampaignState> reloaded = LoadCampaignState(path);
+  ASSERT_TRUE(reloaded.ok());
+
+  FuzzSchedule second(program->param_space(), program->data_shape(),
+                      short_config, 2);
+  MergeCampaignState(&*reloaded,
+                     MakeCampaignState(program->data_shape(),
+                                       second.Run(test)));
+  EXPECT_GE(reloaded->discovered.size(), after_first);
+  EXPECT_GE(reloaded->seeds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace kondo

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "array/index_set.h"
+#include "carve/carve_config.h"
+#include "carve/carved_subset.h"
+#include "carve/carver.h"
+#include "common/rng.h"
+#include "geom/hull.h"
+
+namespace kondo {
+namespace {
+
+IndexSet FilledRect(const Shape& shape, int64_t x0, int64_t y0, int64_t x1,
+                    int64_t y1) {
+  IndexSet set(shape);
+  for (int64_t x = x0; x <= x1; ++x) {
+    for (int64_t y = y0; y <= y1; ++y) {
+      set.Insert(Index{x, y});
+    }
+  }
+  return set;
+}
+
+// ------------------------------------------------------------- CLOSE(.) --
+
+TEST(CloseTest, BoundaryOrCenterMode) {
+  CarveConfig config;
+  config.center_d_thresh = 20.0;
+  config.boundary_d_thresh = 10.0;
+  config.close_mode = CloseMode::kBoundaryOrCenter;
+  Carver carver(config);
+
+  const Hull a = Hull::FromIndices({Index{0, 0}, Index{4, 4}}, 2);
+  const Hull near = Hull::FromIndices({Index{8, 8}, Index{12, 12}}, 2);
+  const Hull far = Hull::FromIndices({Index{100, 100}, Index{104, 104}}, 2);
+  EXPECT_TRUE(carver.Close(a, near));   // Boundary distance ~5.7.
+  EXPECT_FALSE(carver.Close(a, far));   // Both distances huge.
+}
+
+TEST(CloseTest, CenterAloneSufficesInOrMode) {
+  CarveConfig config;
+  config.center_d_thresh = 200.0;
+  config.boundary_d_thresh = 1.0;
+  config.close_mode = CloseMode::kBoundaryOrCenter;
+  Carver carver(config);
+  // Far-apart boundaries but centres within the generous centre threshold:
+  // the big-hull-absorbs-small-hull case the paper describes.
+  const Hull a = Hull::FromIndices({Index{0, 0}, Index{40, 40}}, 2);
+  const Hull b = Hull::FromIndices({Index{80, 80}, Index{90, 90}}, 2);
+  EXPECT_TRUE(carver.Close(a, b));
+}
+
+TEST(CloseTest, AndModeRequiresBoth) {
+  CarveConfig config;
+  config.center_d_thresh = 200.0;
+  config.boundary_d_thresh = 1.0;
+  config.close_mode = CloseMode::kBoundaryAndCenter;
+  Carver carver(config);
+  const Hull a = Hull::FromIndices({Index{0, 0}, Index{40, 40}}, 2);
+  const Hull b = Hull::FromIndices({Index{80, 80}, Index{90, 90}}, 2);
+  EXPECT_FALSE(carver.Close(a, b));
+}
+
+// --------------------------------------------------------------- Carver --
+
+TEST(CarverTest, SingleBlobBecomesOneHull) {
+  const Shape shape{64, 64};
+  const IndexSet points = FilledRect(shape, 10, 10, 40, 40);
+  Carver carver(CarveConfig{});
+  CarveStats stats;
+  const CarvedSubset carved = carver.Carve(points, &stats);
+  EXPECT_EQ(carved.num_hulls(), 1);
+  EXPECT_GT(stats.initial_hulls, 1);
+  EXPECT_EQ(stats.merge_operations, stats.initial_hulls - 1);
+  EXPECT_EQ(stats.final_hulls, 1);
+}
+
+TEST(CarverTest, DistantBlobsStaySeparate) {
+  const Shape shape{128, 128};
+  IndexSet points = FilledRect(shape, 0, 0, 15, 15);
+  points.Union(FilledRect(shape, 100, 100, 115, 115));
+  Carver carver(CarveConfig{});
+  const CarvedSubset carved = carver.Carve(points);
+  EXPECT_EQ(carved.num_hulls(), 2);
+}
+
+TEST(CarverTest, SeparateBlobsDoNotLeakIntoGap) {
+  const Shape shape{128, 128};
+  IndexSet points = FilledRect(shape, 0, 0, 15, 15);
+  points.Union(FilledRect(shape, 100, 100, 115, 115));
+  Carver carver(CarveConfig{});
+  const IndexSet raster = carver.Carve(points).Rasterize();
+  EXPECT_EQ(raster.size(), points.size());
+  EXPECT_FALSE(raster.Contains(Index{50, 50}));
+}
+
+TEST(CarverTest, SandwichedGapIsRecovered) {
+  // Two rectangles separated by a thin unobserved gap: merging recovers the
+  // sandwiched indices (the Fig. 6 motivation).
+  const Shape shape{64, 64};
+  IndexSet points = FilledRect(shape, 0, 0, 20, 9);
+  points.Union(FilledRect(shape, 0, 13, 20, 22));
+  Carver carver(CarveConfig{});
+  const CarvedSubset carved = carver.Carve(points);
+  EXPECT_EQ(carved.num_hulls(), 1);
+  const IndexSet raster = carved.Rasterize();
+  EXPECT_TRUE(raster.Contains(Index{10, 11}));  // Inside the gap.
+}
+
+TEST(CarverTest, EmptyInputYieldsNoHulls) {
+  Carver carver(CarveConfig{});
+  CarveStats stats;
+  const CarvedSubset carved = carver.Carve(IndexSet(Shape{32, 32}), &stats);
+  EXPECT_EQ(carved.num_hulls(), 0);
+  EXPECT_EQ(stats.num_cells, 0);
+  EXPECT_TRUE(carved.Rasterize().empty());
+}
+
+TEST(CarverTest, SinglePointInput) {
+  IndexSet points(Shape{32, 32});
+  points.Insert(Index{5, 7});
+  Carver carver(CarveConfig{});
+  const CarvedSubset carved = carver.Carve(points);
+  EXPECT_EQ(carved.num_hulls(), 1);
+  const IndexSet raster = carved.Rasterize();
+  EXPECT_EQ(raster.size(), 1u);
+  EXPECT_TRUE(raster.Contains(Index{5, 7}));
+}
+
+TEST(CarverTest, RasterizeIsSupersetOfInputProperty) {
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Shape shape{96, 96};
+    IndexSet points(shape);
+    const int clusters = static_cast<int>(rng.UniformInt(1, 4));
+    for (int c = 0; c < clusters; ++c) {
+      const int64_t cx = rng.UniformInt(10, 85);
+      const int64_t cy = rng.UniformInt(10, 85);
+      for (int i = 0; i < 40; ++i) {
+        points.Insert(Index{cx + rng.UniformInt(-8, 8),
+                            cy + rng.UniformInt(-8, 8)});
+      }
+    }
+    Carver carver(CarveConfig{});
+    const IndexSet raster = carver.Carve(points).Rasterize();
+    EXPECT_TRUE(points.IsSubsetOf(raster)) << "trial=" << trial;
+  }
+}
+
+TEST(CarverTest, ThreeDimensionalCarving) {
+  const Shape shape{32, 32, 32};
+  IndexSet points(shape);
+  for (int64_t x = 4; x <= 12; ++x) {
+    for (int64_t y = 4; y <= 12; ++y) {
+      for (int64_t z = 4; z <= 12; ++z) {
+        points.Insert(Index{x, y, z});
+      }
+    }
+  }
+  Carver carver(CarveConfig{});
+  const CarvedSubset carved = carver.Carve(points);
+  EXPECT_EQ(carved.num_hulls(), 1);
+  EXPECT_EQ(carved.Rasterize().size(), points.size());
+}
+
+TEST(CarverTest, CellSizeControlsInitialHulls) {
+  const Shape shape{64, 64};
+  const IndexSet points = FilledRect(shape, 0, 0, 31, 31);
+  CarveConfig coarse;
+  coarse.cell_size = 32;
+  CarveStats coarse_stats;
+  Carver(coarse).Carve(points, &coarse_stats);
+  CarveConfig fine;
+  fine.cell_size = 8;
+  CarveStats fine_stats;
+  Carver(fine).Carve(points, &fine_stats);
+  EXPECT_EQ(coarse_stats.initial_hulls, 1);
+  EXPECT_EQ(fine_stats.initial_hulls, 16);
+}
+
+TEST(CarverTest, ThresholdZeroDisablesMerging) {
+  const Shape shape{64, 64};
+  const IndexSet points = FilledRect(shape, 0, 0, 31, 31);
+  CarveConfig config;
+  config.cell_size = 16;
+  config.center_d_thresh = 0.0;
+  config.boundary_d_thresh = 0.0;
+  CarveStats stats;
+  const CarvedSubset carved = Carver(config).Carve(points, &stats);
+  // Adjacent cell hulls have vertex distance 1 > 0: no merges.
+  EXPECT_EQ(stats.merge_operations, 0);
+  EXPECT_EQ(carved.num_hulls(), 4);
+}
+
+// ---------------------------------------------------------- CarvedSubset --
+
+TEST(CarvedSubsetTest, ContainsMatchesRasterize) {
+  const Shape shape{48, 48};
+  IndexSet points = FilledRect(shape, 2, 2, 10, 10);
+  points.Union(FilledRect(shape, 30, 30, 40, 40));
+  const CarvedSubset carved = Carver(CarveConfig{}).Carve(points);
+  const IndexSet raster = carved.Rasterize();
+  shape.ForEachIndex([&](const Index& index) {
+    EXPECT_EQ(carved.Contains(index), raster.Contains(index)) << index;
+  });
+}
+
+// ---------------------------------------------------------- SimpleConvex --
+
+TEST(SimpleConvexTest, SingleHullCoversEverything) {
+  const Shape shape{128, 128};
+  IndexSet points = FilledRect(shape, 0, 0, 15, 15);
+  points.Union(FilledRect(shape, 100, 100, 115, 115));
+  const CarvedSubset carved = SimpleConvexCarve(points);
+  EXPECT_EQ(carved.num_hulls(), 1);
+  const IndexSet raster = carved.Rasterize();
+  // SC bridges the gap -> worse precision than Kondo's merge-based carver.
+  EXPECT_TRUE(raster.Contains(Index{50, 50}));
+  EXPECT_GT(raster.size(), points.size() * 2);
+}
+
+TEST(SimpleConvexTest, EmptyInput) {
+  const CarvedSubset carved = SimpleConvexCarve(IndexSet(Shape{8, 8}));
+  EXPECT_EQ(carved.num_hulls(), 0);
+}
+
+}  // namespace
+}  // namespace kondo

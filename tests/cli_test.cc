@@ -1,0 +1,181 @@
+// Integration tests for the `kondo` command-line tool: each test shells out
+// to the built binary (path injected by CMake via KONDO_CLI_BINARY).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace kondo {
+namespace {
+
+#ifndef KONDO_CLI_BINARY
+#error "KONDO_CLI_BINARY must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command =
+      std::string(KONDO_CLI_BINARY) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 512> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  const CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(RunCli("frobnicate").exit_code, 2);
+}
+
+TEST(CliTest, ProgramsListsRegistry) {
+  const CommandResult result = RunCli("programs");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("CS"), std::string::npos);
+  EXPECT_NE(result.output.find("MSI"), std::string::npos);
+  EXPECT_NE(result.output.find("128x128"), std::string::npos);
+}
+
+TEST(CliTest, MakeDataInspectRoundTrip) {
+  const std::string kdf = TempPath("cli_ldc.kdf");
+  ASSERT_EQ(RunCli("make-data LDC " + kdf).exit_code, 0);
+  const CommandResult inspect = RunCli("inspect " + kdf);
+  EXPECT_EQ(inspect.exit_code, 0);
+  EXPECT_NE(inspect.output.find("128x128"), std::string::npos);
+  EXPECT_NE(inspect.output.find("row-major"), std::string::npos);
+}
+
+TEST(CliTest, MakeDataChunked) {
+  const std::string kdf = TempPath("cli_chunked.kdf");
+  ASSERT_EQ(RunCli("make-data LDC " + kdf + " --chunked").exit_code, 0);
+  const CommandResult inspect = RunCli("inspect " + kdf);
+  EXPECT_NE(inspect.output.find("chunked"), std::string::npos);
+}
+
+TEST(CliTest, DebloatAndReplayFlow) {
+  const std::string kdf = TempPath("cli_flow.kdf");
+  const std::string kdd = TempPath("cli_flow.kdd");
+  ASSERT_EQ(RunCli("make-data LDC " + kdf).exit_code, 0);
+  const CommandResult debloat = RunCli("debloat LDC --data " + kdf +
+                                       " --out " + kdd + " --seed 3");
+  EXPECT_EQ(debloat.exit_code, 0) << debloat.output;
+  EXPECT_NE(debloat.output.find("smaller"), std::string::npos);
+
+  const CommandResult inspect = RunCli("inspect " + kdd);
+  EXPECT_EQ(inspect.exit_code, 0);
+  EXPECT_NE(inspect.output.find("debloated"), std::string::npos);
+
+  const CommandResult replay = RunCli("replay LDC " + kdd + " 3 4");
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("0 misses"), std::string::npos);
+}
+
+TEST(CliTest, ReplayWithRemoteFallback) {
+  const std::string kdf = TempPath("cli_remote.kdf");
+  const std::string kdd = TempPath("cli_remote.kdd");
+  ASSERT_EQ(RunCli("make-data CS " + kdf).exit_code, 0);
+  // A deliberately weak campaign leaves holes for the remote to fill.
+  ASSERT_EQ(RunCli("debloat CS --data " + kdf + " --out " + kdd +
+                   " --max-iter 100")
+                .exit_code,
+            0);
+  const CommandResult replay =
+      RunCli("replay CS " + kdd + " 1 2 --remote " + kdf);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("remote fetches"), std::string::npos);
+}
+
+TEST(CliTest, EvaluatePrintsReport) {
+  const CommandResult result = RunCli("evaluate LDC --seed 2");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("precision"), std::string::npos);
+  EXPECT_NE(result.output.find("bloat identified"), std::string::npos);
+}
+
+TEST(CliTest, EvaluateMapRendersGrid) {
+  const CommandResult result = RunCli("evaluate LDC --seed 2 --map");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("legend"), std::string::npos);
+  EXPECT_NE(result.output.find('#'), std::string::npos);
+}
+
+TEST(CliTest, SpecParsesKondofile) {
+  const std::string spec_path = TempPath("cli_spec.kondofile");
+  std::FILE* f = std::fopen(spec_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("FROM ubuntu:20.04\nADD ./d.kdf /d.kdf\nPARAM [0-9]\n"
+             "ENTRYPOINT [\"/x\"]\n",
+             f);
+  std::fclose(f);
+  const CommandResult result = RunCli("spec " + spec_path);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("ubuntu:20.04"), std::string::npos);
+  EXPECT_NE(result.output.find("[0-9]"), std::string::npos);
+}
+
+TEST(CliTest, FuzzCarveStagedPipeline) {
+  const std::string state = TempPath("cli_campaign.kcs");
+  const CommandResult fuzz =
+      RunCli("fuzz CS --out " + state + " --seed 4 --max-iter 400");
+  EXPECT_EQ(fuzz.exit_code, 0) << fuzz.output;
+  EXPECT_NE(fuzz.output.find("discovered offsets"), std::string::npos);
+
+  // Resume with a second seed: the state must grow (or stay equal).
+  const CommandResult resumed = RunCli("fuzz CS --out " + state +
+                                       " --resume " + state +
+                                       " --seed 5 --max-iter 400");
+  EXPECT_EQ(resumed.exit_code, 0) << resumed.output;
+
+  const CommandResult carve = RunCli("carve CS --state " + state);
+  EXPECT_EQ(carve.exit_code, 0) << carve.output;
+  EXPECT_NE(carve.output.find("precision"), std::string::npos);
+}
+
+TEST(CliTest, CarveShapeMismatchFails) {
+  const std::string state = TempPath("cli_mismatch.kcs");
+  ASSERT_EQ(RunCli("fuzz CS --out " + state + " --max-iter 100").exit_code,
+            0);
+  const CommandResult carve = RunCli("carve LDC3D --state " + state);
+  EXPECT_EQ(carve.exit_code, 1);
+  EXPECT_NE(carve.output.find("does not match"), std::string::npos);
+}
+
+TEST(CliTest, UnknownProgramFails) {
+  EXPECT_EQ(RunCli("evaluate NOPE").exit_code, 1);
+}
+
+TEST(CliTest, ReplayWrongArityFails) {
+  const std::string kdf = TempPath("cli_arity.kdf");
+  const std::string kdd = TempPath("cli_arity.kdd");
+  ASSERT_EQ(RunCli("make-data LDC " + kdf).exit_code, 0);
+  ASSERT_EQ(
+      RunCli("debloat LDC --data " + kdf + " --out " + kdd).exit_code, 0);
+  const CommandResult result = RunCli("replay LDC " + kdd + " 1 2 3");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("expected 2 parameters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kondo

@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "common/interval_set.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace kondo {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad thing");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, DataMissingIsDistinctCode) {
+  Status status = DataMissingError("hole");
+  EXPECT_EQ(status.code(), StatusCode::kDataMissing);
+  EXPECT_EQ(StatusCodeToString(status.code()), "DATA_MISSING");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InternalError("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) {
+    return OutOfRangeError("negative");
+  }
+  return OkStatus();
+}
+
+Status UsesReturnIfError(int x) {
+  KONDO_RETURN_IF_ERROR(FailsIfNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kOutOfRange);
+}
+
+// -------------------------------------------------------------- StatusOr --
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return InvalidArgumentError("not positive");
+  }
+  return x;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = ParsePositive(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 5);
+  EXPECT_EQ(result.value(), 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = ParsePositive(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> DoublesViaAssignOrReturn(int x) {
+  KONDO_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnHappyPath) {
+  StatusOr<int> result = DoublesViaAssignOrReturn(4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 8);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  EXPECT_EQ(DoublesViaAssignOrReturn(0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = *std::move(result);
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(StatusOrTest, OkStatusConstructionIsInternalError) {
+  StatusOr<int> result{OkStatus()};
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 12);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(rng.UniformInt(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(5);
+  EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, UniformDoubleStaysInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(11);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+// ----------------------------------------------------------- IntervalSet --
+
+TEST(IntervalTest, BasicPredicates) {
+  const Interval iv{10, 20};
+  EXPECT_EQ(iv.length(), 10);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(19));
+  EXPECT_FALSE(iv.Contains(20));
+  EXPECT_TRUE(iv.Overlaps(Interval{19, 25}));
+  EXPECT_FALSE(iv.Overlaps(Interval{20, 25}));
+  EXPECT_TRUE(iv.Touches(Interval{20, 25}));
+}
+
+TEST(IntervalSetTest, PaperWorkedExample) {
+  // e1(0,110), e2(70,30), e3(130,20), e4(90,30) -> (0,120) and (130,150).
+  IntervalSet set;
+  set.Add(0, 110);
+  set.Add(70, 100);
+  set.Add(130, 150);
+  set.Add(90, 120);
+  EXPECT_EQ(set.ToString(), "[0,120) [130,150)");
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.TotalLength(), 140);
+}
+
+TEST(IntervalSetTest, IgnoresEmptyIntervals) {
+  IntervalSet set;
+  set.Add(5, 5);
+  set.Add(7, 3);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSetTest, CoalescesTouchingIntervals) {
+  IntervalSet set;
+  set.Add(0, 10);
+  set.Add(10, 20);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.ContainsRange(0, 20));
+}
+
+TEST(IntervalSetTest, KeepsGaps) {
+  IntervalSet set;
+  set.Add(0, 10);
+  set.Add(11, 20);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_FALSE(set.Contains(10));
+}
+
+TEST(IntervalSetTest, AbsorbsMultipleSuccessors) {
+  IntervalSet set;
+  set.Add(0, 2);
+  set.Add(4, 6);
+  set.Add(8, 10);
+  set.Add(1, 9);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.TotalLength(), 10);
+}
+
+TEST(IntervalSetTest, ContainsAndIntersects) {
+  IntervalSet set;
+  set.Add(10, 20);
+  set.Add(30, 40);
+  EXPECT_TRUE(set.Contains(15));
+  EXPECT_FALSE(set.Contains(25));
+  EXPECT_TRUE(set.ContainsRange(31, 39));
+  EXPECT_FALSE(set.ContainsRange(15, 35));
+  EXPECT_TRUE(set.Intersects(19, 31));
+  EXPECT_FALSE(set.Intersects(20, 30));
+  EXPECT_FALSE(set.Intersects(25, 25));
+}
+
+TEST(IntervalSetTest, UnionMergesSets) {
+  IntervalSet a;
+  a.Add(0, 10);
+  IntervalSet b;
+  b.Add(5, 15);
+  b.Add(20, 25);
+  a.Union(b);
+  EXPECT_EQ(a.ToString(), "[0,15) [20,25)");
+}
+
+TEST(IntervalSetTest, RandomizedAgainstBruteForce) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    IntervalSet set;
+    std::vector<bool> covered(200, false);
+    for (int i = 0; i < 30; ++i) {
+      const int64_t begin = rng.UniformInt(0, 180);
+      const int64_t end = begin + rng.UniformInt(0, 19);
+      set.Add(begin, end);
+      for (int64_t x = begin; x < end; ++x) {
+        covered[static_cast<size_t>(x)] = true;
+      }
+    }
+    int64_t expected_length = 0;
+    for (int x = 0; x < 200; ++x) {
+      EXPECT_EQ(set.Contains(x), covered[static_cast<size_t>(x)])
+          << "x=" << x << " trial=" << trial;
+      expected_length += covered[static_cast<size_t>(x)] ? 1 : 0;
+    }
+    EXPECT_EQ(set.TotalLength(), expected_length);
+    // Intervals must be disjoint, sorted, and non-touching.
+    const std::vector<Interval> intervals = set.ToIntervals();
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GT(intervals[i].begin, intervals[i - 1].end);
+    }
+  }
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, StrSplitBasic) {
+  const std::vector<std::string> pieces = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(StringsTest, StrSplitNoDelimiter) {
+  const std::vector<std::string> pieces = StrSplit("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("PARAM [1-2]", "PARAM"));
+  EXPECT_FALSE(StartsWith("PAR", "PARAM"));
+}
+
+TEST(StringsTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64(" -17 ", &value));
+  EXPECT_EQ(value, -17);
+  EXPECT_FALSE(ParseInt64("4x", &value));
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64("3.5", &value));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+  EXPECT_TRUE(ParseDouble("-2", &value));
+  EXPECT_DOUBLE_EQ(value, -2.0);
+  EXPECT_FALSE(ParseDouble("nope", &value));
+  EXPECT_FALSE(ParseDouble("1.2.3", &value));
+}
+
+// --------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, SeverityThresholdRoundTrips) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ KONDO_CHECK_EQ(1, 2) << "boom"; }, "Check failed");
+}
+
+// -------------------------------------------------------------- Stopwatch --
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(stopwatch.ElapsedMicros(), 0);
+  stopwatch.Reset();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace kondo

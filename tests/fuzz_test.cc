@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "array/index_set.h"
+#include "common/rng.h"
+#include "fuzz/cluster.h"
+#include "fuzz/fuzz_config.h"
+#include "fuzz/fuzz_schedule.h"
+#include "fuzz/param_space.h"
+
+namespace kondo {
+namespace {
+
+// ------------------------------------------------------------ ParamSpace --
+
+TEST(ParamSpaceTest, SampleStaysInRange) {
+  const ParamSpace space{ParamRange{0, 30, true},
+                         ParamRange{300.0, 1200.0, false}};
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const ParamValue v = space.Sample(rng);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_GE(v[0], 0);
+    EXPECT_LE(v[0], 30);
+    EXPECT_DOUBLE_EQ(v[0], std::round(v[0]));  // Integer grid.
+    EXPECT_GE(v[1], 300.0);
+    EXPECT_LT(v[1], 1200.0);
+  }
+}
+
+TEST(ParamSpaceTest, ContainsChecksBounds) {
+  const ParamSpace space{ParamRange{0, 10, true}};
+  EXPECT_TRUE(space.Contains({5.0}));
+  EXPECT_TRUE(space.Contains({0.0}));
+  EXPECT_FALSE(space.Contains({-1.0}));
+  EXPECT_FALSE(space.Contains({11.0}));
+  EXPECT_FALSE(space.Contains({5.0, 5.0}));  // Arity mismatch.
+}
+
+TEST(ParamSpaceTest, ClampProjectsIntoTheta) {
+  const ParamSpace space{ParamRange{0, 10, true},
+                         ParamRange{1.5, 2.5, false}};
+  const ParamValue clamped = space.Clamp({12.7, 0.1});
+  EXPECT_DOUBLE_EQ(clamped[0], 10.0);
+  EXPECT_DOUBLE_EQ(clamped[1], 1.5);
+  const ParamValue rounded = space.Clamp({3.4, 2.0});
+  EXPECT_DOUBLE_EQ(rounded[0], 3.0);
+}
+
+TEST(ParamSpaceTest, NumValuations) {
+  EXPECT_DOUBLE_EQ(
+      (ParamSpace{ParamRange{0, 9, true}, ParamRange{0, 9, true}})
+          .NumValuations(),
+      100.0);
+  EXPECT_TRUE(std::isinf(
+      (ParamSpace{ParamRange{0, 1.0, false}}).NumValuations()));
+}
+
+TEST(ParamSpaceTest, QuantizeKeyDistinguishesValues) {
+  const ParamSpace space{ParamRange{0, 100, true},
+                         ParamRange{0, 1.0, false}};
+  EXPECT_EQ(space.QuantizeKey({3.0, 0.5}), space.QuantizeKey({3.0, 0.5}));
+  EXPECT_NE(space.QuantizeKey({3.0, 0.5}), space.QuantizeKey({4.0, 0.5}));
+  EXPECT_NE(space.QuantizeKey({3.0, 0.5}), space.QuantizeKey({3.0, 0.51}));
+  // Integer dims quantise to the grid: 3.4 is not a distinct key from 3.
+  EXPECT_EQ(space.QuantizeKey({3.4, 0.5}), space.QuantizeKey({3.0, 0.5}));
+}
+
+TEST(ParamSpaceTest, ParamDistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(ParamDistance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(ParamDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(ParamSpaceTest, ToStringFormat) {
+  const ParamSpace space{ParamRange{0, 30, true},
+                         ParamRange{300.0, 1200.0, false}};
+  EXPECT_EQ(space.ToString(), "[0-30, 300-1200 (real)]");
+}
+
+// ---------------------------------------------------------- ClusterStore --
+
+TEST(ClusterStoreTest, FirstValueFoundsCluster) {
+  ClusterStore store;
+  EXPECT_EQ(store.Add({5.0, 5.0}, 10.0), 0);
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_EQ(store.clusters()[0].count, 1);
+}
+
+TEST(ClusterStoreTest, NearbyValueJoinsAndRecenters) {
+  ClusterStore store;
+  store.Add({0.0, 0.0}, 10.0);
+  EXPECT_EQ(store.Add({4.0, 0.0}, 10.0), 0);
+  EXPECT_EQ(store.size(), 1);
+  EXPECT_DOUBLE_EQ(store.clusters()[0].center[0], 2.0);
+  EXPECT_EQ(store.clusters()[0].count, 2);
+}
+
+TEST(ClusterStoreTest, FarValueFoundsNewCluster) {
+  ClusterStore store;
+  store.Add({0.0, 0.0}, 10.0);
+  EXPECT_EQ(store.Add({50.0, 0.0}, 10.0), 1);
+  EXPECT_EQ(store.size(), 2);
+}
+
+TEST(ClusterStoreTest, ExactDiameterStillJoins) {
+  ClusterStore store;
+  store.Add({0.0}, 10.0);
+  // ADD_TO_CLUSTER: a new cluster only when distance *exceeds* diameter.
+  EXPECT_EQ(store.Add({10.0}, 10.0), 0);
+}
+
+TEST(ClusterStoreTest, NearestReturnsDistance) {
+  ClusterStore store;
+  store.Add({0.0, 0.0}, 5.0);
+  store.Add({100.0, 0.0}, 5.0);
+  double distance = 0.0;
+  EXPECT_EQ(store.Nearest({90.0, 0.0}, &distance), 1);
+  EXPECT_DOUBLE_EQ(distance, 10.0);
+  EXPECT_EQ(ClusterStore().Nearest({0.0}), -1);
+}
+
+// ---------------------------------------------------------- FuzzSchedule --
+
+/// A rectangular useful region: v useful iff inside [20,60]x[20,60]; a run
+/// reads the single index (v0, v1).
+DebloatTestFn RectRegionTest(const Shape& shape) {
+  return [shape](const ParamValue& v) {
+    IndexSet accessed(shape);
+    const int64_t x = static_cast<int64_t>(std::llround(v[0]));
+    const int64_t y = static_cast<int64_t>(std::llround(v[1]));
+    if (x >= 20 && x <= 60 && y >= 20 && y <= 60) {
+      accessed.Insert(Index{x, y});
+    }
+    return accessed;
+  };
+}
+
+ParamSpace GridSpace(int64_t n) {
+  return ParamSpace{ParamRange{0, static_cast<double>(n - 1), true},
+                    ParamRange{0, static_cast<double>(n - 1), true}};
+}
+
+TEST(FuzzScheduleTest, DeterministicUnderFixedSeed) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 300;
+  FuzzResult a =
+      FuzzSchedule(GridSpace(128), shape, config, 7).Run(RectRegionTest(shape));
+  FuzzResult b =
+      FuzzSchedule(GridSpace(128), shape, config, 7).Run(RectRegionTest(shape));
+  EXPECT_EQ(a.discovered.size(), b.discovered.size());
+  ASSERT_EQ(a.seeds.size(), b.seeds.size());
+  for (size_t i = 0; i < a.seeds.size(); ++i) {
+    EXPECT_EQ(a.seeds[i].value, b.seeds[i].value);
+    EXPECT_EQ(a.seeds[i].useful, b.seeds[i].useful);
+  }
+}
+
+TEST(FuzzScheduleTest, DifferentSeedsDiffer) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 200;
+  FuzzResult a =
+      FuzzSchedule(GridSpace(128), shape, config, 1).Run(RectRegionTest(shape));
+  FuzzResult b =
+      FuzzSchedule(GridSpace(128), shape, config, 2).Run(RectRegionTest(shape));
+  ASSERT_FALSE(a.seeds.empty());
+  ASSERT_FALSE(b.seeds.empty());
+  EXPECT_NE(a.seeds[0].value, b.seeds[0].value);
+}
+
+TEST(FuzzScheduleTest, StopsAtMaxIter) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 50;
+  config.stop_iter = 1000;
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(128), shape, config, 3).Run(RectRegionTest(shape));
+  EXPECT_EQ(result.stats.iterations, 50);
+  EXPECT_FALSE(result.stats.stopped_by_stagnation);
+}
+
+TEST(FuzzScheduleTest, StopsByStagnation) {
+  const Shape shape{8, 8};
+  // A tiny region: after it is fully discovered, no new offsets appear.
+  const DebloatTestFn test = [&shape](const ParamValue& v) {
+    IndexSet accessed(shape);
+    if (std::llround(v[0]) == 0 && std::llround(v[1]) == 0) {
+      accessed.Insert(Index{0, 0});
+    }
+    return accessed;
+  };
+  FuzzConfig config;
+  config.max_iter = 100000;
+  config.stop_iter = 40;
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(64), shape, config, 3).Run(test);
+  EXPECT_TRUE(result.stats.stopped_by_stagnation);
+  EXPECT_LT(result.stats.iterations, 100000);
+}
+
+TEST(FuzzScheduleTest, RespectsTimeBudget) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 1 << 30;
+  config.stop_iter = 1 << 30;
+  config.max_seconds = 0.05;
+  const DebloatTestFn slow_test = [&shape](const ParamValue&) {
+    volatile double sink = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+      sink += std::sqrt(static_cast<double>(i));
+    }
+    return IndexSet(shape);
+  };
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(128), shape, config, 3).Run(slow_test);
+  EXPECT_TRUE(result.stats.stopped_by_budget);
+  EXPECT_LT(result.stats.elapsed_seconds, 1.0);
+}
+
+TEST(FuzzScheduleTest, NeverEvaluatesDuplicateSeeds) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 500;
+  const ParamSpace space = GridSpace(128);
+  std::set<std::string> seen;
+  int duplicates = 0;
+  const DebloatTestFn test = [&](const ParamValue& v) {
+    if (!seen.insert(space.QuantizeKey(v)).second) {
+      ++duplicates;
+    }
+    return IndexSet(shape);
+  };
+  FuzzSchedule(space, shape, config, 5).Run(test);
+  EXPECT_EQ(duplicates, 0);
+}
+
+TEST(FuzzScheduleTest, SeedsStayInsideTheta) {
+  const Shape shape{128, 128};
+  const ParamSpace space = GridSpace(128);
+  FuzzConfig config;
+  config.max_iter = 800;
+  const FuzzResult result =
+      FuzzSchedule(space, shape, config, 11).Run(RectRegionTest(shape));
+  for (const Seed& seed : result.seeds) {
+    EXPECT_TRUE(space.Contains(seed.value));
+  }
+}
+
+TEST(FuzzScheduleTest, DiscoversMostOfRectRegion) {
+  const Shape shape{128, 128};
+  FuzzConfig config;  // Paper defaults: 2000 iterations.
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(128), shape, config, 13).Run(RectRegionTest(shape));
+  // The region holds 41x41 = 1681 indices; discovery (without carving)
+  // should cover a good share and label the seeds correctly.
+  EXPECT_GT(result.discovered.size(), 400u);
+  EXPECT_GT(result.stats.useful_evaluations, 100);
+  for (const Seed& seed : result.seeds) {
+    const bool inside = seed.value[0] >= 20 && seed.value[0] <= 60 &&
+                        seed.value[1] >= 20 && seed.value[1] <= 60;
+    EXPECT_EQ(seed.useful, inside);
+  }
+}
+
+TEST(FuzzScheduleTest, EpsilonDecays) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 2000;
+  config.decay_iter = 100;
+  config.decay = 0.5;
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(128), shape, config, 17).Run(RectRegionTest(shape));
+  EXPECT_LT(result.stats.final_epsilon, 0.01);
+}
+
+TEST(FuzzScheduleTest, PlainExploitExploreKeepsEpsilonOne) {
+  const Shape shape{128, 128};
+  FuzzConfig config = FuzzConfig::PlainExploitExplore();
+  config.max_iter = 500;
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(128), shape, config, 19).Run(RectRegionTest(shape));
+  EXPECT_DOUBLE_EQ(result.stats.final_epsilon, 1.0);
+  EXPECT_EQ(result.stats.restarts, 1);  // Only the initial seeding.
+}
+
+TEST(FuzzScheduleTest, RestartsHappenPeriodically) {
+  const Shape shape{128, 128};
+  FuzzConfig config;
+  config.max_iter = 1000;
+  config.restart = 100;
+  config.stop_iter = 1 << 30;
+  const FuzzResult result =
+      FuzzSchedule(GridSpace(128), shape, config, 23).Run(RectRegionTest(shape));
+  EXPECT_GE(result.stats.restarts, 9);
+}
+
+TEST(FuzzScheduleTest, BoundaryScheduleBeatsPlainOnMultiRegion) {
+  // Two small disjoint useful islands: boundary-based EE with restarts
+  // should discover more than plain EE for the same iteration budget —
+  // the Fig. 4 contrast.
+  const Shape shape{128, 128};
+  const DebloatTestFn test = [&shape](const ParamValue& v) {
+    IndexSet accessed(shape);
+    const int64_t x = static_cast<int64_t>(std::llround(v[0]));
+    const int64_t y = static_cast<int64_t>(std::llround(v[1]));
+    const bool island_a = x >= 5 && x <= 20 && y >= 100 && y <= 115;
+    const bool island_b = x >= 100 && x <= 115 && y >= 5 && y <= 20;
+    if (island_a || island_b) {
+      accessed.Insert(Index{x, y});
+    }
+    return accessed;
+  };
+  FuzzConfig boundary;
+  boundary.max_iter = 1500;
+  boundary.stop_iter = 1 << 30;
+  FuzzConfig plain = FuzzConfig::PlainExploitExplore();
+  plain.max_iter = 1500;
+  plain.stop_iter = 1 << 30;
+
+  size_t boundary_total = 0;
+  size_t plain_total = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    boundary_total +=
+        FuzzSchedule(GridSpace(128), shape, boundary, seed).Run(test)
+            .discovered.size();
+    plain_total +=
+        FuzzSchedule(GridSpace(128), shape, plain, seed).Run(test)
+            .discovered.size();
+  }
+  EXPECT_GT(boundary_total, plain_total);
+}
+
+}  // namespace
+}  // namespace kondo

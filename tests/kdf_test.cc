@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <tuple>
+
+#include "array/data_array.h"
+#include "array/debloated_array.h"
+#include "array/index_set.h"
+#include "array/kdf_file.h"
+#include "common/rng.h"
+
+namespace kondo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ------------------------------------------------------- element codecs --
+
+TEST(ElementCodecTest, RoundTripsAllDTypes) {
+  char buf[16];
+  for (DType dtype : {DType::kInt32, DType::kInt64, DType::kFloat32,
+                      DType::kFloat64, DType::kFloat128}) {
+    EncodeElement(42.0, dtype, buf);
+    EXPECT_DOUBLE_EQ(DecodeElement(buf, dtype), 42.0)
+        << DTypeName(dtype);
+  }
+}
+
+TEST(ElementCodecTest, Float64PrecisionPreserved) {
+  char buf[16];
+  EncodeElement(0.12345678901234567, DType::kFloat64, buf);
+  EXPECT_DOUBLE_EQ(DecodeElement(buf, DType::kFloat64), 0.12345678901234567);
+  EncodeElement(0.12345678901234567, DType::kFloat128, buf);
+  EXPECT_DOUBLE_EQ(DecodeElement(buf, DType::kFloat128),
+                   0.12345678901234567);
+}
+
+TEST(ElementCodecTest, IntegerTruncation) {
+  char buf[16];
+  EncodeElement(3.9, DType::kInt32, buf);
+  EXPECT_DOUBLE_EQ(DecodeElement(buf, DType::kInt32), 3.0);
+}
+
+// ------------------------------------------------------------- KDF files --
+
+using KdfParam = std::tuple<DType, LayoutKind>;
+
+class KdfRoundTripTest : public ::testing::TestWithParam<KdfParam> {};
+
+TEST_P(KdfRoundTripTest, WriteReadAllRoundTrips) {
+  const auto& [dtype, layout_kind] = GetParam();
+  DataArray array(Shape{6, 7}, dtype);
+  array.FillWith([](const Index& index) {
+    return static_cast<double>(index[0] * 100 + index[1]);
+  });
+  const std::string path = TempPath("roundtrip.kdf");
+  ASSERT_TRUE(WriteKdfFile(path, array, layout_kind, {3, 4}).ok());
+
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->shape(), array.shape());
+  EXPECT_EQ(reader->header().dtype, dtype);
+  EXPECT_EQ(reader->header().layout_kind, layout_kind);
+
+  StatusOr<DataArray> back = reader->ReadAll();
+  ASSERT_TRUE(back.ok());
+  array.shape().ForEachIndex([&](const Index& index) {
+    EXPECT_DOUBLE_EQ(back->At(index), array.At(index)) << index;
+  });
+}
+
+TEST_P(KdfRoundTripTest, ReadElementMatchesArray) {
+  const auto& [dtype, layout_kind] = GetParam();
+  DataArray array(Shape{5, 5}, dtype);
+  array.FillWith([](const Index& index) {
+    return static_cast<double>(index[0] + 10 * index[1]);
+  });
+  const std::string path = TempPath("element.kdf");
+  ASSERT_TRUE(WriteKdfFile(path, array, layout_kind, {2, 2}).ok());
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  array.shape().ForEachIndex([&](const Index& index) {
+    StatusOr<double> value = reader->ReadElement(index);
+    ASSERT_TRUE(value.ok());
+    EXPECT_DOUBLE_EQ(*value, array.At(index)) << index;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, KdfRoundTripTest,
+    ::testing::Combine(::testing::Values(DType::kInt32, DType::kFloat64,
+                                         DType::kFloat128),
+                       ::testing::Values(LayoutKind::kRowMajor,
+                                         LayoutKind::kChunked)));
+
+TEST(KdfFileTest, ThreeDimensionalRoundTrip) {
+  DataArray array(Shape{3, 4, 5}, DType::kFloat64);
+  array.FillPattern(17);
+  const std::string path = TempPath("threedee.kdf");
+  ASSERT_TRUE(WriteKdfFile(path, array).ok());
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  StatusOr<double> value = reader->ReadElement(Index{2, 3, 4});
+  ASSERT_TRUE(value.ok());
+  EXPECT_DOUBLE_EQ(*value, array.At(Index{2, 3, 4}));
+}
+
+TEST(KdfFileTest, OpenMissingFileFails) {
+  StatusOr<KdfReader> reader = KdfReader::Open(TempPath("nope.kdf"));
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KdfFileTest, RejectsBadMagic) {
+  const std::string path = TempPath("bad.kdf");
+  std::ofstream(path) << "not a kdf file at all";
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(KdfFileTest, RejectsTruncatedHeader) {
+  const std::string path = TempPath("trunc.kdf");
+  std::ofstream(path) << "KDF1";
+  EXPECT_FALSE(KdfReader::Open(path).ok());
+}
+
+TEST(KdfFileTest, ReadElementOutOfBounds) {
+  DataArray array(Shape{2, 2}, DType::kFloat64);
+  const std::string path = TempPath("oob.kdf");
+  ASSERT_TRUE(WriteKdfFile(path, array).ok());
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadElement(Index{2, 0}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(KdfFileTest, FileBytesMatchesHeaderPlusPayload) {
+  DataArray array(Shape{4, 4}, DType::kFloat128);
+  const std::string path = TempPath("size.kdf");
+  ASSERT_TRUE(WriteKdfFile(path, array).ok());
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  // Header: 8 fixed + 2*8 dims; payload 16 elements * 16 bytes.
+  EXPECT_EQ(reader->payload_offset(), 24);
+  EXPECT_EQ(reader->FileBytes(), 24 + 256);
+}
+
+TEST(KdfFileTest, ReadRawShortReadAtEof) {
+  DataArray array(Shape{2, 2}, DType::kFloat64);
+  const std::string path = TempPath("raw.kdf");
+  ASSERT_TRUE(WriteKdfFile(path, array).ok());
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  char buf[64];
+  StatusOr<int64_t> n = reader->ReadRaw(reader->FileBytes() - 8, 64, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 8);
+}
+
+// ------------------------------------------------------- DebloatedArray --
+
+DebloatedArray MakeCheckerboard(const Shape& shape, DataArray* array_out) {
+  DataArray array(shape, DType::kFloat64);
+  array.FillWith([&shape](const Index& index) {
+    return static_cast<double>(shape.Linearize(index));
+  });
+  IndexSet retained(shape);
+  shape.ForEachIndex([&retained](const Index& index) {
+    int64_t sum = 0;
+    for (int d = 0; d < index.rank(); ++d) {
+      sum += index[d];
+    }
+    if (sum % 2 == 0) {
+      retained.Insert(index);
+    }
+  });
+  if (array_out != nullptr) {
+    *array_out = array;
+  }
+  return DebloatedArray::FromDataArray(array, retained);
+}
+
+TEST(DebloatedArrayTest, RetainedValuesMatch) {
+  DataArray array(Shape{1, 1}, DType::kFloat64);
+  DebloatedArray debloated = MakeCheckerboard(Shape{8, 8}, &array);
+  array.shape().ForEachIndex([&](const Index& index) {
+    const int64_t sum = index[0] + index[1];
+    StatusOr<double> value = debloated.At(index);
+    if (sum % 2 == 0) {
+      ASSERT_TRUE(value.ok()) << index;
+      EXPECT_DOUBLE_EQ(*value, array.At(index));
+      EXPECT_TRUE(debloated.IsRetained(index));
+    } else {
+      EXPECT_EQ(value.status().code(), StatusCode::kDataMissing) << index;
+      EXPECT_FALSE(debloated.IsRetained(index));
+    }
+  });
+}
+
+TEST(DebloatedArrayTest, OutOfBoundsIsOutOfRangeNotMissing) {
+  DebloatedArray debloated = MakeCheckerboard(Shape{4, 4}, nullptr);
+  EXPECT_EQ(debloated.At(Index{4, 0}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DebloatedArrayTest, SizeAccounting) {
+  DebloatedArray debloated = MakeCheckerboard(Shape{8, 8}, nullptr);
+  EXPECT_EQ(debloated.retained_count(), 32);
+  EXPECT_EQ(debloated.OriginalPayloadBytes(), 64 * 8);
+  // Bitmap (1 word) + 32 packed values.
+  EXPECT_EQ(debloated.DebloatedPayloadBytes(), 8 + 32 * 8);
+  EXPECT_GT(debloated.SizeReductionFraction(), 0.4);
+}
+
+TEST(DebloatedArrayTest, EmptyRetentionIsAllMissing) {
+  DataArray array(Shape{4, 4}, DType::kFloat64);
+  DebloatedArray debloated =
+      DebloatedArray::FromDataArray(array, IndexSet(array.shape()));
+  EXPECT_EQ(debloated.retained_count(), 0);
+  EXPECT_EQ(debloated.At(Index{0, 0}).status().code(),
+            StatusCode::kDataMissing);
+}
+
+TEST(DebloatedArrayTest, FullRetentionKeepsEverything) {
+  DataArray array(Shape{4, 4}, DType::kFloat64);
+  array.FillPattern(3);
+  IndexSet all(array.shape());
+  array.shape().ForEachIndex([&all](const Index& index) { all.Insert(index); });
+  DebloatedArray debloated = DebloatedArray::FromDataArray(array, all);
+  EXPECT_EQ(debloated.retained_count(), 16);
+  EXPECT_DOUBLE_EQ(*debloated.At(Index{3, 3}), array.At(Index{3, 3}));
+  // Full retention is slightly larger than the original (bitmap overhead).
+  EXPECT_LT(debloated.SizeReductionFraction(), 0.0);
+}
+
+TEST(DebloatedArrayTest, FileRoundTrip) {
+  DataArray array(Shape{1, 1}, DType::kFloat64);
+  DebloatedArray debloated = MakeCheckerboard(Shape{6, 6}, &array);
+  const std::string path = TempPath("debloated.kdd");
+  ASSERT_TRUE(debloated.WriteFile(path).ok());
+
+  StatusOr<DebloatedArray> back = DebloatedArray::ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), debloated.shape());
+  EXPECT_EQ(back->retained_count(), debloated.retained_count());
+  array.shape().ForEachIndex([&](const Index& index) {
+    StatusOr<double> original = debloated.At(index);
+    StatusOr<double> restored = back->At(index);
+    EXPECT_EQ(original.ok(), restored.ok()) << index;
+    if (original.ok()) {
+      EXPECT_DOUBLE_EQ(*restored, *original);
+    }
+  });
+}
+
+TEST(DebloatedArrayTest, ReadFileRejectsGarbage) {
+  const std::string path = TempPath("garbage.kdd");
+  std::ofstream(path) << "garbage bytes here";
+  EXPECT_FALSE(DebloatedArray::ReadFile(path).ok());
+}
+
+TEST(DebloatedArrayTest, RandomRetentionProperty) {
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Shape shape{9, 7};
+    DataArray array(shape, DType::kFloat128);
+    array.FillPattern(trial);
+    IndexSet retained(shape);
+    shape.ForEachIndex([&](const Index& index) {
+      if (rng.Bernoulli(0.35)) {
+        retained.Insert(index);
+      }
+    });
+    DebloatedArray debloated = DebloatedArray::FromDataArray(array, retained);
+    EXPECT_EQ(debloated.retained_count(),
+              static_cast<int64_t>(retained.size()));
+    shape.ForEachIndex([&](const Index& index) {
+      if (retained.Contains(index)) {
+        EXPECT_DOUBLE_EQ(*debloated.At(index), array.At(index));
+      } else {
+        EXPECT_FALSE(debloated.At(index).ok());
+      }
+    });
+  }
+}
+
+}  // namespace
+}  // namespace kondo

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/kondo.h"
+#include "core/metrics.h"
+#include "core/report.h"
+#include "workloads/registry.h"
+
+namespace kondo {
+namespace {
+
+IndexSet FilledBlock(const Shape& shape, int64_t x0, int64_t y0, int64_t x1,
+                     int64_t y1) {
+  IndexSet set(shape);
+  for (int64_t x = x0; x <= x1; ++x) {
+    for (int64_t y = y0; y <= y1; ++y) {
+      set.Insert(Index{x, y});
+    }
+  }
+  return set;
+}
+
+TEST(RenderIndexMapTest, EmptySetRendersBlank) {
+  const std::string map = RenderIndexMap(IndexSet(Shape{64, 64}), 16, 8);
+  EXPECT_EQ(map.find('#'), std::string::npos);
+  EXPECT_EQ(map.find('.'), std::string::npos);
+  EXPECT_NE(map.find('|'), std::string::npos);
+}
+
+TEST(RenderIndexMapTest, FullSetRendersDense) {
+  const Shape shape{32, 32};
+  const IndexSet full = FilledBlock(shape, 0, 0, 31, 31);
+  const std::string map = RenderIndexMap(full, 16, 8);
+  // Every interior cell is dense.
+  EXPECT_NE(map.find('#'), std::string::npos);
+  EXPECT_EQ(map.find('.'), std::string::npos);
+}
+
+TEST(RenderIndexMapTest, CornerBlockAppearsInCorrectQuadrant) {
+  const Shape shape{64, 64};
+  const IndexSet block = FilledBlock(shape, 0, 0, 15, 15);  // Top-left.
+  const std::string map = RenderIndexMap(block, 16, 8);
+  // Find first and last '#': both should be in the first rows.
+  const size_t first_line_end = map.find('\n', map.find('|'));
+  EXPECT_NE(map.substr(0, first_line_end + 50).find('#'),
+            std::string::npos);
+  // Bottom rows (the second half of the output) contain no '#'.
+  EXPECT_EQ(map.substr(map.size() / 2).find('#'), std::string::npos);
+}
+
+TEST(RenderIndexMapTest, ThreeDimensionalSetsProject) {
+  const Shape shape{16, 16, 16};
+  IndexSet set(shape);
+  for (int64_t z = 0; z < 16; ++z) {
+    set.Insert(Index{4, 4, z});
+  }
+  const std::string map = RenderIndexMap(set, 16, 16);
+  EXPECT_NE(map.find_first_of("#:."), std::string::npos);
+}
+
+TEST(RenderComparisonTest, MarksPrecisionAndRecallLosses) {
+  const Shape shape{64, 64};
+  const IndexSet truth = FilledBlock(shape, 0, 0, 31, 63);   // Left half.
+  const IndexSet approx = FilledBlock(shape, 16, 0, 47, 63);  // Middle band.
+  const std::string map = RenderComparison(truth, approx, 16, 8);
+  EXPECT_NE(map.find('#'), std::string::npos);  // Overlap.
+  EXPECT_NE(map.find('+'), std::string::npos);  // Carved-only (right).
+  EXPECT_NE(map.find('-'), std::string::npos);  // Truth-only (left).
+}
+
+TEST(RenderComparisonTest, PerfectMatchHasNoLossMarkers) {
+  const Shape shape{32, 32};
+  const IndexSet set = FilledBlock(shape, 4, 4, 27, 27);
+  const std::string map = RenderComparison(set, set, 16, 8);
+  // Interior rows (between the '|' borders) carry only '#' and spaces;
+  // the borders and legend are excluded from the check.
+  std::istringstream lines(map);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line.front() != '|') {
+      continue;
+    }
+    const std::string interior = line.substr(1, line.size() - 2);
+    EXPECT_EQ(interior.find('+'), std::string::npos) << line;
+    EXPECT_EQ(interior.find('-'), std::string::npos) << line;
+  }
+}
+
+TEST(FormatCampaignReportTest, MentionsKeyNumbers) {
+  const std::unique_ptr<Program> program = CreateProgram("CS", 64);
+  KondoConfig config;
+  config.fuzz.max_iter = 200;
+  const KondoResult result = KondoPipeline(config).Run(*program);
+  const AccuracyMetrics metrics =
+      ComputeAccuracy(program->GroundTruth(), result.approx);
+  const std::string report = FormatCampaignReport(result, metrics);
+  EXPECT_NE(report.find("debloat tests"), std::string::npos);
+  EXPECT_NE(report.find("precision"), std::string::npos);
+  EXPECT_NE(report.find("hulls"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kondo

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "array/data_array.h"
+#include "array/kdf_file.h"
+#include "audit/auditor.h"
+#include "common/rng.h"
+#include "workloads/block_programs.h"
+#include "workloads/cs_programs.h"
+#include "workloads/demo_program.h"
+#include "workloads/prl_programs.h"
+#include "workloads/real_app_programs.h"
+#include "workloads/registry.h"
+#include "workloads/stencil.h"
+
+namespace kondo {
+namespace {
+
+// --------------------------------------------------------------- Stencil --
+
+TEST(StencilTest, CrossStencilShape) {
+  const Stencil cross = CrossStencil2D();
+  EXPECT_EQ(cross.offsets.size(), 4u);
+  EXPECT_EQ(RenderStencil2D(cross), "##\n##\n");
+}
+
+TEST(StencilTest, SolidRectCount) {
+  EXPECT_EQ(SolidRectStencil(3, 5).offsets.size(), 15u);
+  EXPECT_EQ(SolidBoxStencil(2, 3, 4).offsets.size(), 24u);
+}
+
+TEST(StencilTest, HoledRectHasHole) {
+  const Stencil holed = HoledRectStencil(6, 6, 2);
+  EXPECT_EQ(holed.offsets.size(), 32u);  // 36 - 4.
+  const std::string render = RenderStencil2D(holed);
+  EXPECT_NE(render.find('.'), std::string::npos);
+}
+
+TEST(StencilTest, ApplyClipsToShape) {
+  const Stencil cross = CrossStencil2D();
+  const Shape shape{4, 4};
+  int count = 0;
+  cross.Apply(shape, Index{3, 3}, [&count](const Index&) { ++count; });
+  EXPECT_EQ(count, 1);  // Only (3,3) itself is in bounds.
+  cross.Apply(shape, Index{0, 0}, [&count](const Index&) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+// -------------------------------------------------------------- Registry --
+
+TEST(RegistryTest, AllProgramsInstantiate) {
+  for (const std::string& name : AllProgramNames()) {
+    std::unique_ptr<Program> program = CreateProgram(name);
+    ASSERT_NE(program, nullptr) << name;
+    EXPECT_EQ(program->name(), name);
+    EXPECT_GE(program->param_space().num_params(), 2);
+    EXPECT_GE(program->rank(), 2);
+  }
+}
+
+TEST(RegistryTest, TableTwoHasElevenPrograms) {
+  EXPECT_EQ(TableTwoProgramNames().size(), 11u);
+  EXPECT_EQ(MicroBenchmarkNames().size(), 4u);
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(CreateProgram("NOPE"), nullptr);
+}
+
+TEST(RegistryTest, SizeOverrideChangesShape) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 256);
+  EXPECT_EQ(program->data_shape(), (Shape{256, 256}));
+}
+
+// --------------------------------------------- per-program properties --
+
+class ProgramPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    // Smaller instances keep ground-truth enumeration cheap in tests.
+    program_ = CreateProgram(GetParam(), 32);
+    ASSERT_NE(program_, nullptr);
+  }
+  std::unique_ptr<Program> program_;
+};
+
+TEST_P(ProgramPropertyTest, AccessSetsAreWithinGroundTruth) {
+  const IndexSet& truth = program_->GroundTruth();
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const ParamValue v = program_->param_space().Sample(rng);
+    const IndexSet accessed = program_->AccessSet(v);
+    EXPECT_TRUE(accessed.IsSubsetOf(truth))
+        << GetParam() << " v[0]=" << v[0];
+  }
+}
+
+TEST_P(ProgramPropertyTest, GroundTruthMatchesEnumeration) {
+  const IndexSet enumerated = program_->GroundTruthByEnumeration(5e5);
+  const IndexSet& truth = program_->GroundTruth();
+  EXPECT_EQ(truth.size(), enumerated.size()) << GetParam();
+  EXPECT_TRUE(truth.IsSubsetOf(enumerated)) << GetParam();
+}
+
+TEST_P(ProgramPropertyTest, ExecutionIsDeterministic) {
+  Rng rng(2);
+  const ParamValue v = program_->param_space().Sample(rng);
+  const IndexSet a = program_->AccessSet(v);
+  const IndexSet b = program_->AccessSet(v);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a.IsSubsetOf(b));
+}
+
+TEST_P(ProgramPropertyTest, SomeValuationIsUseful) {
+  Rng rng(3);
+  bool any_useful = false;
+  for (int i = 0; i < 500 && !any_useful; ++i) {
+    any_useful = !program_->AccessSet(program_->param_space().Sample(rng))
+                      .empty();
+  }
+  EXPECT_TRUE(any_useful) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableTwo, ProgramPropertyTest,
+    ::testing::Values("CS", "CS1", "CS2", "CS3", "CS5", "PRL", "LDC", "RDC",
+                      "PRL3D", "LDC3D", "RDC3D", "FIG4", "VPIC"));
+
+// ------------------------------------------------------------- CS family --
+
+TEST(CsProgramTest, BaseGroundTruthIsLowerTriangle) {
+  CsProgram program(CsVariant::kBase, 32);
+  const IndexSet& truth = program.GroundTruth();
+  // The union over all stepX <= stepY walks is exactly {x <= y + 1}.
+  int64_t expected = 0;
+  program.data_shape().ForEachIndex([&](const Index& index) {
+    const bool in_region = index[0] <= index[1] + 1;
+    EXPECT_EQ(truth.Contains(index), in_region) << index;
+    expected += in_region ? 1 : 0;
+  });
+  EXPECT_EQ(static_cast<int64_t>(truth.size()), expected);
+}
+
+TEST(CsProgramTest, GuardRejectsStepXGreaterThanStepY) {
+  CsProgram program(CsVariant::kBase, 32);
+  EXPECT_TRUE(program.AccessSet({5.0, 2.0}).empty());
+  EXPECT_FALSE(program.AccessSet({2.0, 5.0}).empty());
+}
+
+TEST(CsProgramTest, NegativeStepsRejected) {
+  CsProgram program(CsVariant::kBase, 32);
+  EXPECT_TRUE(program.AccessSet({-1.0, 5.0}).empty());
+  EXPECT_TRUE(program.AccessSet({1.0, -5.0}).empty());
+}
+
+TEST(CsProgramTest, ZeroStepsReadSingleCross) {
+  CsProgram program(CsVariant::kBase, 32);
+  const IndexSet accessed = program.AccessSet({0.0, 0.0});
+  EXPECT_EQ(accessed.size(), 4u);
+  EXPECT_TRUE(accessed.Contains(Index{0, 0}));
+  EXPECT_TRUE(accessed.Contains(Index{1, 1}));
+}
+
+TEST(CsProgramTest, UnitWalkFollowsDiagonal) {
+  CsProgram program(CsVariant::kBase, 8);
+  const IndexSet accessed = program.AccessSet({1.0, 1.0});
+  EXPECT_TRUE(accessed.Contains(Index{0, 0}));
+  EXPECT_TRUE(accessed.Contains(Index{6, 6}));
+  EXPECT_TRUE(accessed.Contains(Index{7, 7}));  // Cross at (6,6).
+  EXPECT_FALSE(accessed.Contains(Index{0, 3}));
+}
+
+TEST(CsProgramTest, Cs1HasTwoSeparatedRegions) {
+  CsProgram program(CsVariant::kCs1, 64);
+  const IndexSet& truth = program.GroundTruth();
+  // Branch A region near x <= y; branch B region beyond the gap.
+  EXPECT_TRUE(truth.Contains(Index{0, 0}));
+  EXPECT_TRUE(truth.Contains(Index{32, 0}));
+  // The band between the two triangles is untouched.
+  EXPECT_FALSE(truth.Contains(Index{20, 2}));
+}
+
+TEST(CsProgramTest, Cs3AnalyticGroundTruthMatchesEnumeration) {
+  CsProgram program(CsVariant::kCs3, 32);
+  const IndexSet enumerated = program.GroundTruthByEnumeration(1e5);
+  const IndexSet& analytic = program.GroundTruth();
+  EXPECT_EQ(analytic.size(), enumerated.size());
+  EXPECT_TRUE(analytic.IsSubsetOf(enumerated));
+}
+
+TEST(CsProgramTest, Cs3AnalyticAlsoMatchesAtOtherSizes) {
+  for (int64_t n : {16, 48, 64}) {
+    CsProgram program(CsVariant::kCs3, n);
+    const IndexSet enumerated = program.GroundTruthByEnumeration(1e6);
+    EXPECT_EQ(program.GroundTruth().size(), enumerated.size()) << n;
+  }
+}
+
+TEST(CsProgramTest, VariantNames) {
+  EXPECT_EQ(CsVariantName(CsVariant::kBase), "CS");
+  EXPECT_EQ(CsVariantName(CsVariant::kCs5), "CS5");
+}
+
+// ------------------------------------------------------------------- PRL --
+
+TEST(PrlProgramTest, RunReadsRingOnly) {
+  Prl2DProgram program(32);
+  const IndexSet accessed = program.AccessSet({8.0, 8.0});
+  const int64_t c = 16;
+  EXPECT_TRUE(accessed.Contains(Index{c - 8, c}));
+  EXPECT_TRUE(accessed.Contains(Index{c + 8, c + 8}));
+  EXPECT_FALSE(accessed.Contains(Index{c, c}));  // Interior of the ring.
+  // Ring of half-extents (8,8): perimeter of a 17x17 square = 64 cells.
+  EXPECT_EQ(accessed.size(), 64u);
+}
+
+TEST(PrlProgramTest, GroundTruthHasCentralHole) {
+  Prl2DProgram program(32);
+  const IndexSet& truth = program.GroundTruth();
+  const int64_t c = 16;
+  EXPECT_FALSE(truth.Contains(Index{c, c}));
+  EXPECT_FALSE(truth.Contains(Index{c + 2, c - 3}));
+  EXPECT_TRUE(truth.Contains(Index{c - 4, c + 1}));
+}
+
+TEST(PrlProgramTest, OutOfRangeExtentsAreUseless) {
+  Prl2DProgram program(32);
+  EXPECT_TRUE(program.AccessSet({2.0, 8.0}).empty());
+  EXPECT_TRUE(program.AccessSet({8.0, 100.0}).empty());
+}
+
+TEST(Prl3DProgramTest, AnalyticGroundTruthMatchesEnumeration) {
+  Prl3DProgram program(16);
+  const IndexSet enumerated = program.GroundTruthByEnumeration(1e4);
+  const IndexSet& analytic = program.GroundTruth();
+  EXPECT_EQ(analytic.size(), enumerated.size());
+  EXPECT_TRUE(analytic.IsSubsetOf(enumerated));
+}
+
+TEST(Prl3DProgramTest, ShellRunTouchesAllSixFaces) {
+  Prl3DProgram program(32);
+  const IndexSet accessed = program.AccessSet({8.0, 8.0, 8.0});
+  const int64_t c = 16;
+  EXPECT_TRUE(accessed.Contains(Index{c - 8, c, c}));
+  EXPECT_TRUE(accessed.Contains(Index{c + 8, c, c}));
+  EXPECT_TRUE(accessed.Contains(Index{c, c - 8, c}));
+  EXPECT_TRUE(accessed.Contains(Index{c, c + 8, c}));
+  EXPECT_TRUE(accessed.Contains(Index{c, c, c - 8}));
+  EXPECT_TRUE(accessed.Contains(Index{c, c, c + 8}));
+  EXPECT_FALSE(accessed.Contains(Index{c, c, c}));
+  // Exact surface cell count of a 17^3 box.
+  EXPECT_EQ(accessed.size(), static_cast<size_t>(17 * 17 * 17 - 15 * 15 * 15));
+}
+
+// ------------------------------------------------------------- LDC / RDC --
+
+TEST(BlockProgramTest, TwoDisjointBlocksPerRun) {
+  BlockProgram ldc(BlockCorners::kLeftDiagonal, 2, 64);
+  const IndexSet accessed = ldc.AccessSet({0.0, 0.0});
+  // Two 8x8 blocks.
+  EXPECT_EQ(accessed.size(), 128u);
+  EXPECT_TRUE(accessed.Contains(Index{0, 0}));
+  EXPECT_TRUE(accessed.Contains(Index{63, 63}));
+  EXPECT_FALSE(accessed.Contains(Index{32, 32}));
+}
+
+TEST(BlockProgramTest, RdcMirrorsAcrossX) {
+  BlockProgram rdc(BlockCorners::kRightDiagonal, 2, 64);
+  const IndexSet accessed = rdc.AccessSet({0.0, 0.0});
+  EXPECT_TRUE(accessed.Contains(Index{63, 0}));
+  EXPECT_TRUE(accessed.Contains(Index{0, 63}));
+  EXPECT_FALSE(accessed.Contains(Index{0, 0}));
+}
+
+TEST(BlockProgramTest, GroundTruthIsTwoSquares) {
+  BlockProgram ldc(BlockCorners::kLeftDiagonal, 2, 64);
+  const IndexSet& truth = ldc.GroundTruth();
+  // Anchors [0,16] + block 8 -> regions [0,23]^2 and [40,63]^2.
+  EXPECT_EQ(truth.size(), static_cast<size_t>(2 * 24 * 24));
+  EXPECT_TRUE(truth.Contains(Index{23, 23}));
+  EXPECT_TRUE(truth.Contains(Index{40, 40}));
+  EXPECT_FALSE(truth.Contains(Index{30, 30}));
+}
+
+TEST(BlockProgramTest, ThreeDimensionalBlocks) {
+  BlockProgram ldc3(BlockCorners::kLeftDiagonal, 3, 32);
+  const IndexSet accessed = ldc3.AccessSet({1.0, 2.0, 3.0});
+  EXPECT_EQ(accessed.size(), static_cast<size_t>(2 * 4 * 4 * 4));
+  EXPECT_TRUE(accessed.Contains(Index{1, 2, 3}));
+}
+
+TEST(BlockProgramTest, OutOfRangeAnchorsAreUseless) {
+  BlockProgram ldc(BlockCorners::kLeftDiagonal, 2, 64);
+  EXPECT_TRUE(ldc.AccessSet({17.0, 0.0}).empty());
+  EXPECT_TRUE(ldc.AccessSet({0.0, -1.0}).empty());
+}
+
+// ------------------------------------------------------------- ARD / MSI --
+
+TEST(ArdProgramTest, RunReadsOneTemporalPlane) {
+  ArdProgram program;
+  const IndexSet accessed = program.AccessSet({10.0, 20.0, 100.0});
+  EXPECT_EQ(accessed.size(), 200u);
+  EXPECT_TRUE(accessed.Contains(Index{0, 0, 100}));
+  EXPECT_TRUE(accessed.Contains(Index{9, 19, 100}));
+  EXPECT_FALSE(accessed.Contains(Index{0, 0, 101}));
+}
+
+TEST(ArdProgramTest, GroundTruthFractionMatchesPaper) {
+  // The paper reports 97.20% debloat for ARD (Table III).
+  ArdProgram program;
+  const double fraction =
+      static_cast<double>(program.GroundTruth().size()) /
+      static_cast<double>(program.data_shape().NumElements());
+  EXPECT_NEAR(1.0 - fraction, 0.972, 0.002);
+}
+
+TEST(ArdProgramTest, AccessSubsetOfGroundTruth) {
+  ArdProgram program;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(program.AccessSet(program.param_space().Sample(rng))
+                    .IsSubsetOf(program.GroundTruth()));
+  }
+}
+
+TEST(MsiProgramTest, RunReadsSpectralPrefix) {
+  MsiProgram program;
+  const int64_t z_lo = program.z_lo();
+  const IndexSet accessed =
+      program.AccessSet({5.0, 6.0, static_cast<double>(z_lo + 3)});
+  EXPECT_EQ(accessed.size(), 4u);
+  EXPECT_TRUE(accessed.Contains(Index{5, 6, z_lo}));
+  EXPECT_TRUE(accessed.Contains(Index{5, 6, z_lo + 3}));
+  EXPECT_FALSE(accessed.Contains(Index{5, 6, z_lo + 4}));
+}
+
+TEST(MsiProgramTest, GroundTruthFractionMatchesPaper) {
+  // The paper reports 96.24% debloat for MSI (Table III).
+  MsiProgram program;
+  const double fraction =
+      static_cast<double>(program.GroundTruth().size()) /
+      static_cast<double>(program.data_shape().NumElements());
+  EXPECT_NEAR(1.0 - fraction, 0.9624, 0.004);
+}
+
+// ------------------------------------------------------------------ FIG4 --
+
+TEST(DemoProgramTest, RegionsAreDisjoint) {
+  DemoMultiRegionProgram program;
+  EXPECT_TRUE(program.IsUseful(10, 60));    // Band.
+  EXPECT_TRUE(program.IsUseful(104, 24));   // Disk island.
+  EXPECT_TRUE(program.IsUseful(96, 64));    // Square island.
+  EXPECT_FALSE(program.IsUseful(60, 10));   // Below the band, no island.
+  EXPECT_FALSE(program.IsUseful(127, 127));
+}
+
+TEST(DemoProgramTest, AccessMirrorsParameterSpace) {
+  DemoMultiRegionProgram program;
+  const IndexSet accessed = program.AccessSet({10.0, 60.0});
+  EXPECT_TRUE(accessed.Contains(Index{10, 60}));
+  EXPECT_TRUE(program.AccessSet({60.0, 10.0}).empty());
+}
+
+// ----------------------------------------------------- audited execution --
+
+TEST(ProgramAuditTest, ExecuteOnFileMatchesAccessSet) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  DataArray array(program->data_shape(), DType::kFloat64);
+  array.FillPattern(9);
+  const std::string path = ::testing::TempDir() + "/cs32.kdf";
+  ASSERT_TRUE(WriteKdfFile(path, array).ok());
+
+  const ParamValue v{2.0, 3.0};
+  StatusOr<AuditReport> report =
+      RunAudited(path, /*pid=*/1, [&](TracedFile& file) {
+        return program->ExecuteOnFile(v, file);
+      });
+  ASSERT_TRUE(report.ok());
+  const IndexSet expected = program->AccessSet(v);
+  EXPECT_EQ(report->accessed_indices.size(), expected.size());
+  EXPECT_TRUE(expected.IsSubsetOf(report->accessed_indices));
+}
+
+TEST(ProgramAuditTest, ChunkedLayoutRecoversSameIndices) {
+  std::unique_ptr<Program> program = CreateProgram("LDC", 32);
+  DataArray array(program->data_shape(), DType::kFloat64);
+  const std::string path = ::testing::TempDir() + "/ldc32.kdf";
+  ASSERT_TRUE(
+      WriteKdfFile(path, array, LayoutKind::kChunked, {8, 8}).ok());
+  const ParamValue v{1.0, 2.0};
+  StatusOr<AuditReport> report =
+      RunAudited(path, 1, [&](TracedFile& file) {
+        return program->ExecuteOnFile(v, file);
+      });
+  ASSERT_TRUE(report.ok());
+  const IndexSet expected = program->AccessSet(v);
+  EXPECT_EQ(report->accessed_indices.size(), expected.size());
+  EXPECT_TRUE(expected.IsSubsetOf(report->accessed_indices));
+}
+
+TEST(ProgramAuditTest, ShapeMismatchIsRejected) {
+  std::unique_ptr<Program> program = CreateProgram("CS", 32);
+  DataArray array(Shape{16, 16}, DType::kFloat64);
+  const std::string path = ::testing::TempDir() + "/mismatch.kdf";
+  ASSERT_TRUE(WriteKdfFile(path, array).ok());
+  StatusOr<AuditReport> report =
+      RunAudited(path, 1, [&](TracedFile& file) {
+        return program->ExecuteOnFile({1.0, 2.0}, file);
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kondo

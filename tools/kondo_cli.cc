@@ -1,0 +1,459 @@
+// kondo — command-line front end for the Kondo data-debloating library.
+//
+//   kondo programs
+//   kondo spec <Kondofile>
+//   kondo make-data <program> <out.kdf> [--chunked] [--seed N]
+//   kondo inspect <file.kdf|file.kdd>
+//   kondo debloat <program> --data <in.kdf> --out <out.kdd>
+//                 [--seed N] [--audited] [--max-iter N]
+//   kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]
+//   kondo evaluate <program> [--seed N] [--map]
+//   kondo fuzz <program> --out <state.kcs> [--seed N] [--max-iter N]
+//               [--resume <state.kcs>]
+//   kondo carve <program> --state <state.kcs> [--center X] [--boundary X]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "array/data_array.h"
+#include "array/debloated_array.h"
+#include "array/kdf_file.h"
+#include "core/container_spec.h"
+#include "core/debloat_test.h"
+#include "core/kondo.h"
+#include "core/metrics.h"
+#include "core/remote_fetch.h"
+#include "core/report.h"
+#include "core/runtime.h"
+#include "fuzz/campaign_state.h"
+#include "workloads/registry.h"
+
+namespace kondo::cli {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  kondo programs\n"
+               "  kondo spec <Kondofile>\n"
+               "  kondo make-data <program> <out.kdf> [--chunked] [--seed N]\n"
+               "  kondo inspect <file.kdf|file.kdd>\n"
+               "  kondo debloat <program> --data <in.kdf> --out <out.kdd>\n"
+               "                [--seed N] [--audited] [--max-iter N]\n"
+               "  kondo replay <program> <in.kdd> <param>... [--remote "
+               "<orig.kdf>]\n"
+               "  kondo evaluate <program> [--seed N] [--map]\n"
+               "  kondo fuzz <program> --out <state.kcs> [--seed N]\n"
+               "              [--max-iter N] [--resume <state.kcs>]\n"
+               "  kondo carve <program> --state <state.kcs> [--center X]\n"
+               "              [--boundary X]\n");
+  return 2;
+}
+
+/// Pulls the value following `flag` out of `args` (erasing both); returns
+/// empty when absent.
+std::string TakeFlagValue(std::vector<std::string>* args,
+                          const std::string& flag) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      std::string value = (*args)[i + 1];
+      args->erase(args->begin() + static_cast<int64_t>(i),
+                  args->begin() + static_cast<int64_t>(i) + 2);
+      return value;
+    }
+  }
+  return "";
+}
+
+/// Removes a boolean flag from `args`; returns whether it was present.
+bool TakeFlag(std::vector<std::string>* args, const std::string& flag) {
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      args->erase(args->begin() + static_cast<int64_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t SeedFrom(std::vector<std::string>* args) {
+  const std::string value = TakeFlagValue(args, "--seed");
+  return value.empty() ? 1 : std::strtoull(value.c_str(), nullptr, 10);
+}
+
+int CmdPrograms() {
+  std::printf("%-7s %-8s %-12s %s\n", "name", "params", "data", "description");
+  for (const std::string& name : AllProgramNames()) {
+    const std::unique_ptr<Program> program = CreateProgram(name);
+    std::printf("%-7s %-8d %-12s %s\n", name.c_str(),
+                program->param_space().num_params(),
+                program->data_shape().ToString().c_str(),
+                std::string(program->description()).c_str());
+  }
+  return 0;
+}
+
+int CmdSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<ContainerSpec> spec = ParseContainerSpec(buffer.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("base image: %s\n", spec->base_image.c_str());
+  std::printf("run steps:  %zu\n", spec->run_steps.size());
+  for (const AddInstruction& add : spec->adds) {
+    std::printf("add:        %s -> %s\n", add.source.c_str(),
+                add.destination.c_str());
+  }
+  std::printf("theta:      %s\n", spec->params.ToString().c_str());
+  std::printf("entrypoint: %s\n", spec->entrypoint.c_str());
+  return 0;
+}
+
+int CmdMakeData(std::vector<std::string> args) {
+  const bool chunked = TakeFlag(&args, "--chunked");
+  const uint64_t seed = SeedFrom(&args);
+  if (args.size() != 2) {
+    return Usage();
+  }
+  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
+    return 1;
+  }
+  DataArray array(program->data_shape(), DType::kFloat128);
+  array.FillPattern(seed);
+  std::vector<int64_t> chunk_dims(
+      static_cast<size_t>(program->rank()),
+      std::max<int64_t>(2, program->data_shape().dim(0) / 16));
+  const Status status = WriteKdfFile(
+      args[1], array, chunked ? LayoutKind::kChunked : LayoutKind::kRowMajor,
+      chunk_dims);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: shape %s, %s layout\n", args[1].c_str(),
+              program->data_shape().ToString().c_str(),
+              chunked ? "chunked" : "row-major");
+  return 0;
+}
+
+int CmdInspect(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".kdd") {
+    StatusOr<DebloatedArray> array = DebloatedArray::ReadFile(path);
+    if (!array.ok()) {
+      std::fprintf(stderr, "%s\n", array.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("debloated array (KDD)\n");
+    std::printf("shape:     %s\n", array->shape().ToString().c_str());
+    std::printf("dtype:     %s\n",
+                std::string(DTypeName(array->dtype())).c_str());
+    std::printf("retained:  %lld of %lld elements (%.1f%%)\n",
+                static_cast<long long>(array->retained_count()),
+                static_cast<long long>(array->shape().NumElements()),
+                100.0 * static_cast<double>(array->retained_count()) /
+                    static_cast<double>(array->shape().NumElements()));
+    std::printf("payload:   %lld bytes (original %lld, %.1f%% smaller)\n",
+                static_cast<long long>(array->DebloatedPayloadBytes()),
+                static_cast<long long>(array->OriginalPayloadBytes()),
+                100.0 * array->SizeReductionFraction());
+    return 0;
+  }
+  StatusOr<KdfReader> reader = KdfReader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("data array (KDF)\n");
+  std::printf("shape:   %s\n", reader->shape().ToString().c_str());
+  std::printf("dtype:   %s\n",
+              std::string(DTypeName(reader->header().dtype)).c_str());
+  std::printf("layout:  %s\n",
+              reader->header().layout_kind == LayoutKind::kChunked
+                  ? "chunked"
+                  : "row-major");
+  std::printf("bytes:   %lld (header %lld + payload)\n",
+              static_cast<long long>(reader->FileBytes()),
+              static_cast<long long>(reader->payload_offset()));
+  return 0;
+}
+
+int CmdDebloat(std::vector<std::string> args) {
+  const std::string data_path = TakeFlagValue(&args, "--data");
+  const std::string out_path = TakeFlagValue(&args, "--out");
+  const std::string max_iter = TakeFlagValue(&args, "--max-iter");
+  const bool audited = TakeFlag(&args, "--audited");
+  const uint64_t seed = SeedFrom(&args);
+  if (args.size() != 1 || data_path.empty() || out_path.empty()) {
+    return Usage();
+  }
+  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
+    return 1;
+  }
+
+  KondoConfig config = ScaledKondoConfig(program->data_shape());
+  config.rng_seed = seed;
+  if (!max_iter.empty()) {
+    config.fuzz.max_iter = std::atoi(max_iter.c_str());
+  }
+  KondoPipeline pipeline(config);
+  const KondoResult result =
+      audited ? pipeline.RunWithTest(
+                    MakeAuditedDebloatTest(*program, data_path),
+                    program->param_space(), program->data_shape())
+              : pipeline.Run(*program);
+  std::printf("fuzz:  %d evaluations (%d useful), %d hulls carved\n",
+              result.fuzz.stats.evaluations,
+              result.fuzz.stats.useful_evaluations,
+              result.carve_stats.final_hulls);
+
+  StatusOr<KdfReader> reader = KdfReader::Open(data_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<DataArray> array = reader->ReadAll();
+  if (!array.ok()) {
+    std::fprintf(stderr, "%s\n", array.status().ToString().c_str());
+    return 1;
+  }
+  DebloatedArray debloated = PackageDebloated(*array, result.approx);
+  if (Status status = debloated.WriteFile(out_path); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %lld -> %lld bytes (%.1f%% smaller)\n",
+              out_path.c_str(),
+              static_cast<long long>(debloated.OriginalPayloadBytes()),
+              static_cast<long long>(debloated.DebloatedPayloadBytes()),
+              100.0 * debloated.SizeReductionFraction());
+  return 0;
+}
+
+int CmdReplay(std::vector<std::string> args) {
+  const std::string remote_path = TakeFlagValue(&args, "--remote");
+  if (args.size() < 3) {
+    return Usage();
+  }
+  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
+    return 1;
+  }
+  StatusOr<DebloatedArray> array = DebloatedArray::ReadFile(args[1]);
+  if (!array.ok()) {
+    std::fprintf(stderr, "%s\n", array.status().ToString().c_str());
+    return 1;
+  }
+  ParamValue v;
+  for (size_t i = 2; i < args.size(); ++i) {
+    v.push_back(std::atof(args[i].c_str()));
+  }
+  if (static_cast<int>(v.size()) != program->param_space().num_params()) {
+    std::fprintf(stderr, "expected %d parameters\n",
+                 program->param_space().num_params());
+    return 1;
+  }
+
+  if (!remote_path.empty()) {
+    StatusOr<std::unique_ptr<KdfRemoteSource>> remote =
+        KdfRemoteSource::Open(remote_path);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
+      return 1;
+    }
+    FetchingRuntime runtime(*std::move(array), *std::move(remote));
+    const Status status = runtime.ReplayRun(*program, v);
+    std::printf("replay: %s (%lld local hits, %lld remote fetches, %lld "
+                "bytes pulled)\n",
+                status.ToString().c_str(),
+                static_cast<long long>(runtime.stats().local_hits),
+                static_cast<long long>(runtime.stats().remote_fetches),
+                static_cast<long long>(runtime.stats().bytes_fetched));
+    return status.ok() ? 0 : 1;
+  }
+
+  DebloatRuntime runtime(*std::move(array));
+  const Status status = runtime.ReplayRun(*program, v);
+  std::printf("replay: %s (%lld reads, %lld misses)\n",
+              status.ToString().c_str(),
+              static_cast<long long>(runtime.stats().reads),
+              static_cast<long long>(runtime.stats().misses));
+  return status.ok() ? 0 : 1;
+}
+
+int CmdEvaluate(std::vector<std::string> args) {
+  const uint64_t seed = SeedFrom(&args);
+  const bool map = TakeFlag(&args, "--map");
+  if (args.size() != 1) {
+    return Usage();
+  }
+  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
+    return 1;
+  }
+  KondoConfig config = ScaledKondoConfig(program->data_shape());
+  config.rng_seed = seed;
+  const KondoResult result = KondoPipeline(config).Run(*program);
+  const AccuracyMetrics metrics =
+      ComputeAccuracy(program->GroundTruth(), result.approx);
+  std::printf("%s", FormatCampaignReport(result, metrics).c_str());
+  std::printf("bloat identified: %.1f%%\n",
+              100.0 * BloatFraction(program->data_shape(), result.approx));
+  if (map) {
+    std::printf("%s",
+                RenderComparison(program->GroundTruth(), result.approx)
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdFuzz(std::vector<std::string> args) {
+  const std::string out_path = TakeFlagValue(&args, "--out");
+  const std::string resume_path = TakeFlagValue(&args, "--resume");
+  const std::string max_iter = TakeFlagValue(&args, "--max-iter");
+  const uint64_t seed = SeedFrom(&args);
+  if (args.size() != 1 || out_path.empty()) {
+    return Usage();
+  }
+  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
+    return 1;
+  }
+  KondoConfig config = ScaledKondoConfig(program->data_shape());
+  config.rng_seed = seed;
+  if (!max_iter.empty()) {
+    config.fuzz.max_iter = std::atoi(max_iter.c_str());
+  }
+  FuzzSchedule schedule(program->param_space(), program->data_shape(),
+                        config.fuzz, seed);
+  const FuzzResult result = schedule.Run(MakeDebloatTest(*program));
+  CampaignState state =
+      MakeCampaignState(program->data_shape(), result);
+
+  if (!resume_path.empty()) {
+    StatusOr<CampaignState> previous = LoadCampaignState(resume_path);
+    if (!previous.ok()) {
+      std::fprintf(stderr, "%s\n", previous.status().ToString().c_str());
+      return 1;
+    }
+    MergeCampaignState(&*previous, state);
+    state = *std::move(previous);
+  }
+  if (Status status = SaveCampaignState(out_path, state); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("campaign: %d evaluations this run; state now holds %zu seeds "
+              "and %zu discovered offsets -> %s\n",
+              result.stats.evaluations, state.seeds.size(),
+              state.discovered.size(), out_path.c_str());
+  return 0;
+}
+
+int CmdCarve(std::vector<std::string> args) {
+  const std::string state_path = TakeFlagValue(&args, "--state");
+  const std::string center = TakeFlagValue(&args, "--center");
+  const std::string boundary = TakeFlagValue(&args, "--boundary");
+  if (args.size() != 1 || state_path.empty()) {
+    return Usage();
+  }
+  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (program == nullptr) {
+    std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
+    return 1;
+  }
+  StatusOr<CampaignState> state = LoadCampaignState(state_path);
+  if (!state.ok()) {
+    std::fprintf(stderr, "%s\n", state.status().ToString().c_str());
+    return 1;
+  }
+  if (!(state->shape == program->data_shape())) {
+    std::fprintf(stderr, "campaign shape %s does not match program %s\n",
+                 state->shape.ToString().c_str(),
+                 program->data_shape().ToString().c_str());
+    return 1;
+  }
+  CarveConfig config = ScaledKondoConfig(program->data_shape()).carve;
+  if (!center.empty()) {
+    config.center_d_thresh = std::atof(center.c_str());
+  }
+  if (!boundary.empty()) {
+    config.boundary_d_thresh = std::atof(boundary.c_str());
+  }
+  CarveStats stats;
+  const IndexSet approx =
+      Carver(config).Carve(state->discovered, &stats).Rasterize();
+  const AccuracyMetrics metrics =
+      ComputeAccuracy(program->GroundTruth(), approx);
+  std::printf("carved %d hulls from %zu discovered offsets (%d merges)\n",
+              stats.final_hulls, state->discovered.size(),
+              stats.merge_operations);
+  std::printf("precision %.3f, recall %.3f, subset %lld of %lld\n",
+              metrics.precision, metrics.recall,
+              static_cast<long long>(metrics.approx_size),
+              static_cast<long long>(
+                  program->data_shape().NumElements()));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "programs" && args.empty()) {
+    return CmdPrograms();
+  }
+  if (command == "spec" && args.size() == 1) {
+    return CmdSpec(args[0]);
+  }
+  if (command == "make-data") {
+    return CmdMakeData(std::move(args));
+  }
+  if (command == "inspect" && args.size() == 1) {
+    return CmdInspect(args[0]);
+  }
+  if (command == "debloat") {
+    return CmdDebloat(std::move(args));
+  }
+  if (command == "replay") {
+    return CmdReplay(std::move(args));
+  }
+  if (command == "evaluate") {
+    return CmdEvaluate(std::move(args));
+  }
+  if (command == "fuzz") {
+    return CmdFuzz(std::move(args));
+  }
+  if (command == "carve") {
+    return CmdCarve(std::move(args));
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace kondo::cli
+
+int main(int argc, char** argv) { return kondo::cli::Main(argc, argv); }
