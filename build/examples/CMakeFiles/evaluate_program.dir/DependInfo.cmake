@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/evaluate_program.cpp" "examples/CMakeFiles/evaluate_program.dir/evaluate_program.cpp.o" "gcc" "examples/CMakeFiles/evaluate_program.dir/evaluate_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kondo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/carve/CMakeFiles/kondo_carve.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/kondo_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/kondo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/kondo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/kondo_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
