@@ -5,12 +5,23 @@ namespace kondo {
 StatusOr<AuditReport> RunAudited(
     const std::string& path, int64_t pid,
     const std::function<Status(TracedFile&)>& body) {
+  return RunAudited(path, pid, body, AuditPersistFn());
+}
+
+StatusOr<AuditReport> RunAudited(
+    const std::string& path, int64_t pid,
+    const std::function<Status(TracedFile&)>& body,
+    const AuditPersistFn& persist) {
   EventLog log;
   constexpr int64_t kFileId = 1;
   KONDO_ASSIGN_OR_RETURN(TracedFile file,
                          TracedFile::Open(path, pid, kFileId, &log));
   KONDO_RETURN_IF_ERROR(body(file));
   file.Close();
+
+  if (persist) {
+    KONDO_RETURN_IF_ERROR(persist(log));
+  }
 
   AuditReport report;
   report.accessed_ranges = log.AccessedRanges(kFileId);

@@ -28,6 +28,11 @@ struct AuditReport {
   bool saw_writes = false;
 };
 
+/// Persists a finished run's event log to a durable store. The audit layer
+/// is agnostic to the on-disk format; factories live in
+/// src/provenance/persist.h (`MakeKel1Persister`, `MakeKel2Persister`).
+using AuditPersistFn = std::function<Status(const EventLog&)>;
+
 /// Runs one audited execution of an application body against a KDF data
 /// file: opens the file through the interposition shim, hands the shim to
 /// `body`, and distills the recorded events into an AuditReport.
@@ -37,6 +42,14 @@ struct AuditReport {
 StatusOr<AuditReport> RunAudited(
     const std::string& path, int64_t pid,
     const std::function<Status(TracedFile&)>& body);
+
+/// As above, but additionally hands the completed event log to `persist`
+/// before distilling the report — the hook that makes KEL1/KEL2 stores
+/// durable backends of the auditor. A persist failure fails the audit.
+StatusOr<AuditReport> RunAudited(
+    const std::string& path, int64_t pid,
+    const std::function<Status(TracedFile&)>& body,
+    const AuditPersistFn& persist);
 
 }  // namespace kondo
 

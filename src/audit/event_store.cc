@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/strings.h"
+
 namespace kondo {
 namespace {
 
@@ -37,15 +39,20 @@ StatusOr<EventStoreWriter> EventStoreWriter::Create(const std::string& path) {
   }
   char header[kHeaderBytes] = {};
   std::memcpy(header, kMagic, 4);
-  if (std::fwrite(header, 1, kHeaderBytes, file) != kHeaderBytes) {
+  const size_t n = std::fwrite(header, 1, kHeaderBytes, file);
+  if (n != kHeaderBytes) {
     std::fclose(file);
-    return InternalError("cannot write event store header: " + path);
+    return InternalError(StrCat("event store header short write: ", path,
+                                ": wrote ", n, " of ", kHeaderBytes,
+                                " bytes"));
   }
-  return EventStoreWriter(file);
+  return EventStoreWriter(file, path);
 }
 
 EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept
-    : file_(other.file_), events_written_(other.events_written_) {
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      events_written_(other.events_written_) {
   other.file_ = nullptr;
 }
 
@@ -54,6 +61,7 @@ EventStoreWriter& EventStoreWriter::operator=(
   if (this != &other) {
     (void)Close();
     file_ = other.file_;
+    path_ = std::move(other.path_);
     events_written_ = other.events_written_;
     other.file_ = nullptr;
   }
@@ -64,12 +72,15 @@ EventStoreWriter::~EventStoreWriter() { (void)Close(); }
 
 Status EventStoreWriter::Append(const Event& event) {
   if (file_ == nullptr) {
-    return FailedPreconditionError("event store already closed");
+    return FailedPreconditionError("event store already closed: " + path_);
   }
   char buf[kRecordBytes];
   EncodeRecord(event, buf);
-  if (std::fwrite(buf, 1, kRecordBytes, file_) != kRecordBytes) {
-    return InternalError("event store write failed");
+  const size_t n = std::fwrite(buf, 1, kRecordBytes, file_);
+  if (n != kRecordBytes) {
+    return InternalError(StrCat("event store short write: ", path_,
+                                ": wrote ", n, " of ", kRecordBytes,
+                                " bytes (record ", events_written_, ")"));
   }
   ++events_written_;
   return OkStatus();
@@ -89,7 +100,7 @@ Status EventStoreWriter::Close() {
   const int rc = std::fclose(file_);
   file_ = nullptr;
   if (rc != 0) {
-    return InternalError("event store close failed");
+    return InternalError("event store close failed: " + path_);
   }
   return OkStatus();
 }

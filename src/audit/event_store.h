@@ -45,9 +45,11 @@ class EventStoreWriter {
   int64_t events_written() const { return events_written_; }
 
  private:
-  explicit EventStoreWriter(std::FILE* file) : file_(file) {}
+  EventStoreWriter(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
 
   std::FILE* file_ = nullptr;
+  std::string path_;
   int64_t events_written_ = 0;
 };
 

@@ -1,11 +1,21 @@
 #ifndef KONDO_COMMON_STRINGS_H_
 #define KONDO_COMMON_STRINGS_H_
 
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace kondo {
+
+/// Concatenates the stream renderings of its arguments — the error-message
+/// workhorse (`StrCat("short write: ", n, " of ", total, " bytes")`).
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
 
 /// Splits `text` on `delimiter`, trimming nothing. Empty pieces are kept.
 std::vector<std::string> StrSplit(std::string_view text, char delimiter);

@@ -1,0 +1,250 @@
+#include "provenance/kel2_reader.h"
+
+#include <cstring>
+
+#include "audit/event_store.h"
+#include "common/strings.h"
+#include "provenance/crc32.h"
+#include "provenance/varint.h"
+
+namespace kondo {
+namespace {
+
+int64_t ReadI64(const char* buf) {
+  int64_t value;
+  std::memcpy(&value, buf, 8);
+  return value;
+}
+
+uint32_t ReadU32(const char* buf) {
+  uint32_t value;
+  std::memcpy(&value, buf, 4);
+  return value;
+}
+
+/// Decodes one delta + zigzag varint column of `count` values.
+bool DecodeDeltaColumn(VarintReader* in, uint32_t count,
+                       std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(count);
+  int64_t prev = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    int64_t delta;
+    if (!in->NextSigned(&delta)) {
+      return false;
+    }
+    prev += delta;
+    out->push_back(prev);
+  }
+  return true;
+}
+
+Kel2BlockInfo ParseDescriptor(const char* buf) {
+  Kel2BlockInfo info;
+  info.payload_bytes = ReadU32(buf);
+  info.crc32 = ReadU32(buf + 4);
+  info.event_count = ReadU32(buf + 8);
+  info.min_offset = ReadI64(buf + 16);
+  info.max_end = ReadI64(buf + 24);
+  info.min_pid = ReadI64(buf + 32);
+  info.max_pid = ReadI64(buf + 40);
+  info.min_file_id = ReadI64(buf + 48);
+  info.max_file_id = ReadI64(buf + 56);
+  return info;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Event>> DecodeKel2Payload(const char* payload,
+                                               size_t size,
+                                               uint32_t event_count) {
+  VarintReader in(payload, size);
+  std::vector<int64_t> pids, file_ids;
+  if (!DecodeDeltaColumn(&in, event_count, &pids) ||
+      !DecodeDeltaColumn(&in, event_count, &file_ids)) {
+    return DataLossError("KEL2 payload truncated in id columns");
+  }
+
+  std::vector<EventType> types;
+  types.reserve(event_count);
+  while (types.size() < event_count) {
+    uint8_t type_byte;
+    uint64_t run;
+    if (!in.NextByte(&type_byte) || !in.Next(&run) || run == 0 ||
+        run > event_count - types.size()) {
+      return DataLossError("KEL2 type column mis-encoded");
+    }
+    types.insert(types.end(), static_cast<size_t>(run),
+                 static_cast<EventType>(type_byte));
+  }
+
+  std::vector<int64_t> offsets;
+  if (!DecodeDeltaColumn(&in, event_count, &offsets)) {
+    return DataLossError("KEL2 payload truncated in offset column");
+  }
+
+  std::vector<int64_t> sizes;
+  sizes.reserve(event_count);
+  while (sizes.size() < event_count) {
+    int64_t value;
+    uint64_t run;
+    if (!in.NextSigned(&value) || !in.Next(&run) || run == 0 ||
+        run > event_count - sizes.size()) {
+      return DataLossError("KEL2 size column mis-encoded");
+    }
+    sizes.insert(sizes.end(), static_cast<size_t>(run), value);
+  }
+  if (!in.AtEnd()) {
+    return DataLossError(
+        StrCat("KEL2 payload has ", size - in.position(),
+               " trailing bytes after ", event_count, " events"));
+  }
+
+  std::vector<Event> events(event_count);
+  for (uint32_t i = 0; i < event_count; ++i) {
+    events[i].id.pid = pids[i];
+    events[i].id.file_id = file_ids[i];
+    events[i].type = types[i];
+    events[i].offset = offsets[i];
+    events[i].size = sizes[i];
+  }
+  return events;
+}
+
+StatusOr<Kel2Reader> Kel2Reader::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open KEL2 store: " + path);
+  }
+  char header[kKel2HeaderBytes];
+  if (std::fread(header, 1, kKel2HeaderBytes, file) != kKel2HeaderBytes ||
+      std::memcmp(header, kKel2Magic, 4) != 0) {
+    std::fclose(file);
+    return DataLossError("not a KEL2 event store: " + path);
+  }
+
+  Kel2Reader reader(file, path);
+  char descriptor[kKel2DescriptorBytes];
+  int64_t pos = kKel2HeaderBytes;
+  while (true) {
+    const size_t n = std::fread(descriptor, 1, kKel2DescriptorBytes, file);
+    if (n < kKel2DescriptorBytes) {
+      break;  // Clean EOF or torn trailing descriptor: drop.
+    }
+    Kel2BlockInfo info = ParseDescriptor(descriptor);
+    if (info.payload_bytes > kKel2MaxPayloadBytes) {
+      std::fclose(file);
+      reader.file_ = nullptr;
+      return DataLossError(StrCat("KEL2 block at offset ", pos,
+                                  " declares implausible payload of ",
+                                  info.payload_bytes, " bytes: ", path));
+    }
+    info.payload_pos = pos + static_cast<int64_t>(kKel2DescriptorBytes);
+    // A torn write can leave the descriptor intact but the payload short:
+    // probe the payload end before accepting the block.
+    if (std::fseek(file, info.payload_pos +
+                             static_cast<int64_t>(info.payload_bytes) - 1,
+                   SEEK_SET) != 0 ||
+        std::fgetc(file) == EOF) {
+      break;  // Torn trailing payload: drop the block.
+    }
+    reader.blocks_.push_back(info);
+    reader.num_events_ += info.event_count;
+    reader.block_bytes_ += static_cast<int64_t>(kKel2DescriptorBytes) +
+                           static_cast<int64_t>(info.payload_bytes);
+    pos = info.payload_pos + static_cast<int64_t>(info.payload_bytes);
+  }
+  return reader;
+}
+
+Kel2Reader::Kel2Reader(Kel2Reader&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      blocks_(std::move(other.blocks_)),
+      num_events_(other.num_events_),
+      block_bytes_(other.block_bytes_) {
+  other.file_ = nullptr;
+}
+
+Kel2Reader& Kel2Reader::operator=(Kel2Reader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    blocks_ = std::move(other.blocks_);
+    num_events_ = other.num_events_;
+    block_bytes_ = other.block_bytes_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Kel2Reader::~Kel2Reader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+StatusOr<std::vector<Event>> Kel2Reader::DecodeBlock(size_t index) const {
+  if (index >= blocks_.size()) {
+    return OutOfRangeError(StrCat("block ", index, " of ", blocks_.size()));
+  }
+  const Kel2BlockInfo& info = blocks_[index];
+  std::string payload(info.payload_bytes, '\0');
+  if (std::fseek(file_, info.payload_pos, SEEK_SET) != 0 ||
+      std::fread(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return DataLossError(StrCat("cannot read KEL2 block ", index, " of ",
+                                path_));
+  }
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  if (crc != info.crc32) {
+    return DataLossError(StrCat("KEL2 block ", index,
+                                " checksum mismatch (stored ", info.crc32,
+                                ", computed ", crc, "): ", path_));
+  }
+  return DecodeKel2Payload(payload.data(), payload.size(),
+                           info.event_count);
+}
+
+StatusOr<std::vector<Event>> Kel2Reader::ReadAll() const {
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(num_events_));
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    KONDO_ASSIGN_OR_RETURN(std::vector<Event> block, DecodeBlock(i));
+    events.insert(events.end(), block.begin(), block.end());
+  }
+  return events;
+}
+
+bool IsKel2Store(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return false;
+  }
+  char magic[4];
+  const bool is_kel2 = std::fread(magic, 1, 4, file) == 4 &&
+                       std::memcmp(magic, kKel2Magic, 4) == 0;
+  std::fclose(file);
+  return is_kel2;
+}
+
+StatusOr<std::vector<Event>> ReadLineageStore(const std::string& path) {
+  if (IsKel2Store(path)) {
+    KONDO_ASSIGN_OR_RETURN(Kel2Reader reader, Kel2Reader::Open(path));
+    return reader.ReadAll();
+  }
+  return ReadEventStore(path);
+}
+
+Status ReplayLineageStore(const std::string& path, EventLog* log) {
+  KONDO_ASSIGN_OR_RETURN(std::vector<Event> events, ReadLineageStore(path));
+  for (const Event& event : events) {
+    log->Record(event);
+  }
+  return OkStatus();
+}
+
+}  // namespace kondo

@@ -1,0 +1,87 @@
+#ifndef KONDO_PROVENANCE_KEL2_READER_H_
+#define KONDO_PROVENANCE_KEL2_READER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "audit/event.h"
+#include "audit/event_log.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "provenance/kel2_format.h"
+
+namespace kondo {
+
+/// Reader for the KEL2 block-compressed lineage store. `Open` scans only
+/// the 64-byte block descriptors (seeking past every payload), so a store
+/// of millions of events is indexed by reading a few kilobytes; payloads
+/// are decoded lazily per block, which is what lets the query engine skip
+/// blocks that cannot match.
+///
+/// Crash semantics: a truncated trailing descriptor or payload (torn
+/// write) is silently dropped at Open, mirroring KEL1. A structurally
+/// complete block whose payload fails its CRC is reported as
+/// `kDataLoss` by DecodeBlock/ReadAll — corruption is detected, never
+/// silently mis-decoded.
+class Kel2Reader {
+ public:
+  static StatusOr<Kel2Reader> Open(const std::string& path);
+
+  Kel2Reader(Kel2Reader&& other) noexcept;
+  Kel2Reader& operator=(Kel2Reader&& other) noexcept;
+  ~Kel2Reader();
+
+  /// Block descriptors in file order (the torn tail, if any, excluded).
+  const std::vector<Kel2BlockInfo>& blocks() const { return blocks_; }
+  int64_t NumBlocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+  /// Total events across all intact blocks.
+  int64_t NumEvents() const { return num_events_; }
+
+  /// Descriptor bytes + payload bytes of the intact blocks (excludes the
+  /// 8-byte file header).
+  int64_t BlockBytes() const { return block_bytes_; }
+
+  /// Decodes one block: reads its payload, verifies the CRC, and expands
+  /// the columnar sections back into events.
+  StatusOr<std::vector<Event>> DecodeBlock(size_t index) const;
+
+  /// Decodes every block in order.
+  StatusOr<std::vector<Event>> ReadAll() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Kel2Reader(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<Kel2BlockInfo> blocks_;
+  int64_t num_events_ = 0;
+  int64_t block_bytes_ = 0;
+};
+
+/// Decodes a KEL2 columnar payload (CRC already verified) into events.
+/// Returns kDataLoss when the payload does not decode to exactly
+/// `event_count` events.
+StatusOr<std::vector<Event>> DecodeKel2Payload(const char* payload,
+                                               size_t size,
+                                               uint32_t event_count);
+
+/// True when the file at `path` starts with the KEL2 magic.
+bool IsKel2Store(const std::string& path);
+
+/// Reads an event store of either generation, dispatching on the magic:
+/// "KEL1" decodes the fixed-width stream, "KEL2" the block-compressed one.
+/// This is what makes KEL2 a drop-in durable backend for EventLog replay.
+StatusOr<std::vector<Event>> ReadLineageStore(const std::string& path);
+
+/// Replays either store format into `log`.
+Status ReplayLineageStore(const std::string& path, EventLog* log);
+
+}  // namespace kondo
+
+#endif  // KONDO_PROVENANCE_KEL2_READER_H_

@@ -1,0 +1,231 @@
+#include "provenance/kel2_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/strings.h"
+#include "provenance/crc32.h"
+#include "provenance/varint.h"
+
+namespace kondo {
+namespace {
+
+void AppendI64(int64_t value, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  out->append(buf, 8);
+}
+
+void AppendU32(uint32_t value, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out->append(buf, 4);
+}
+
+/// Delta + zigzag + varint column: each value is stored as the signed
+/// difference from its predecessor (the first from 0), so near-sequential
+/// streams collapse to one byte per value.
+void EncodeDeltaColumn(const std::vector<Event>& events,
+                       int64_t (*field)(const Event&), std::string* out) {
+  int64_t prev = 0;
+  for (const Event& event : events) {
+    const int64_t value = field(event);
+    AppendSignedVarint(value - prev, out);
+    prev = value;
+  }
+}
+
+}  // namespace
+
+void EncodeKel2Block(const std::vector<Event>& events, std::string* out) {
+  std::string payload;
+  payload.reserve(events.size() * 4);
+
+  EncodeDeltaColumn(events, [](const Event& e) { return e.id.pid; },
+                    &payload);
+  EncodeDeltaColumn(events, [](const Event& e) { return e.id.file_id; },
+                    &payload);
+
+  // Types: run-length pairs (u8 value, varint run).
+  for (size_t i = 0; i < events.size();) {
+    size_t run = 1;
+    while (i + run < events.size() &&
+           events[i + run].type == events[i].type) {
+      ++run;
+    }
+    payload.push_back(static_cast<char>(events[i].type));
+    AppendVarint(run, &payload);
+    i += run;
+  }
+
+  EncodeDeltaColumn(events, [](const Event& e) { return e.offset; },
+                    &payload);
+
+  // Sizes: run-length pairs (zigzag varint value, varint run) — stencil
+  // reads repeat the element width thousands of times.
+  for (size_t i = 0; i < events.size();) {
+    size_t run = 1;
+    while (i + run < events.size() &&
+           events[i + run].size == events[i].size) {
+      ++run;
+    }
+    AppendSignedVarint(events[i].size, &payload);
+    AppendVarint(run, &payload);
+    i += run;
+  }
+
+  // Descriptor. Offset bounds cover data-access events only so blocks of
+  // pure open/close traffic never match an interval query.
+  int64_t min_offset = std::numeric_limits<int64_t>::max();
+  int64_t max_end = std::numeric_limits<int64_t>::min();
+  int64_t min_pid = std::numeric_limits<int64_t>::max();
+  int64_t max_pid = std::numeric_limits<int64_t>::min();
+  int64_t min_file = std::numeric_limits<int64_t>::max();
+  int64_t max_file = std::numeric_limits<int64_t>::min();
+  for (const Event& event : events) {
+    min_pid = std::min(min_pid, event.id.pid);
+    max_pid = std::max(max_pid, event.id.pid);
+    min_file = std::min(min_file, event.id.file_id);
+    max_file = std::max(max_file, event.id.file_id);
+    if (event.IsDataAccess() && event.size > 0) {
+      min_offset = std::min(min_offset, event.offset);
+      max_end = std::max(max_end, event.offset + event.size);
+    }
+  }
+  if (events.empty()) {
+    min_pid = max_pid = min_file = max_file = 0;
+  }
+  if (max_end == std::numeric_limits<int64_t>::min()) {
+    min_offset = 0;  // No data accesses: empty range (min > max).
+    max_end = -1;
+  }
+
+  AppendU32(static_cast<uint32_t>(payload.size()), out);
+  AppendU32(Crc32(payload.data(), payload.size()), out);
+  AppendU32(static_cast<uint32_t>(events.size()), out);
+  AppendU32(0, out);
+  AppendI64(min_offset, out);
+  AppendI64(max_end, out);
+  AppendI64(min_pid, out);
+  AppendI64(max_pid, out);
+  AppendI64(min_file, out);
+  AppendI64(max_file, out);
+  out->append(payload);
+}
+
+StatusOr<Kel2Writer> Kel2Writer::Create(const std::string& path,
+                                        const Kel2WriterOptions& options) {
+  if (options.events_per_block <= 0) {
+    return InvalidArgumentError(
+        StrCat("events_per_block must be positive, got ",
+               options.events_per_block));
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot create KEL2 store: " + path);
+  }
+  char header[kKel2HeaderBytes] = {};
+  std::memcpy(header, kKel2Magic, 4);
+  const size_t n = std::fwrite(header, 1, kKel2HeaderBytes, file);
+  if (n != kKel2HeaderBytes) {
+    std::fclose(file);
+    return InternalError(StrCat("KEL2 header short write: ", path,
+                                ": wrote ", n, " of ", kKel2HeaderBytes,
+                                " bytes"));
+  }
+  return Kel2Writer(file, path, options);
+}
+
+Kel2Writer::Kel2Writer(Kel2Writer&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      options_(other.options_),
+      buffer_(std::move(other.buffer_)),
+      events_written_(other.events_written_),
+      blocks_written_(other.blocks_written_) {
+  other.file_ = nullptr;
+}
+
+Kel2Writer& Kel2Writer::operator=(Kel2Writer&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    buffer_ = std::move(other.buffer_);
+    events_written_ = other.events_written_;
+    blocks_written_ = other.blocks_written_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Kel2Writer::~Kel2Writer() { (void)Close(); }
+
+Status Kel2Writer::Append(const Event& event) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("KEL2 store already closed: " + path_);
+  }
+  buffer_.push_back(event);
+  if (static_cast<int64_t>(buffer_.size()) >= options_.events_per_block) {
+    return SealBlock();
+  }
+  return OkStatus();
+}
+
+Status Kel2Writer::AppendAll(const EventLog& log) {
+  for (const Event& event : log.events()) {
+    KONDO_RETURN_IF_ERROR(Append(event));
+  }
+  return OkStatus();
+}
+
+Status Kel2Writer::SealBlock() {
+  std::string block;
+  EncodeKel2Block(buffer_, &block);
+  const size_t n = std::fwrite(block.data(), 1, block.size(), file_);
+  if (n != block.size()) {
+    return InternalError(StrCat("KEL2 block short write: ", path_,
+                                ": wrote ", n, " of ", block.size(),
+                                " bytes"));
+  }
+  events_written_ += static_cast<int64_t>(buffer_.size());
+  ++blocks_written_;
+  buffer_.clear();
+  return OkStatus();
+}
+
+Status Kel2Writer::Flush() {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("KEL2 store already closed: " + path_);
+  }
+  if (!buffer_.empty()) {
+    KONDO_RETURN_IF_ERROR(SealBlock());
+  }
+  if (std::fflush(file_) != 0) {
+    return InternalError("KEL2 flush failed: " + path_);
+  }
+  return OkStatus();
+}
+
+Status Kel2Writer::Close() {
+  if (file_ == nullptr) {
+    return OkStatus();
+  }
+  Status seal = OkStatus();
+  if (!buffer_.empty()) {
+    seal = SealBlock();
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (!seal.ok()) {
+    return seal;
+  }
+  if (rc != 0) {
+    return InternalError("KEL2 close failed: " + path_);
+  }
+  return OkStatus();
+}
+
+}  // namespace kondo

@@ -1,0 +1,52 @@
+#ifndef KONDO_PROVENANCE_PERSIST_H_
+#define KONDO_PROVENANCE_PERSIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "audit/auditor.h"
+#include "audit/event_log.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "provenance/kel2_writer.h"
+
+namespace kondo {
+
+/// Builds an AuditPersistFn that writes the audited run's events to a KEL2
+/// store at `path` — plug it into `RunAudited` to make the
+/// block-compressed store the durable backend of the auditor.
+AuditPersistFn MakeKel2Persister(std::string path,
+                                 Kel2WriterOptions options = {});
+
+/// KEL1-compatible persister (the original 40-byte-per-record store), for
+/// callers that want the uncompressed format.
+AuditPersistFn MakeKel1Persister(std::string path);
+
+/// Outcome of compacting a KEL1 store into KEL2.
+struct CompactStats {
+  int64_t events = 0;
+  int64_t blocks = 0;
+  int64_t input_bytes = 0;
+  int64_t output_bytes = 0;
+
+  double Ratio() const {
+    return output_bytes > 0
+               ? static_cast<double>(input_bytes) /
+                     static_cast<double>(output_bytes)
+               : 0.0;
+  }
+};
+
+/// Rewrites the KEL1 (or KEL2) store at `input_path` as a KEL2 store at
+/// `output_path`, preserving event order byte-exactly.
+StatusOr<CompactStats> CompactLineageStore(const std::string& input_path,
+                                           const std::string& output_path,
+                                           Kel2WriterOptions options = {});
+
+/// Size of `path` in bytes (kNotFound when missing).
+StatusOr<int64_t> FileSizeBytes(const std::string& path);
+
+}  // namespace kondo
+
+#endif  // KONDO_PROVENANCE_PERSIST_H_

@@ -1,0 +1,34 @@
+#include "provenance/varint.h"
+
+namespace kondo {
+
+void AppendVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool VarintReader::Next(uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (shift == 63 && byte > 1) {
+      return false;  // Over-long encoding would overflow 64 bits.
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) {
+      return false;
+    }
+  }
+  return false;  // Truncated.
+}
+
+}  // namespace kondo

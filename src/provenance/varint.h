@@ -1,0 +1,73 @@
+#ifndef KONDO_PROVENANCE_VARINT_H_
+#define KONDO_PROVENANCE_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kondo {
+
+/// LEB128 variable-length integer codec used by the KEL2 columnar block
+/// payload. Offsets in stencil-style lineage are near-sequential, so the
+/// delta + zigzag + varint pipeline collapses most 8-byte fields to 1 byte.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint (1..10 bytes).
+void AppendVarint(uint64_t value, std::string* out);
+
+/// Maps a signed value onto the unsigned varint space so that small
+/// magnitudes of either sign stay short: 0,-1,1,-2,... -> 0,1,2,3,...
+inline uint64_t ZigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+/// Appends a signed value as zigzag + varint.
+inline void AppendSignedVarint(int64_t value, std::string* out) {
+  AppendVarint(ZigzagEncode(value), out);
+}
+
+/// Bounds-checked varint decoder over a byte range.
+class VarintReader {
+ public:
+  VarintReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  /// Decodes the next varint into `*value`. Returns false on truncated or
+  /// over-long input (never reads past the end).
+  bool Next(uint64_t* value);
+
+  /// Reads one raw byte (the RLE type column interleaves raw value bytes
+  /// with varint run lengths).
+  bool NextByte(uint8_t* value) {
+    if (pos_ >= size_) {
+      return false;
+    }
+    *value = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  /// Decodes a zigzag-encoded signed varint.
+  bool NextSigned(int64_t* value) {
+    uint64_t raw;
+    if (!Next(&raw)) {
+      return false;
+    }
+    *value = ZigzagDecode(raw);
+    return true;
+  }
+
+  /// Bytes consumed so far.
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_PROVENANCE_VARINT_H_

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 namespace kondo {
@@ -175,6 +176,108 @@ TEST(CliTest, ReplayWrongArityFails) {
   const CommandResult result = RunCli("replay LDC " + kdd + " 1 2 3");
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.output.find("expected 2 parameters"), std::string::npos);
+}
+
+// ------------------------------------------------------------ provenance --
+
+/// Writes a minimal KEL1 store by hand (the test binary links only gtest,
+/// so it re-states the 40-byte record layout of docs/FORMATS.md).
+void WriteKel1Fixture(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("KEL1\0\0\0\0", 1, 8, f);
+  const struct {
+    int64_t pid, file_id;
+    unsigned char type;
+    int64_t offset, size;
+  } records[] = {
+      {1, 1, 2, 0, 100},    // pread [0,100)
+      {2, 1, 2, 250, 100},  // pread [250,350)
+      {1, 1, 2, 40, 20},    // pread [40,60)
+  };
+  for (const auto& r : records) {
+    char buf[40] = {};
+    std::memcpy(buf, &r.pid, 8);
+    std::memcpy(buf + 8, &r.file_id, 8);
+    buf[16] = static_cast<char>(r.type);
+    std::memcpy(buf + 24, &r.offset, 8);
+    std::memcpy(buf + 32, &r.size, 8);
+    std::fwrite(buf, 1, sizeof(buf), f);
+  }
+  std::fclose(f);
+}
+
+TEST(CliTest, GlobalUsageListsProvenance) {
+  const CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("provenance compact"), std::string::npos);
+  EXPECT_NE(result.output.find("provenance query"), std::string::npos);
+  EXPECT_NE(result.output.find("provenance stats"), std::string::npos);
+}
+
+TEST(CliTest, ArgumentErrorPrintsPerCommandUsage) {
+  // A recognised command with bad arguments prints only its own synopsis,
+  // not the global usage wall.
+  const CommandResult result = RunCli("debloat");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("kondo debloat"), std::string::npos);
+  EXPECT_EQ(result.output.find("kondo fuzz"), std::string::npos);
+  EXPECT_EQ(result.output.find("kondo provenance"), std::string::npos);
+
+  const CommandResult prov = RunCli("provenance");
+  EXPECT_EQ(prov.exit_code, 2);
+  EXPECT_NE(prov.output.find("provenance compact"), std::string::npos);
+  EXPECT_EQ(prov.output.find("kondo debloat"), std::string::npos);
+}
+
+TEST(CliTest, ProvenanceCompactQueryStatsFlow) {
+  const std::string kel1 = TempPath("cli_prov.kel");
+  const std::string kel2 = TempPath("cli_prov.kel2");
+  WriteKel1Fixture(kel1);
+
+  const CommandResult compact =
+      RunCli("provenance compact " + kel1 + " " + kel2 + " --block 2");
+  EXPECT_EQ(compact.exit_code, 0) << compact.output;
+  EXPECT_NE(compact.output.find("3 events"), std::string::npos);
+
+  // Querying either generation of store finds the same events; the KEL2
+  // answer reports block decode/skip counts.
+  const CommandResult q1 = RunCli("provenance query " + kel1 +
+                                  " --range 30:50");
+  EXPECT_EQ(q1.exit_code, 0) << q1.output;
+  EXPECT_NE(q1.output.find("full scan"), std::string::npos);
+  EXPECT_NE(q1.output.find("2 events"), std::string::npos);
+
+  const CommandResult q2 = RunCli("provenance query " + kel2 +
+                                  " --range 30:50");
+  EXPECT_EQ(q2.exit_code, 0) << q2.output;
+  EXPECT_NE(q2.output.find("2 events"), std::string::npos);
+  EXPECT_NE(q2.output.find("blocks"), std::string::npos);
+
+  const CommandResult runs = RunCli("provenance query " + kel2 +
+                                    " --range 240:260 --runs");
+  EXPECT_EQ(runs.exit_code, 0) << runs.output;
+  EXPECT_NE(runs.output.find("2\n"), std::string::npos);
+  EXPECT_NE(runs.output.find("1 runs"), std::string::npos);
+
+  const CommandResult stats = RunCli("provenance stats " + kel2);
+  EXPECT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("KEL2 store: 3 events"), std::string::npos);
+  EXPECT_NE(stats.output.find("run 1: 100 distinct bytes"),
+            std::string::npos);
+
+  const CommandResult stats1 = RunCli("provenance stats " + kel1);
+  EXPECT_EQ(stats1.exit_code, 0) << stats1.output;
+  EXPECT_NE(stats1.output.find("KEL1 store: 3 events"), std::string::npos);
+}
+
+TEST(CliTest, ProvenanceQueryRejectsBadRange) {
+  const std::string kel1 = TempPath("cli_prov_bad.kel");
+  WriteKel1Fixture(kel1);
+  const CommandResult result =
+      RunCli("provenance query " + kel1 + " --range 50:30");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("invalid --range"), std::string::npos);
 }
 
 }  // namespace

@@ -11,7 +11,11 @@
 //   kondo fuzz <program> --out <state.kcs> [--seed N] [--max-iter N]
 //               [--resume <state.kcs>]
 //   kondo carve <program> --state <state.kcs> [--center X] [--boundary X]
+//   kondo provenance compact <in.kel> <out.kel2> [--block N]
+//   kondo provenance query <store> --range A:B [--file F] [--runs]
+//   kondo provenance stats <store>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,29 +35,66 @@
 #include "core/remote_fetch.h"
 #include "core/report.h"
 #include "core/runtime.h"
+#include "common/strings.h"
 #include "fuzz/campaign_state.h"
+#include "provenance/kel2_reader.h"
+#include "provenance/kel2_writer.h"
+#include "provenance/persist.h"
+#include "provenance/provenance_query.h"
 #include "workloads/registry.h"
 
 namespace kondo::cli {
 namespace {
 
+/// Per-command usage lines. Argument errors print only the offending
+/// command's synopsis; the bare `kondo` invocation prints them all.
+struct CommandHelp {
+  const char* name;
+  const char* usage;
+};
+
+constexpr CommandHelp kCommandHelp[] = {
+    {"programs", "  kondo programs\n"},
+    {"spec", "  kondo spec <Kondofile>\n"},
+    {"make-data",
+     "  kondo make-data <program> <out.kdf> [--chunked] [--seed N]\n"},
+    {"inspect", "  kondo inspect <file.kdf|file.kdd>\n"},
+    {"debloat",
+     "  kondo debloat <program> --data <in.kdf> --out <out.kdd>\n"
+     "                [--seed N] [--audited] [--max-iter N]\n"},
+    {"replay",
+     "  kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]\n"},
+    {"evaluate", "  kondo evaluate <program> [--seed N] [--map]\n"},
+    {"fuzz",
+     "  kondo fuzz <program> --out <state.kcs> [--seed N]\n"
+     "              [--max-iter N] [--resume <state.kcs>]\n"},
+    {"carve",
+     "  kondo carve <program> --state <state.kcs> [--center X]\n"
+     "              [--boundary X]\n"},
+    {"provenance",
+     "  kondo provenance compact <in.kel> <out.kel2> [--block N]\n"
+     "  kondo provenance query <store> --range A:B [--file F] [--runs]\n"
+     "  kondo provenance stats <store>\n"},
+};
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  kondo programs\n"
-               "  kondo spec <Kondofile>\n"
-               "  kondo make-data <program> <out.kdf> [--chunked] [--seed N]\n"
-               "  kondo inspect <file.kdf|file.kdd>\n"
-               "  kondo debloat <program> --data <in.kdf> --out <out.kdd>\n"
-               "                [--seed N] [--audited] [--max-iter N]\n"
-               "  kondo replay <program> <in.kdd> <param>... [--remote "
-               "<orig.kdf>]\n"
-               "  kondo evaluate <program> [--seed N] [--map]\n"
-               "  kondo fuzz <program> --out <state.kcs> [--seed N]\n"
-               "              [--max-iter N] [--resume <state.kcs>]\n"
-               "  kondo carve <program> --state <state.kcs> [--center X]\n"
-               "              [--boundary X]\n");
+  std::fprintf(stderr, "usage:\n");
+  for (const CommandHelp& help : kCommandHelp) {
+    std::fprintf(stderr, "%s", help.usage);
+  }
   return 2;
+}
+
+/// Argument error for a recognised command: print just that command's
+/// synopsis.
+int UsageFor(const char* name) {
+  for (const CommandHelp& help : kCommandHelp) {
+    if (std::strcmp(help.name, name) == 0) {
+      std::fprintf(stderr, "usage:\n%s", help.usage);
+      return 2;
+    }
+  }
+  return Usage();
 }
 
 /// Pulls the value following `flag` out of `args` (erasing both); returns
@@ -128,7 +169,7 @@ int CmdMakeData(std::vector<std::string> args) {
   const bool chunked = TakeFlag(&args, "--chunked");
   const uint64_t seed = SeedFrom(&args);
   if (args.size() != 2) {
-    return Usage();
+    return UsageFor("make-data");
   }
   const std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
@@ -201,7 +242,7 @@ int CmdDebloat(std::vector<std::string> args) {
   const bool audited = TakeFlag(&args, "--audited");
   const uint64_t seed = SeedFrom(&args);
   if (args.size() != 1 || data_path.empty() || out_path.empty()) {
-    return Usage();
+    return UsageFor("debloat");
   }
   const std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
@@ -251,7 +292,7 @@ int CmdDebloat(std::vector<std::string> args) {
 int CmdReplay(std::vector<std::string> args) {
   const std::string remote_path = TakeFlagValue(&args, "--remote");
   if (args.size() < 3) {
-    return Usage();
+    return UsageFor("replay");
   }
   const std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
@@ -304,7 +345,7 @@ int CmdEvaluate(std::vector<std::string> args) {
   const uint64_t seed = SeedFrom(&args);
   const bool map = TakeFlag(&args, "--map");
   if (args.size() != 1) {
-    return Usage();
+    return UsageFor("evaluate");
   }
   const std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
@@ -333,7 +374,7 @@ int CmdFuzz(std::vector<std::string> args) {
   const std::string max_iter = TakeFlagValue(&args, "--max-iter");
   const uint64_t seed = SeedFrom(&args);
   if (args.size() != 1 || out_path.empty()) {
-    return Usage();
+    return UsageFor("fuzz");
   }
   const std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
@@ -376,7 +417,7 @@ int CmdCarve(std::vector<std::string> args) {
   const std::string center = TakeFlagValue(&args, "--center");
   const std::string boundary = TakeFlagValue(&args, "--boundary");
   if (args.size() != 1 || state_path.empty()) {
-    return Usage();
+    return UsageFor("carve");
   }
   const std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
@@ -417,6 +458,215 @@ int CmdCarve(std::vector<std::string> args) {
   return 0;
 }
 
+// ---------------------------------------------------------- provenance --
+
+int CmdProvenanceCompact(std::vector<std::string> args) {
+  const std::string block = TakeFlagValue(&args, "--block");
+  if (args.size() != 2) {
+    return UsageFor("provenance");
+  }
+  Kel2WriterOptions options;
+  if (!block.empty()) {
+    if (!ParseInt64(block, &options.events_per_block) ||
+        options.events_per_block <= 0) {
+      std::fprintf(stderr, "invalid --block value: %s\n", block.c_str());
+      return 1;
+    }
+  }
+  StatusOr<CompactStats> stats =
+      CompactLineageStore(args[0], args[1], options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compacted %s -> %s: %lld events in %lld blocks, "
+              "%lld -> %lld bytes (%.2fx smaller)\n",
+              args[0].c_str(), args[1].c_str(),
+              static_cast<long long>(stats->events),
+              static_cast<long long>(stats->blocks),
+              static_cast<long long>(stats->input_bytes),
+              static_cast<long long>(stats->output_bytes), stats->Ratio());
+  return 0;
+}
+
+/// Parses "A:B" into a half-open byte range.
+bool ParseRange(const std::string& text, int64_t* begin, int64_t* end) {
+  const std::vector<std::string> parts = StrSplit(text, ':');
+  return parts.size() == 2 && ParseInt64(parts[0], begin) &&
+         ParseInt64(parts[1], end) && *begin < *end;
+}
+
+int CmdProvenanceQuery(std::vector<std::string> args) {
+  const std::string range = TakeFlagValue(&args, "--range");
+  const std::string file = TakeFlagValue(&args, "--file");
+  const bool runs_only = TakeFlag(&args, "--runs");
+  if (args.size() != 1 || range.empty()) {
+    return UsageFor("provenance");
+  }
+  int64_t begin = 0, end = 0;
+  if (!ParseRange(range, &begin, &end)) {
+    std::fprintf(stderr, "invalid --range (want A:B with A < B): %s\n",
+                 range.c_str());
+    return 1;
+  }
+  int64_t file_id = 1;
+  if (!file.empty() && !ParseInt64(file, &file_id)) {
+    std::fprintf(stderr, "invalid --file value: %s\n", file.c_str());
+    return 1;
+  }
+
+  if (!IsKel2Store(args[0])) {
+    // KEL1 has no block index: fall back to a full decode + filter.
+    StatusOr<std::vector<Event>> events = ReadLineageStore(args[0]);
+    if (!events.ok()) {
+      std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<int64_t> pids;
+    int64_t matches = 0;
+    for (const Event& event : *events) {
+      if (event.IsDataAccess() && event.id.file_id == file_id &&
+          event.offset < end && begin < event.offset + event.size) {
+        ++matches;
+        pids.push_back(event.id.pid);
+        if (!runs_only) {
+          std::printf("%s\n", event.ToString().c_str());
+        }
+      }
+    }
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+    if (runs_only) {
+      for (int64_t pid : pids) {
+        std::printf("%lld\n", static_cast<long long>(pid));
+      }
+    }
+    std::printf("%lld events, %zu runs in [%lld,%lld) — full scan of %zu "
+                "events (KEL1 store has no block index)\n",
+                static_cast<long long>(matches), pids.size(),
+                static_cast<long long>(begin), static_cast<long long>(end),
+                events->size());
+    return 0;
+  }
+
+  StatusOr<Kel2Reader> reader = Kel2Reader::Open(args[0]);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  ProvenanceQuery query(&*reader);
+  StatusOr<std::vector<Event>> events =
+      query.EventsOverlapping(file_id, begin, end);
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int64_t> pids;
+  for (const Event& event : *events) {
+    pids.push_back(event.id.pid);
+    if (!runs_only) {
+      std::printf("%s\n", event.ToString().c_str());
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  if (runs_only) {
+    for (int64_t pid : pids) {
+      std::printf("%lld\n", static_cast<long long>(pid));
+    }
+  }
+  const ProvenanceQueryStats& stats = query.stats();
+  std::printf("%zu events, %zu runs in [%lld,%lld) — decoded %lld of %lld "
+              "blocks (%lld skipped in-situ)\n",
+              events->size(), pids.size(), static_cast<long long>(begin),
+              static_cast<long long>(end),
+              static_cast<long long>(stats.blocks_decoded),
+              static_cast<long long>(reader->NumBlocks()),
+              static_cast<long long>(stats.blocks_skipped));
+  return 0;
+}
+
+int CmdProvenanceStats(const std::string& path) {
+  StatusOr<int64_t> file_bytes = FileSizeBytes(path);
+  if (!file_bytes.ok()) {
+    std::fprintf(stderr, "%s\n", file_bytes.status().ToString().c_str());
+    return 1;
+  }
+  if (!IsKel2Store(path)) {
+    StatusOr<std::vector<Event>> events = ReadLineageStore(path);
+    if (!events.ok()) {
+      std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("KEL1 store: %zu events, %lld bytes (40 bytes/event "
+                "fixed)\n",
+                events->size(), static_cast<long long>(*file_bytes));
+    return 0;
+  }
+  StatusOr<Kel2Reader> reader = Kel2Reader::Open(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("KEL2 store: %lld events in %lld blocks, %lld bytes\n",
+              static_cast<long long>(reader->NumEvents()),
+              static_cast<long long>(reader->NumBlocks()),
+              static_cast<long long>(*file_bytes));
+  if (reader->NumEvents() > 0) {
+    std::printf("density:    %.2f bytes/event (vs 40 in KEL1, %.2fx "
+                "smaller)\n",
+                static_cast<double>(reader->BlockBytes()) /
+                    static_cast<double>(reader->NumEvents()),
+                40.0 * static_cast<double>(reader->NumEvents()) /
+                    static_cast<double>(reader->BlockBytes()));
+  }
+  ProvenanceQuery query(&*reader);
+  // Distinct file ids are bounded by the per-block ranges; collect them
+  // from the descriptors instead of decoding payloads.
+  std::vector<int64_t> file_ids;
+  for (const Kel2BlockInfo& block : reader->blocks()) {
+    for (int64_t f = block.min_file_id; f <= block.max_file_id; ++f) {
+      file_ids.push_back(f);
+    }
+  }
+  std::sort(file_ids.begin(), file_ids.end());
+  file_ids.erase(std::unique(file_ids.begin(), file_ids.end()),
+                 file_ids.end());
+  for (int64_t file_id : file_ids) {
+    StatusOr<std::map<int64_t, int64_t>> coverage =
+        query.PerRunCoverage(file_id);
+    if (!coverage.ok()) {
+      std::fprintf(stderr, "%s\n", coverage.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [pid, bytes] : *coverage) {
+      std::printf("file %lld run %lld: %lld distinct bytes accessed\n",
+                  static_cast<long long>(file_id),
+                  static_cast<long long>(pid),
+                  static_cast<long long>(bytes));
+    }
+  }
+  return 0;
+}
+
+int CmdProvenance(std::vector<std::string> args) {
+  if (args.empty()) {
+    return UsageFor("provenance");
+  }
+  const std::string sub = args[0];
+  args.erase(args.begin());
+  if (sub == "compact") {
+    return CmdProvenanceCompact(std::move(args));
+  }
+  if (sub == "query") {
+    return CmdProvenanceQuery(std::move(args));
+  }
+  if (sub == "stats" && args.size() == 1) {
+    return CmdProvenanceStats(args[0]);
+  }
+  return UsageFor("provenance");
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -449,6 +699,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "carve") {
     return CmdCarve(std::move(args));
+  }
+  if (command == "provenance") {
+    return CmdProvenance(std::move(args));
   }
   return Usage();
 }
