@@ -1,0 +1,227 @@
+// Parallel campaign executor speedup: wall-clock of identical fuzz+carve
+// campaigns at --jobs 1/2/4/8 on a stencil (CS) and a block (LDC) workload.
+// Emits BENCH_parallel.json in the working directory.
+//
+// The debloat test of Definition 2 executes the target program as a real
+// process and waits on it — the campaign thread is *blocked*, not
+// computing. That latency is modelled here with a per-test sleep (not a
+// busy-wait: a blocking wait overlaps across workers even on a single
+// hardware thread, exactly like real process waits, whereas a busy-wait
+// would measure core count instead of executor efficiency).
+//
+// Every run also fingerprints its FuzzResult (discovered set, seed
+// sequence, counters); the gate fails if any jobs setting diverges from
+// jobs=1 — speedup is only meaningful if results stay bit-identical.
+//
+// Knobs: KONDO_BENCH_PAR_ITERS        campaign iterations (default 160)
+//        KONDO_BENCH_PAR_SLEEP_MICROS per-test exec latency (default 2000)
+//        KONDO_BENCH_PAR_REPS         timing reps, best-of (default 2)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "core/kondo.h"
+#include "core/metrics.h"
+#include "exec/test_candidate.h"
+#include "exec/thread_pool.h"
+#include "workloads/registry.h"
+
+namespace kondo {
+namespace {
+
+constexpr int kJobs[] = {1, 2, 4, 8};
+
+/// FNV-1a over the campaign's result — discovered linear ids in sorted
+/// order, the evaluated seed sequence, and the counters. Equal fingerprints
+/// <=> bit-identical campaign outcome.
+uint64_t Fingerprint(const FuzzResult& fuzz, const Shape& shape) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 1099511628211ull;
+    }
+  };
+  std::vector<int64_t> ids;
+  ids.reserve(fuzz.discovered.size());
+  fuzz.discovered.ForEach([&ids, &shape](const Index& index) {
+    ids.push_back(shape.Linearize(index));
+  });
+  std::sort(ids.begin(), ids.end());
+  for (int64_t id : ids) {
+    mix(static_cast<uint64_t>(id));
+  }
+  for (const Seed& seed : fuzz.seeds) {
+    for (double v : seed.value) {
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      mix(bits);
+    }
+    mix(seed.useful ? 1 : 0);
+  }
+  mix(static_cast<uint64_t>(fuzz.stats.iterations));
+  mix(static_cast<uint64_t>(fuzz.stats.evaluations));
+  mix(static_cast<uint64_t>(fuzz.stats.restarts));
+  return hash;
+}
+
+struct JobsRun {
+  int jobs = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  int evaluations = 0;
+  double recall = 0.0;
+  double precision = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+struct WorkloadResult {
+  std::string workload;
+  std::vector<JobsRun> runs;
+};
+
+WorkloadResult RunWorkload(const std::string& name, int max_iter,
+                           int64_t sleep_micros, int reps) {
+  std::unique_ptr<Program> program = CreateProgram(name, 48);
+  const Program& ref = *program;
+
+  // The latency-modelled debloat test: block (as a real process wait
+  // would), then compute I_v. Depends only on the candidate, as the
+  // CandidateTestFn contract requires.
+  const CandidateTestFn test = [&ref, sleep_micros](
+                                   const TestCandidate& candidate) {
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_micros));
+    CandidateResult result;
+    result.accessed = ref.AccessSet(candidate.value);
+    return result;
+  };
+
+  WorkloadResult out;
+  out.workload = name;
+  for (int jobs : kJobs) {
+    KondoConfig config;
+    config.rng_seed = 29;
+    config.fuzz.max_iter = max_iter;
+    config.jobs = jobs;
+    const KondoPipeline pipeline(config);
+
+    double best_seconds = 0.0;
+    KondoResult result;
+    for (int rep = 0; rep < reps; ++rep) {
+      Stopwatch stopwatch;
+      result = pipeline.RunWithCandidateTest(test, ref.param_space(),
+                                             ref.data_shape());
+      const double seconds = stopwatch.ElapsedSeconds();
+      if (rep == 0 || seconds < best_seconds) {
+        best_seconds = seconds;
+      }
+    }
+
+    const AccuracyMetrics metrics =
+        ComputeAccuracy(ref.GroundTruth(), result.approx);
+    JobsRun run;
+    run.jobs = jobs;
+    run.seconds = best_seconds;
+    run.evaluations = result.fuzz.stats.evaluations;
+    run.recall = metrics.recall;
+    run.precision = metrics.precision;
+    run.fingerprint = Fingerprint(result.fuzz, ref.data_shape());
+    run.speedup = out.runs.empty() ? 1.0
+                                   : out.runs.front().seconds /
+                                         std::max(best_seconds, 1e-9);
+    out.runs.push_back(run);
+
+    std::printf("%-4s jobs=%d  %7.3f s  speedup %5.2fx  evals %4d  "
+                "recall %.4f  precision %.4f  fp %016llx\n",
+                name.c_str(), jobs, run.seconds, run.speedup,
+                run.evaluations, run.recall, run.precision,
+                static_cast<unsigned long long>(run.fingerprint));
+  }
+  return out;
+}
+
+void WriteJson(const std::vector<WorkloadResult>& results, int max_iter,
+               int64_t sleep_micros, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"parallel_speedup\",\n"
+               "  \"iterations\": %d,\n  \"exec_sleep_micros\": %lld,\n"
+               "  \"hardware_threads\": %d,\n  \"workloads\": [\n",
+               max_iter, static_cast<long long>(sleep_micros),
+               HardwareThreads());
+  for (size_t w = 0; w < results.size(); ++w) {
+    const WorkloadResult& result = results[w];
+    std::fprintf(f, "    {\"workload\": \"%s\", \"runs\": [\n",
+                 result.workload.c_str());
+    for (size_t i = 0; i < result.runs.size(); ++i) {
+      const JobsRun& run = result.runs[i];
+      std::fprintf(f,
+                   "      {\"jobs\": %d, \"seconds\": %.6f, "
+                   "\"speedup_vs_1\": %.4f, \"evaluations\": %d,\n"
+                   "       \"recall\": %.6f, \"precision\": %.6f, "
+                   "\"fingerprint\": \"%016llx\", "
+                   "\"bit_identical_to_jobs1\": %s}%s\n",
+                   run.jobs, run.seconds, run.speedup, run.evaluations,
+                   run.recall, run.precision,
+                   static_cast<unsigned long long>(run.fingerprint),
+                   run.fingerprint == result.runs.front().fingerprint
+                       ? "true"
+                       : "false",
+                   i + 1 < result.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", w + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Run() {
+  const int max_iter = bench::EnvInt("KONDO_BENCH_PAR_ITERS", 160);
+  const int64_t sleep_micros =
+      bench::EnvInt("KONDO_BENCH_PAR_SLEEP_MICROS", 2000);
+  const int reps = bench::EnvInt("KONDO_BENCH_PAR_REPS", 2);
+
+  std::vector<WorkloadResult> results;
+  results.push_back(RunWorkload("CS", max_iter, sleep_micros, reps));
+  results.push_back(RunWorkload("LDC", max_iter, sleep_micros, reps));
+  WriteJson(results, max_iter, sleep_micros, "BENCH_parallel.json");
+
+  // Acceptance gates: every jobs setting bit-identical to jobs=1, and the
+  // stencil campaign at jobs=8 at least 3x faster than jobs=1.
+  bool ok = true;
+  for (const WorkloadResult& result : results) {
+    for (const JobsRun& run : result.runs) {
+      if (run.fingerprint != result.runs.front().fingerprint) {
+        std::fprintf(stderr, "FAIL: %s jobs=%d diverged from jobs=1\n",
+                     result.workload.c_str(), run.jobs);
+        ok = false;
+      }
+    }
+  }
+  const JobsRun& stencil_j8 = results[0].runs.back();
+  if (stencil_j8.speedup < 3.0) {
+    std::fprintf(stderr, "FAIL: stencil jobs=8 speedup %.2fx < 3.0x\n",
+                 stencil_j8.speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kondo
+
+int main() { return kondo::Run(); }

@@ -1,6 +1,24 @@
 #include "audit/auditor.h"
 
+#include <utility>
+
 namespace kondo {
+namespace {
+
+constexpr int64_t kFileId = 1;
+
+/// Distills the recorded events into the per-run report.
+AuditReport DistillReport(const EventLog& log, const TracedFile& file) {
+  AuditReport report;
+  report.accessed_ranges = log.AccessedRanges(kFileId);
+  OffsetMapper mapper(&file.reader().layout(), file.reader().payload_offset());
+  report.accessed_indices = mapper.IndicesForRanges(report.accessed_ranges);
+  report.num_events = log.NumEvents();
+  report.saw_writes = log.HasWrites(kFileId);
+  return report;
+}
+
+}  // namespace
 
 StatusOr<AuditReport> RunAudited(
     const std::string& path, int64_t pid,
@@ -13,7 +31,6 @@ StatusOr<AuditReport> RunAudited(
     const std::function<Status(TracedFile&)>& body,
     const AuditPersistFn& persist) {
   EventLog log;
-  constexpr int64_t kFileId = 1;
   KONDO_ASSIGN_OR_RETURN(TracedFile file,
                          TracedFile::Open(path, pid, kFileId, &log));
   KONDO_RETURN_IF_ERROR(body(file));
@@ -23,12 +40,22 @@ StatusOr<AuditReport> RunAudited(
     KONDO_RETURN_IF_ERROR(persist(log));
   }
 
-  AuditReport report;
-  report.accessed_ranges = log.AccessedRanges(kFileId);
-  OffsetMapper mapper(&file.reader().layout(), file.reader().payload_offset());
-  report.accessed_indices = mapper.IndicesForRanges(report.accessed_ranges);
-  report.num_events = log.NumEvents();
-  report.saw_writes = log.HasWrites(kFileId);
+  return DistillReport(log, file);
+}
+
+StatusOr<AuditReport> RunAuditedCapture(
+    const std::string& path, int64_t pid,
+    const std::function<Status(TracedFile&)>& body, EventLog* log_out) {
+  EventLog log;
+  KONDO_ASSIGN_OR_RETURN(TracedFile file,
+                         TracedFile::Open(path, pid, kFileId, &log));
+  KONDO_RETURN_IF_ERROR(body(file));
+  file.Close();
+
+  AuditReport report = DistillReport(log, file);
+  if (log_out != nullptr) {
+    *log_out = std::move(log);
+  }
   return report;
 }
 

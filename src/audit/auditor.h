@@ -31,6 +31,17 @@ struct AuditReport {
 /// Persists a finished run's event log to a durable store. The audit layer
 /// is agnostic to the on-disk format; factories live in
 /// src/provenance/persist.h (`MakeKel1Persister`, `MakeKel2Persister`).
+///
+/// Single-writer contract: persisters are stateful writers over one store
+/// and are NOT safe to invoke concurrently — two interleaved calls can tear
+/// blocks or drop runs. Callers running audited tests in parallel must
+/// funnel persistence through one thread: the campaign executor does this
+/// via `ResultCollector` (src/exec/result_collector.h), which persists
+/// consumed runs in candidate order and rejects concurrent use with
+/// kFailedPrecondition. For ad-hoc concurrent callers,
+/// `MakeSerializedPersister` (src/provenance/persist.h) wraps any persister
+/// with a mutex so racing RunAudited calls serialize instead of corrupting
+/// the store.
 using AuditPersistFn = std::function<Status(const EventLog&)>;
 
 /// Runs one audited execution of an application body against a KDF data
@@ -50,6 +61,14 @@ StatusOr<AuditReport> RunAudited(
     const std::string& path, int64_t pid,
     const std::function<Status(TracedFile&)>& body,
     const AuditPersistFn& persist);
+
+/// As `RunAudited` without a persister, but additionally moves the run's
+/// raw event log into `*log_out` (when non-null) so the caller can defer
+/// persistence — e.g. the parallel campaign executor, whose single-writer
+/// ResultCollector channel persists consumed runs in candidate order.
+StatusOr<AuditReport> RunAuditedCapture(
+    const std::string& path, int64_t pid,
+    const std::function<Status(TracedFile&)>& body, EventLog* log_out);
 
 }  // namespace kondo
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "exec/test_candidate.h"
 #include "fuzz/fuzz_schedule.h"
 #include "workloads/program.h"
 
@@ -15,6 +16,12 @@ namespace kondo {
 /// experiments (it does not change the computed `I'_Θ`).
 DebloatTestFn MakeDebloatTest(const Program& program);
 
+/// Candidate-aware offset-printing test for the parallel executor. Safe to
+/// run concurrently: programs are stateless over `Execute`, and the
+/// candidate's identity-derived RNG stream covers any randomness a harness
+/// layers on top.
+CandidateTestFn MakeCandidateTest(const Program& program);
+
 /// Builds a fully audited debloat test: each invocation opens `kdf_path`
 /// through the interposition shim, executes the program's real positioned
 /// reads, and recovers `I_v` from the recorded `<id, c, l, sz>` events via
@@ -22,6 +29,15 @@ DebloatTestFn MakeDebloatTest(const Program& program);
 /// integration tests. The file's shape must match the program's.
 DebloatTestFn MakeAuditedDebloatTest(const Program& program,
                                      const std::string& kdf_path);
+
+/// Candidate-aware audited test for the parallel executor. Each run opens
+/// its own shim over `kdf_path` (no shared mutable state), records lineage
+/// under run id `1 + candidate.seq` — deterministic across `--jobs`
+/// settings, unlike a worker-thread id — and returns the captured event log
+/// in `CandidateResult::log` so the campaign's ResultCollector can persist
+/// consumed runs in candidate order through the single-writer channel.
+CandidateTestFn MakeAuditedCandidateTest(const Program& program,
+                                         const std::string& kdf_path);
 
 }  // namespace kondo
 

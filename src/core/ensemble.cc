@@ -1,16 +1,31 @@
 #include "core/ensemble.h"
 
+#include "exec/campaign_executor.h"
+#include "exec/thread_pool.h"
+
 namespace kondo {
 
 EnsembleResult RunEnsembleKondo(const Program& program,
                                 const KondoConfig& base_config,
                                 int num_members) {
+  // Members are fully independent campaigns (distinct seeds), so they fan
+  // out across the executor whole; each member runs its own schedule
+  // serially. Merging in member order keeps the result identical to the
+  // jobs=1 run.
+  CampaignExecutor executor(
+      ClampJobs(std::min(base_config.jobs, std::max(num_members, 1))));
+  std::vector<KondoResult> member_results = executor.Map<KondoResult>(
+      num_members, [&program, &base_config](int64_t member) {
+        KondoConfig config = base_config;
+        config.jobs = 1;
+        config.rng_seed =
+            base_config.rng_seed + static_cast<uint64_t>(member);
+        return KondoPipeline(config).Run(program);
+      });
+
   EnsembleResult result;
   result.combined_discovered = IndexSet(program.data_shape());
-  for (int member = 0; member < num_members; ++member) {
-    KondoConfig config = base_config;
-    config.rng_seed = base_config.rng_seed + static_cast<uint64_t>(member);
-    const KondoResult member_result = KondoPipeline(config).Run(program);
+  for (const KondoResult& member_result : member_results) {
     result.combined_discovered.Union(member_result.fuzz.discovered);
     result.member_approx_sizes.push_back(
         static_cast<int64_t>(member_result.approx.size()));

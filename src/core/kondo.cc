@@ -4,20 +4,34 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "exec/thread_pool.h"
 
 namespace kondo {
 
 KondoResult KondoPipeline::Run(const Program& program) const {
-  return RunWithTest(MakeDebloatTest(program), program.param_space(),
-                     program.data_shape());
+  return RunWithCandidateTest(MakeCandidateTest(program),
+                              program.param_space(), program.data_shape());
 }
 
 KondoResult KondoPipeline::RunWithTest(const DebloatTestFn& test,
                                        const ParamSpace& space,
                                        const Shape& shape) const {
+  return RunWithCandidateTest(
+      [&test](const TestCandidate& candidate) {
+        CandidateResult result;
+        result.accessed = test(candidate.value);
+        return result;
+      },
+      space, shape);
+}
+
+KondoResult KondoPipeline::RunWithCandidateTest(
+    const CandidateTestFn& test, const ParamSpace& space, const Shape& shape,
+    ResultCollector* collector) const {
   Stopwatch stopwatch;
+  CampaignExecutor executor(ClampJobs(config_.jobs));
   FuzzSchedule schedule(space, shape, config_.fuzz, config_.rng_seed);
-  FuzzResult fuzz = schedule.Run(test);
+  FuzzResult fuzz = schedule.Run(executor, test, collector);
   const double fuzz_seconds = stopwatch.ElapsedSeconds();
 
   stopwatch.Reset();

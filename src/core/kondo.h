@@ -21,6 +21,11 @@ struct KondoConfig {
   FuzzConfig fuzz;
   CarveConfig carve;
   uint64_t rng_seed = 1;
+
+  /// Worker threads for debloat-test execution (src/exec/). Any value
+  /// produces bit-identical campaign results (tested points, discovered
+  /// offsets, carved hulls) to `jobs = 1`; only wall-clock time changes.
+  int jobs = 1;
 };
 
 /// Output of one Kondo run: the fuzz campaign, the carved hulls, and the
@@ -52,6 +57,16 @@ class KondoPipeline {
   /// `shape`) — e.g. a fully audited test from MakeAuditedDebloatTest.
   KondoResult RunWithTest(const DebloatTestFn& test, const ParamSpace& space,
                           const Shape& shape) const;
+
+  /// Runs the pipeline with a candidate-aware test fanned out across
+  /// `config().jobs` workers. When `collector` is non-null, consumed test
+  /// outcomes (and their lineage logs) are funnelled through it in
+  /// candidate order — the single-writer channel that keeps on-disk
+  /// lineage identical to the serial path.
+  KondoResult RunWithCandidateTest(const CandidateTestFn& test,
+                                   const ParamSpace& space,
+                                   const Shape& shape,
+                                   ResultCollector* collector = nullptr) const;
 
  private:
   KondoConfig config_;

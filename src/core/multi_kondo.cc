@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "exec/thread_pool.h"
+
 namespace kondo {
 
 MultiKondoResult RunMultiFileKondo(const MultiFileProgram& program,
@@ -13,42 +15,50 @@ MultiKondoResult RunMultiFileKondo(const MultiFileProgram& program,
   // preserves the stopping criteria ("no new offset in any file") without
   // teaching the schedule about files.
   std::vector<int64_t> offsets(static_cast<size_t>(files) + 1, 0);
+  std::vector<Shape> file_shapes;
+  file_shapes.reserve(static_cast<size_t>(files));
   for (int f = 0; f < files; ++f) {
     offsets[static_cast<size_t>(f) + 1] =
         offsets[static_cast<size_t>(f)] +
         program.file_shape(f).NumElements();
+    file_shapes.push_back(program.file_shape(f));
   }
   const Shape combined_shape({offsets.back()});
 
-  // Per-seed side channel: the wrapper records each file's accesses so the
-  // campaign's per-file union can be reconstructed without re-executing.
-  MultiIndexSets discovered;
-  for (int f = 0; f < files; ++f) {
-    discovered.emplace_back(program.file_shape(f));
-  }
-
-  const DebloatTestFn test = [&program, &discovered, &offsets,
-                              &combined_shape](const ParamValue& v) {
-    IndexSet combined(combined_shape);
-    program.Execute(v, [&](int file, const Index& index) {
-      const Shape& shape = program.file_shape(file);
+  // Each test returns its own per-file access sets (no shared side channel
+  // — workers may run tests concurrently and speculatively); the
+  // ResultCollector merges exactly the consumed tests, in candidate order,
+  // so the per-file unions match the serial campaign bit-for-bit.
+  const CandidateTestFn test = [&program, &offsets, &combined_shape,
+                                &file_shapes](const TestCandidate& candidate) {
+    CandidateResult result;
+    result.accessed = IndexSet(combined_shape);
+    result.per_file.reserve(file_shapes.size());
+    for (const Shape& shape : file_shapes) {
+      result.per_file.emplace_back(shape);
+    }
+    program.Execute(candidate.value, [&](int file, const Index& index) {
+      const Shape& shape = file_shapes[static_cast<size_t>(file)];
       if (!shape.Contains(index)) {
         return;
       }
-      discovered[static_cast<size_t>(file)].Insert(index);
-      combined.InsertLinear(offsets[static_cast<size_t>(file)] +
-                            shape.Linearize(index));
+      result.per_file[static_cast<size_t>(file)].Insert(index);
+      result.accessed.InsertLinear(offsets[static_cast<size_t>(file)] +
+                                   shape.Linearize(index));
     });
-    return combined;
+    return result;
   };
 
+  ResultCollector collector(combined_shape);
+  collector.EnablePerFile(file_shapes);
+  CampaignExecutor executor(ClampJobs(config.jobs));
   FuzzSchedule schedule(program.param_space(), combined_shape, config.fuzz,
                         config.rng_seed);
-  const FuzzResult fuzz = schedule.Run(test);
+  const FuzzResult fuzz = schedule.Run(executor, test, &collector);
 
   MultiKondoResult result;
   result.fuzz_stats = fuzz.stats;
-  result.per_file_discovered = std::move(discovered);
+  result.per_file_discovered = collector.TakePerFile();
   Carver carver(config.carve);
   for (int f = 0; f < files; ++f) {
     CarveStats stats;

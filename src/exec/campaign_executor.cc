@@ -1,0 +1,72 @@
+#include "exec/campaign_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace kondo {
+
+CampaignExecutor::CampaignExecutor(int jobs) : jobs_(std::max(1, jobs)) {
+  if (jobs_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(jobs_);
+  }
+}
+
+void CampaignExecutor::ParallelFor(int64_t n,
+                                   const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (pool_ == nullptr || n == 1) {
+    for (int64_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // One pool task per worker; each task pulls item indices from the shared
+  // cursor until the batch is exhausted (cheap dynamic load balancing —
+  // debloat tests have wildly varying access-set sizes).
+  const int tasks = static_cast<int>(
+      std::min<int64_t>(n, static_cast<int64_t>(jobs_)));
+  std::atomic<int64_t> cursor{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int pending = tasks;
+  std::exception_ptr first_error;
+
+  for (int t = 0; t < tasks; ++t) {
+    pool_->Submit([&] {
+      for (int64_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          if (first_error == nullptr) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) {
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&pending] { return pending == 0; });
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+std::vector<CandidateResult> CampaignExecutor::RunBatch(
+    const std::vector<TestCandidate>& batch, const CandidateTestFn& test) {
+  return Map<CandidateResult>(
+      static_cast<int64_t>(batch.size()),
+      [&batch, &test](int64_t i) { return test(batch[static_cast<size_t>(i)]); });
+}
+
+}  // namespace kondo

@@ -1,0 +1,64 @@
+#ifndef KONDO_EXEC_CAMPAIGN_EXECUTOR_H_
+#define KONDO_EXEC_CAMPAIGN_EXECUTOR_H_
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/test_candidate.h"
+#include "exec/thread_pool.h"
+
+namespace kondo {
+
+/// Fans independent work items out across a fixed-size thread pool and
+/// hands the results back in *item order* — the execution engine behind
+/// parallel debloat-test campaigns.
+///
+/// Within a fuzz round the exploit/explore candidates of Algorithm 1 are
+/// independent debloat tests whose outputs are only merged afterwards (the
+/// same structure AFL-style fuzzers exploit with parallel workers), so the
+/// executor may run them in any order on any worker: results land in
+/// per-item slots and the caller consumes them in candidate order, making
+/// every campaign artefact identical to the `jobs == 1` run.
+///
+/// With `jobs == 1` no pool is created and work runs inline on the calling
+/// thread — the serial path has zero thread or synchronisation overhead.
+class CampaignExecutor {
+ public:
+  /// `jobs` worker threads (clamped to at least 1).
+  explicit CampaignExecutor(int jobs = 1);
+
+  int jobs() const { return jobs_; }
+
+  /// Invokes `fn(i)` for every i in [0, n), distributing items across the
+  /// pool via an atomic work-stealing cursor. Blocks until all items are
+  /// done. The first exception thrown by `fn` is captured and rethrown on
+  /// the calling thread after the batch drains.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Maps [0, n) through `fn`, returning results in index order. `T` must
+  /// be default-constructible and movable.
+  template <typename T, typename Fn>
+  std::vector<T> Map(int64_t n, Fn&& fn) {
+    std::vector<T> results(static_cast<size_t>(n));
+    ParallelFor(n, [&results, &fn](int64_t i) {
+      results[static_cast<size_t>(i)] = fn(i);
+    });
+    return results;
+  }
+
+  /// Evaluates one round's batch of debloat-test candidates, returning
+  /// outcomes positionally aligned with `batch`.
+  std::vector<CandidateResult> RunBatch(const std::vector<TestCandidate>& batch,
+                                        const CandidateTestFn& test);
+
+ private:
+  int jobs_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // Null when jobs_ == 1.
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_EXEC_CAMPAIGN_EXECUTOR_H_

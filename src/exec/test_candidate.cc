@@ -1,0 +1,23 @@
+#include "exec/test_candidate.h"
+
+namespace kondo {
+namespace {
+
+/// SplitMix64 finaliser (the same mixer Rng uses for seeding).
+uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t DeriveTestSeed(uint64_t campaign_seed, int round, int index) {
+  uint64_t state = Mix64(campaign_seed);
+  state = Mix64(state ^ static_cast<uint64_t>(round));
+  state = Mix64(state ^ static_cast<uint64_t>(index));
+  return state;
+}
+
+}  // namespace kondo

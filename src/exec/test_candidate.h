@@ -1,0 +1,68 @@
+#ifndef KONDO_EXEC_TEST_CANDIDATE_H_
+#define KONDO_EXEC_TEST_CANDIDATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "array/index_set.h"
+#include "audit/event_log.h"
+
+namespace kondo {
+
+/// One debloat test scheduled by a fuzz campaign: the parameter value plus
+/// the deterministic identity of the test within the campaign.
+///
+/// Identity is assigned serially at candidate-*generation* time — `round` is
+/// the restart epoch of Algorithm 1 and `index` the candidate's enqueue
+/// ordinal within that epoch — so it is a pure function of the campaign seed
+/// and the schedule's decisions, never of which worker thread happens to run
+/// the test or in what order batches drain. Everything a test may need to
+/// randomise (simulated jitter, per-run audit ids) must derive from
+/// `rng_seed` / `seq`; that is what makes `--jobs N` bit-identical to
+/// `--jobs 1`.
+struct TestCandidate {
+  /// The parameter value v ∈ Θ (a ParamValue; spelled out to keep the exec
+  /// layer below the fuzz layer).
+  std::vector<double> value;
+
+  /// Restart epoch that generated this candidate (1-based; bumped by every
+  /// RANDOM_RESTART of Algorithm 1).
+  int round = 0;
+
+  /// Enqueue ordinal within `round`.
+  int index = 0;
+
+  /// Private RNG stream seed, DeriveTestSeed(campaign_seed, round, index).
+  uint64_t rng_seed = 0;
+
+  /// Campaign-global candidate counter (also scheduling-independent); used
+  /// e.g. as the audited run id so on-disk lineage is jobs-invariant.
+  int64_t seq = 0;
+};
+
+/// Outcome of one debloat test. `accessed` is the audited index subset
+/// `I_v`; `log` (optional) carries the run's raw event log so lineage
+/// persistence can be deferred to the single-writer ResultCollector channel
+/// instead of racing on the store from worker threads; `per_file` (optional)
+/// carries per-file index subsets for multi-file applications.
+struct CandidateResult {
+  IndexSet accessed;
+  std::shared_ptr<EventLog> log;
+  std::vector<IndexSet> per_file;
+};
+
+/// A debloat test over scheduled candidates. Must be safe to invoke
+/// concurrently from multiple threads and must depend only on the candidate
+/// (value + identity) — not on shared mutable campaign state.
+using CandidateTestFn = std::function<CandidateResult(const TestCandidate&)>;
+
+/// Derives the per-test RNG seed from the campaign seed and the candidate's
+/// scheduling-independent identity (SplitMix64 chaining). Equal inputs give
+/// equal streams on every platform and at every `--jobs` setting.
+uint64_t DeriveTestSeed(uint64_t campaign_seed, int round, int index);
+
+}  // namespace kondo
+
+#endif  // KONDO_EXEC_TEST_CANDIDATE_H_

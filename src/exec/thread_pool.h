@@ -1,0 +1,60 @@
+#ifndef KONDO_EXEC_THREAD_POOL_H_
+#define KONDO_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kondo {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue. Workers
+/// are spawned once at construction and joined at destruction; campaigns
+/// therefore pay thread start-up once, not per batch.
+///
+/// The pool makes no ordering or fairness promise beyond FIFO dispatch —
+/// determinism of campaign results is the CampaignExecutor's job (results
+/// are written to per-task slots and merged in candidate order), never the
+/// scheduler's.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw
+  /// across the pool boundary; wrap and capture exceptions on the caller's
+  /// side (CampaignExecutor does).
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+/// `std::thread::hardware_concurrency()` with the zero-means-unknown case
+/// mapped to 1.
+int HardwareThreads();
+
+/// Clamps a user-supplied jobs count into [1, limit]; `limit` defaults to a
+/// generous multiple of the hardware so oversubscription for latency-bound
+/// tests stays possible without letting a typo spawn thousands of threads.
+int ClampJobs(int jobs, int limit = 0);
+
+}  // namespace kondo
+
+#endif  // KONDO_EXEC_THREAD_POOL_H_

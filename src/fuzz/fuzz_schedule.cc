@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 
 namespace kondo {
+namespace {
+
+/// Speculation window per worker: how many queued candidates are evaluated
+/// ahead of consumption. Wasted work is bounded by one window when a
+/// stagnation stop fires mid-batch.
+constexpr int64_t kBatchOvercommit = 2;
+
+}  // namespace
 
 FuzzSchedule::FuzzSchedule(ParamSpace space, Shape shape, FuzzConfig config,
                            uint64_t rng_seed)
@@ -13,28 +23,65 @@ FuzzSchedule::FuzzSchedule(ParamSpace space, Shape shape, FuzzConfig config,
       shape_(std::move(shape)),
       config_(config),
       rng_(rng_seed),
+      campaign_seed_(rng_seed),
       epsilon_(config.epsilon0) {}
 
 void FuzzSchedule::RandomRestart() {
   queue_.clear();
+  ++round_;
+  round_index_ = 0;
   for (int i = 0; i < config_.init_seeds; ++i) {
-    ParamValue v = space_.Sample(rng_);
-    const std::string key = space_.QuantizeKey(v);
-    if (enqueued_or_evaluated_.insert(key).second) {
-      queue_.push_back(std::move(v));
-    }
+    Enqueue(space_.Sample(rng_));
   }
 }
 
+void FuzzSchedule::Enqueue(ParamValue v) {
+  const std::string key = space_.QuantizeKey(v);
+  if (!enqueued_or_evaluated_.insert(key).second) {
+    return;
+  }
+  TestCandidate candidate;
+  candidate.round = round_;
+  candidate.index = round_index_++;
+  candidate.rng_seed = DeriveTestSeed(campaign_seed_, candidate.round,
+                                      candidate.index);
+  candidate.seq = next_seq_++;
+  candidate.value = std::move(v);
+  queue_.push_back(std::move(candidate));
+}
+
 FuzzResult FuzzSchedule::Run(const DebloatTestFn& test,
+                             const FuzzObserver& observer) {
+  CampaignExecutor executor(1);
+  return Run(
+      executor,
+      [&test](const TestCandidate& candidate) {
+        CandidateResult result;
+        result.accessed = test(candidate.value);
+        return result;
+      },
+      /*collector=*/nullptr, observer);
+}
+
+FuzzResult FuzzSchedule::Run(CampaignExecutor& executor,
+                             const CandidateTestFn& test,
+                             ResultCollector* collector,
                              const FuzzObserver& observer) {
   FuzzResult result;
   result.discovered = IndexSet(shape_);
   Stopwatch stopwatch;
 
+  // jobs=1 keeps the window at 1: zero speculation, exactly the serial loop.
+  const int64_t max_batch =
+      executor.jobs() <= 1
+          ? 1
+          : static_cast<int64_t>(executor.jobs()) * kBatchOvercommit;
+
   int itr = 0;
   int new_itr = 0;  // Iterations since the last newly discovered offset.
-  while (true) {
+  bool done = false;
+  while (!done) {
+    // ---- serial: stopping criteria for the upcoming iteration. ----
     if (itr >= config_.max_iter) {
       break;
     }
@@ -47,9 +94,10 @@ FuzzResult FuzzSchedule::Run(const DebloatTestFn& test,
       result.stats.stopped_by_budget = true;
       break;
     }
-    ++itr;
 
-    if (queue_.empty() || (config_.restart > 0 && itr % config_.restart == 0)) {
+    const int next_itr = itr + 1;
+    if (queue_.empty() ||
+        (config_.restart > 0 && next_itr % config_.restart == 0)) {
       RandomRestart();
       ++result.stats.restarts;
       if (queue_.empty()) {
@@ -58,43 +106,88 @@ FuzzResult FuzzSchedule::Run(const DebloatTestFn& test,
       }
     }
 
-    ParamValue v = std::move(queue_.front());
-    queue_.pop_front();
-
-    const IndexSet index_subset = test(v);
-    ++result.stats.evaluations;
-    const bool useful = !index_subset.empty();
-    if (useful) {
-      ++result.stats.useful_evaluations;
+    // ---- serial: carve the evaluation batch. The batch is the queue
+    // prefix the serial loop is guaranteed to reach: it never crosses the
+    // next restart boundary (where the queue would be cleared) and never
+    // exceeds the remaining iteration budget, so membership is independent
+    // of the jobs setting. ----
+    int64_t batch_size = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), max_batch);
+    batch_size = std::min<int64_t>(batch_size, config_.max_iter - itr);
+    if (config_.restart > 0) {
+      const int64_t boundary =
+          (static_cast<int64_t>(next_itr) / config_.restart + 1) *
+          config_.restart;
+      batch_size = std::min(batch_size, boundary - next_itr);
+    }
+    std::vector<TestCandidate> batch;
+    batch.reserve(static_cast<size_t>(batch_size));
+    for (int64_t i = 0; i < batch_size; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
     }
 
-    const size_t before = result.discovered.size();
-    result.discovered.Union(index_subset);
-    if (result.discovered.size() > before) {
-      new_itr = 0;
-    } else {
-      ++new_itr;
-    }
+    // ---- parallel: the debloat tests. Tests are pure functions of their
+    // candidate (identity-derived RNG streams, no shared campaign state),
+    // so evaluation order cannot leak into the results. ----
+    std::vector<CandidateResult> outcomes = executor.RunBatch(batch, test);
 
-    if (useful) {
-      useful_clusters_.Add(v, config_.diameter);
-    } else {
-      non_useful_clusters_.Add(v, config_.diameter);
-    }
-    result.seeds.push_back(Seed{v, useful});
-    if (observer != nullptr) {
-      observer(itr, v, useful, result.discovered.size());
-    }
-
-    for (ParamValue& candidate : Mutate(v, useful)) {
-      const std::string key = space_.QuantizeKey(candidate);
-      if (enqueued_or_evaluated_.insert(key).second) {
-        queue_.push_back(std::move(candidate));
+    // ---- serial: consume outcomes in candidate order. A stopping
+    // criterion firing mid-batch discards the speculative tail, exactly as
+    // the serial loop would never have executed it. ----
+    for (size_t k = 0; k < batch.size(); ++k) {
+      if (new_itr >= config_.stop_iter) {
+        result.stats.stopped_by_stagnation = true;
+        done = true;
+        break;
       }
-    }
+      if (config_.max_seconds > 0.0 &&
+          stopwatch.ElapsedSeconds() >= config_.max_seconds) {
+        result.stats.stopped_by_budget = true;
+        done = true;
+        break;
+      }
+      ++itr;
 
-    if (config_.decay_iter > 0 && itr % config_.decay_iter == 0) {
-      epsilon_ *= config_.decay;
+      const TestCandidate& candidate = batch[k];
+      const CandidateResult& outcome = outcomes[k];
+      if (collector != nullptr) {
+        const Status status = collector->Collect(outcome);
+        KONDO_CHECK(status.ok())
+            << "campaign result collection failed: " << status;
+      }
+
+      ++result.stats.evaluations;
+      const bool useful = !outcome.accessed.empty();
+      if (useful) {
+        ++result.stats.useful_evaluations;
+      }
+
+      const size_t before = result.discovered.size();
+      result.discovered.Union(outcome.accessed);
+      if (result.discovered.size() > before) {
+        new_itr = 0;
+      } else {
+        ++new_itr;
+      }
+
+      if (useful) {
+        useful_clusters_.Add(candidate.value, config_.diameter);
+      } else {
+        non_useful_clusters_.Add(candidate.value, config_.diameter);
+      }
+      result.seeds.push_back(Seed{candidate.value, useful});
+      if (observer != nullptr) {
+        observer(itr, candidate.value, useful, result.discovered.size());
+      }
+
+      for (ParamValue& mutated : Mutate(candidate.value, useful)) {
+        Enqueue(std::move(mutated));
+      }
+
+      if (config_.decay_iter > 0 && itr % config_.decay_iter == 0) {
+        epsilon_ *= config_.decay;
+      }
     }
   }
 

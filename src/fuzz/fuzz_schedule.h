@@ -9,6 +9,9 @@
 
 #include "array/index_set.h"
 #include "common/rng.h"
+#include "exec/campaign_executor.h"
+#include "exec/result_collector.h"
+#include "exec/test_candidate.h"
 #include "fuzz/cluster.h"
 #include "fuzz/fuzz_config.h"
 #include "fuzz/param_space.h"
@@ -60,6 +63,21 @@ using FuzzObserver =
 /// exploit/explore) or greedily toward the nearest opposite-type cluster
 /// centre (boundary-based), transitioning between the two with an ε-greedy
 /// policy. Random restarts prevent localisation.
+///
+/// The schedule is split into two halves:
+///  * candidate *generation* — sampling, deduplication, clustering,
+///    mutation, ε decay — is serial and cheap, driven by the single
+///    campaign RNG stream;
+///  * candidate *execution* — the debloat tests — is embarrassingly
+///    parallel within a round and is fanned out through a CampaignExecutor.
+///
+/// Parallel runs are bit-identical to serial ones: the executor evaluates
+/// the queue prefix the serial loop is guaranteed to reach (batches never
+/// straddle a restart boundary), results are consumed in candidate order,
+/// and per-test randomness comes from `TestCandidate::rng_seed`, a pure
+/// function of (campaign seed, restart round, candidate index). Only
+/// `FuzzStats::elapsed_seconds` — and, when a wall-clock `max_seconds`
+/// budget is set, the point at which it fires — depends on `jobs`.
 class FuzzSchedule {
  public:
   /// `shape` is the data array shape (used to size the discovered IndexSet);
@@ -67,14 +85,29 @@ class FuzzSchedule {
   FuzzSchedule(ParamSpace space, Shape shape, FuzzConfig config,
                uint64_t rng_seed);
 
-  /// Runs the campaign to completion under the configured stopping criteria.
+  /// Runs the campaign serially to completion under the configured stopping
+  /// criteria (a jobs=1 convenience wrapper over the executor overload).
   FuzzResult Run(const DebloatTestFn& test,
+                 const FuzzObserver& observer = nullptr);
+
+  /// Runs the campaign with debloat tests fanned out across `executor`'s
+  /// workers. When `collector` is non-null, every consumed test's outcome is
+  /// funnelled through it — in candidate order, from this (single) thread —
+  /// which is how audited campaigns keep KEL1/KEL2 lineage identical to the
+  /// serial path. Persist failures abort the campaign (as they do in
+  /// RunAudited).
+  FuzzResult Run(CampaignExecutor& executor, const CandidateTestFn& test,
+                 ResultCollector* collector = nullptr,
                  const FuzzObserver& observer = nullptr);
 
  private:
   /// Enqueues `config_.init_seeds` fresh uniform samples, clearing the queue
-  /// (Algorithm 1's RANDOM_RESTART).
+  /// (Algorithm 1's RANDOM_RESTART). Bumps the restart round.
   void RandomRestart();
+
+  /// Deduplicates and enqueues `v`, stamping the candidate's deterministic
+  /// identity (round, index, rng_seed, seq).
+  void Enqueue(ParamValue v);
 
   /// MUTATE(v, C): returns up to `reps` candidate values.
   std::vector<ParamValue> Mutate(const ParamValue& v, bool useful);
@@ -92,12 +125,16 @@ class FuzzSchedule {
   Shape shape_;
   FuzzConfig config_;
   Rng rng_;
+  uint64_t campaign_seed_;
 
-  std::deque<ParamValue> queue_;
+  std::deque<TestCandidate> queue_;
   std::unordered_set<std::string> enqueued_or_evaluated_;
   ClusterStore useful_clusters_;
   ClusterStore non_useful_clusters_;
   double epsilon_ = 1.0;
+  int round_ = 0;        // Restart epoch (bumped by RandomRestart).
+  int round_index_ = 0;  // Candidates enqueued in the current epoch.
+  int64_t next_seq_ = 0;
 };
 
 }  // namespace kondo

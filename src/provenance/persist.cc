@@ -1,6 +1,9 @@
 #include "provenance/persist.h"
 
 #include <cstdio>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "audit/event_store.h"
 #include "provenance/kel2_reader.h"
@@ -23,6 +26,32 @@ AuditPersistFn MakeKel1Persister(std::string path) {
                            EventStoreWriter::Create(path));
     KONDO_RETURN_IF_ERROR(writer.AppendAll(log));
     return writer.Close();
+  };
+}
+
+StatusOr<CampaignLineageSink> CampaignLineageSink::Create(
+    const std::string& path, Kel2WriterOptions options) {
+  KONDO_ASSIGN_OR_RETURN(Kel2Writer writer,
+                         Kel2Writer::Create(path, options));
+  return CampaignLineageSink(
+      std::make_shared<Kel2Writer>(std::move(writer)));
+}
+
+AuditPersistFn CampaignLineageSink::persister() const {
+  return [writer = writer_, runs = runs_](const EventLog& log) -> Status {
+    KONDO_RETURN_IF_ERROR(writer->AppendAll(log));
+    ++*runs;
+    return OkStatus();
+  };
+}
+
+Status CampaignLineageSink::Close() { return writer_->Close(); }
+
+AuditPersistFn MakeSerializedPersister(AuditPersistFn persist) {
+  auto mu = std::make_shared<std::mutex>();
+  return [mu, persist = std::move(persist)](const EventLog& log) -> Status {
+    std::lock_guard<std::mutex> lock(*mu);
+    return persist(log);
   };
 }
 

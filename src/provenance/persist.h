@@ -23,6 +23,49 @@ AuditPersistFn MakeKel2Persister(std::string path,
 /// callers that want the uncompressed format.
 AuditPersistFn MakeKel1Persister(std::string path);
 
+/// Wraps `persist` so concurrent invocations serialize on an internal
+/// mutex instead of interleaving writes to the store. Use when audited
+/// runs race on one persister outside the campaign executor's ordered
+/// ResultCollector channel (see the single-writer contract on
+/// AuditPersistFn in src/audit/auditor.h). Serialization makes concurrent
+/// persistence *safe*; it does not make the run order deterministic — only
+/// the collector channel guarantees that.
+AuditPersistFn MakeSerializedPersister(AuditPersistFn persist);
+
+/// A campaign-scoped lineage sink: one open KEL2 store accumulating every
+/// persisted run, in persist-call order. This is the store end of the
+/// parallel campaign's single-writer channel — the ResultCollector invokes
+/// `persister()` once per consumed debloat test, in candidate order, so the
+/// resulting store is byte-identical to a serial (`jobs=1`) campaign.
+///
+/// Not thread-safe (see the AuditPersistFn single-writer contract in
+/// src/audit/auditor.h); wrap `persister()` in MakeSerializedPersister for
+/// unordered concurrent use. `Close()` seals the store; a sink destroyed
+/// without Close keeps KEL2's at-most-one-torn-tail guarantee.
+class CampaignLineageSink {
+ public:
+  static StatusOr<CampaignLineageSink> Create(const std::string& path,
+                                              Kel2WriterOptions options = {});
+
+  /// A persister appending to this sink's store. The returned function
+  /// shares ownership of the writer and stays valid after the sink object
+  /// goes out of scope (though only Close makes the tail block durable).
+  AuditPersistFn persister() const;
+
+  /// Runs persisted so far.
+  int64_t runs() const { return *runs_; }
+
+  /// Seals the buffered tail block and closes the store. Idempotent.
+  Status Close();
+
+ private:
+  explicit CampaignLineageSink(std::shared_ptr<Kel2Writer> writer)
+      : writer_(std::move(writer)), runs_(std::make_shared<int64_t>(0)) {}
+
+  std::shared_ptr<Kel2Writer> writer_;
+  std::shared_ptr<int64_t> runs_;
+};
+
 /// Outcome of compacting a KEL1 store into KEL2.
 struct CompactStats {
   int64_t events = 0;

@@ -2,6 +2,7 @@
 #define KONDO_WORKLOADS_PROGRAM_H_
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -51,7 +52,10 @@ class Program {
   /// The ground truth `I_Θ = ∪_{v∈Θ} I_v`. The base implementation
   /// enumerates every integer valuation of Θ (requires |Θ| <=
   /// `max_enumerated_valuations`); programs with huge Θ override this with
-  /// an analytic region fill. Results are cached.
+  /// an analytic region fill. Results are cached; the lazy fill is guarded
+  /// so one program instance can be shared across executor workers
+  /// (overrides doing their own lazy caching should guard with
+  /// `ground_truth_mu_` likewise).
   virtual const IndexSet& GroundTruth() const;
 
   /// Enumerates I_Θ exhaustively (the base implementation of GroundTruth).
@@ -61,6 +65,7 @@ class Program {
   IndexSet GroundTruthByEnumeration(double max_enumerated_valuations) const;
 
  protected:
+  mutable std::mutex ground_truth_mu_;
   mutable IndexSet ground_truth_cache_;
   mutable bool ground_truth_ready_ = false;
 };

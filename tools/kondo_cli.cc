@@ -5,11 +5,11 @@
 //   kondo make-data <program> <out.kdf> [--chunked] [--seed N]
 //   kondo inspect <file.kdf|file.kdd>
 //   kondo debloat <program> --data <in.kdf> --out <out.kdd>
-//                 [--seed N] [--audited] [--max-iter N]
+//                 [--seed N] [--audited] [--max-iter N] [--jobs N]
 //   kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]
-//   kondo evaluate <program> [--seed N] [--map]
+//   kondo evaluate <program> [--seed N] [--map] [--jobs N]
 //   kondo fuzz <program> --out <state.kcs> [--seed N] [--max-iter N]
-//               [--resume <state.kcs>]
+//               [--resume <state.kcs>] [--jobs N]
 //   kondo carve <program> --state <state.kcs> [--center X] [--boundary X]
 //   kondo provenance compact <in.kel> <out.kel2> [--block N]
 //   kondo provenance query <store> --range A:B [--file F] [--runs]
@@ -36,6 +36,8 @@
 #include "core/report.h"
 #include "core/runtime.h"
 #include "common/strings.h"
+#include "exec/campaign_executor.h"
+#include "exec/thread_pool.h"
 #include "fuzz/campaign_state.h"
 #include "provenance/kel2_reader.h"
 #include "provenance/kel2_writer.h"
@@ -61,13 +63,13 @@ constexpr CommandHelp kCommandHelp[] = {
     {"inspect", "  kondo inspect <file.kdf|file.kdd>\n"},
     {"debloat",
      "  kondo debloat <program> --data <in.kdf> --out <out.kdd>\n"
-     "                [--seed N] [--audited] [--max-iter N]\n"},
+     "                [--seed N] [--audited] [--max-iter N] [--jobs N]\n"},
     {"replay",
      "  kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]\n"},
-    {"evaluate", "  kondo evaluate <program> [--seed N] [--map]\n"},
+    {"evaluate", "  kondo evaluate <program> [--seed N] [--map] [--jobs N]\n"},
     {"fuzz",
      "  kondo fuzz <program> --out <state.kcs> [--seed N]\n"
-     "              [--max-iter N] [--resume <state.kcs>]\n"},
+     "              [--max-iter N] [--resume <state.kcs>] [--jobs N]\n"},
     {"carve",
      "  kondo carve <program> --state <state.kcs> [--center X]\n"
      "              [--boundary X]\n"},
@@ -126,6 +128,15 @@ bool TakeFlag(std::vector<std::string>* args, const std::string& flag) {
 uint64_t SeedFrom(std::vector<std::string>* args) {
   const std::string value = TakeFlagValue(args, "--seed");
   return value.empty() ? 1 : std::strtoull(value.c_str(), nullptr, 10);
+}
+
+/// `--jobs N` (campaign worker threads). Defaults to the hardware
+/// concurrency; any value is clamped to a sane range. Results are
+/// bit-identical across settings — only wall-clock time changes.
+int JobsFrom(std::vector<std::string>* args) {
+  const std::string value = TakeFlagValue(args, "--jobs");
+  const int jobs = value.empty() ? HardwareThreads() : std::atoi(value.c_str());
+  return ClampJobs(jobs);
 }
 
 int CmdPrograms() {
@@ -241,6 +252,7 @@ int CmdDebloat(std::vector<std::string> args) {
   const std::string max_iter = TakeFlagValue(&args, "--max-iter");
   const bool audited = TakeFlag(&args, "--audited");
   const uint64_t seed = SeedFrom(&args);
+  const int jobs = JobsFrom(&args);
   if (args.size() != 1 || data_path.empty() || out_path.empty()) {
     return UsageFor("debloat");
   }
@@ -252,13 +264,14 @@ int CmdDebloat(std::vector<std::string> args) {
 
   KondoConfig config = ScaledKondoConfig(program->data_shape());
   config.rng_seed = seed;
+  config.jobs = jobs;
   if (!max_iter.empty()) {
     config.fuzz.max_iter = std::atoi(max_iter.c_str());
   }
   KondoPipeline pipeline(config);
   const KondoResult result =
-      audited ? pipeline.RunWithTest(
-                    MakeAuditedDebloatTest(*program, data_path),
+      audited ? pipeline.RunWithCandidateTest(
+                    MakeAuditedCandidateTest(*program, data_path),
                     program->param_space(), program->data_shape())
               : pipeline.Run(*program);
   std::printf("fuzz:  %d evaluations (%d useful), %d hulls carved\n",
@@ -344,6 +357,7 @@ int CmdReplay(std::vector<std::string> args) {
 int CmdEvaluate(std::vector<std::string> args) {
   const uint64_t seed = SeedFrom(&args);
   const bool map = TakeFlag(&args, "--map");
+  const int jobs = JobsFrom(&args);
   if (args.size() != 1) {
     return UsageFor("evaluate");
   }
@@ -354,6 +368,7 @@ int CmdEvaluate(std::vector<std::string> args) {
   }
   KondoConfig config = ScaledKondoConfig(program->data_shape());
   config.rng_seed = seed;
+  config.jobs = jobs;
   const KondoResult result = KondoPipeline(config).Run(*program);
   const AccuracyMetrics metrics =
       ComputeAccuracy(program->GroundTruth(), result.approx);
@@ -373,6 +388,7 @@ int CmdFuzz(std::vector<std::string> args) {
   const std::string resume_path = TakeFlagValue(&args, "--resume");
   const std::string max_iter = TakeFlagValue(&args, "--max-iter");
   const uint64_t seed = SeedFrom(&args);
+  const int jobs = JobsFrom(&args);
   if (args.size() != 1 || out_path.empty()) {
     return UsageFor("fuzz");
   }
@@ -386,9 +402,11 @@ int CmdFuzz(std::vector<std::string> args) {
   if (!max_iter.empty()) {
     config.fuzz.max_iter = std::atoi(max_iter.c_str());
   }
+  CampaignExecutor executor(jobs);
   FuzzSchedule schedule(program->param_space(), program->data_shape(),
                         config.fuzz, seed);
-  const FuzzResult result = schedule.Run(MakeDebloatTest(*program));
+  const FuzzResult result =
+      schedule.Run(executor, MakeCandidateTest(*program));
   CampaignState state =
       MakeCampaignState(program->data_shape(), result);
 
