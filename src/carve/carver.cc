@@ -98,6 +98,25 @@ CarvedSubset Carver::Carve(const IndexSet& points, CarveStats* stats) const {
   return CarvedSubset(shape, std::move(hulls));
 }
 
+IndexSet Carver::Rasterize(const CarvedSubset& carved,
+                           CampaignExecutor& executor) {
+  const std::vector<Hull>& hulls = carved.hulls();
+  if (executor.jobs() <= 1 || hulls.size() <= 1) {
+    return carved.Rasterize();
+  }
+  std::vector<IndexSet> per_hull = executor.Map<IndexSet>(
+      static_cast<int64_t>(hulls.size()), [&carved, &hulls](int64_t i) {
+        IndexSet points(carved.shape());
+        hulls[static_cast<size_t>(i)].RasterizeInto(&points);
+        return points;
+      });
+  IndexSet result(carved.shape());
+  for (const IndexSet& points : per_hull) {
+    result.Union(points);
+  }
+  return result;
+}
+
 CarvedSubset SimpleConvexCarve(const IndexSet& points) {
   const Shape& shape = points.shape();
   std::vector<Vec3> all_points;

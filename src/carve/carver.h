@@ -7,6 +7,7 @@
 #include "array/index_set.h"
 #include "carve/carve_config.h"
 #include "carve/carved_subset.h"
+#include "exec/campaign_executor.h"
 #include "geom/hull.h"
 
 namespace kondo {
@@ -44,6 +45,14 @@ class Carver {
 
   /// The CLOSE predicate of Algorithm 2.
   bool Close(const Hull& a, const Hull& b) const;
+
+  /// Materialises `carved`'s index subset with hulls rasterised in parallel
+  /// over `executor`'s workers. Hulls are independent (each scans only its
+  /// own bounding box into a private IndexSet) and the per-hull sets are
+  /// unioned in hull order on the calling thread, so the result is
+  /// bit-identical to `carved.Rasterize()` at every jobs setting.
+  static IndexSet Rasterize(const CarvedSubset& carved,
+                            CampaignExecutor& executor);
 
  private:
   CarveConfig config_;

@@ -41,7 +41,7 @@ KondoResult KondoPipeline::RunWithCandidateTest(
   const double carve_seconds = stopwatch.ElapsedSeconds();
 
   stopwatch.Reset();
-  IndexSet approx = carved.Rasterize();
+  IndexSet approx = Carver::Rasterize(carved, executor);
   const double rasterize_seconds = stopwatch.ElapsedSeconds();
 
   return KondoResult{std::move(fuzz),    carve_stats,

@@ -26,6 +26,11 @@ struct KondoConfig {
   /// produces bit-identical campaign results (tested points, discovered
   /// offsets, carved hulls) to `jobs = 1`; only wall-clock time changes.
   int jobs = 1;
+
+  /// Campaign shards for multi-file runs (src/shard/). `shards > 1` routes
+  /// RunMultiFileKondo through the sharded scheduler; the merged result is
+  /// bit-identical to `shards = 1` at every jobs setting.
+  int shards = 1;
 };
 
 /// Output of one Kondo run: the fuzz campaign, the carved hulls, and the

@@ -2,12 +2,34 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "exec/thread_pool.h"
+#include "shard/shard_scheduler.h"
 
 namespace kondo {
 
 MultiKondoResult RunMultiFileKondo(const MultiFileProgram& program,
                                    const KondoConfig& config) {
+  if (config.shards > 1) {
+    // Sharded route: per-shard campaigns over a shared pool, folded by the
+    // merge stage into the same result the unsharded body below computes
+    // (bit-identical — tests/shard_test.cc pins this).
+    ShardOptions options;
+    options.shards = config.shards;
+    StatusOr<ShardedRunResult> sharded =
+        RunShardedCampaign(program, config, options);
+    KONDO_CHECK(sharded.ok()) << "sharded campaign failed: "
+                              << sharded.status();
+    KONDO_CHECK(sharded->complete);
+    MultiKondoResult result;
+    result.fuzz_stats = sharded->merged.fuzz_stats;
+    result.per_file_discovered = std::move(sharded->merged.per_file_discovered);
+    result.per_file_approx = std::move(sharded->merged.per_file_approx);
+    result.per_file_carve_stats =
+        std::move(sharded->merged.per_file_carve_stats);
+    return result;
+  }
+
   const int files = program.num_files();
 
   // The schedule tracks discovery over a synthetic combined index space:

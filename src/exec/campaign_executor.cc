@@ -9,9 +9,16 @@ namespace kondo {
 
 CampaignExecutor::CampaignExecutor(int jobs) : jobs_(std::max(1, jobs)) {
   if (jobs_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(jobs_);
+    owned_pool_ = std::make_unique<ThreadPool>(jobs_);
+    pool_ = owned_pool_.get();
   }
 }
+
+CampaignExecutor::CampaignExecutor(ThreadPool* shared_pool, int jobs)
+    : jobs_(shared_pool == nullptr
+                ? 1
+                : std::max(1, jobs > 0 ? jobs : shared_pool->num_threads())),
+      pool_(shared_pool) {}
 
 void CampaignExecutor::ParallelFor(int64_t n,
                                    const std::function<void(int64_t)>& fn) {

@@ -25,10 +25,22 @@ namespace kondo {
 ///
 /// With `jobs == 1` no pool is created and work runs inline on the calling
 /// thread — the serial path has zero thread or synchronisation overhead.
+///
+/// Several executors may share one ThreadPool (the sharded campaign
+/// scheduler drives one campaign per shard over a single pool): each
+/// ParallelFor call carries its own cursor and completion latch, so
+/// concurrent batches from different executors interleave safely on the
+/// workers. Never call ParallelFor from inside a pool task — a nested call
+/// would block a worker waiting on tasks only the same pool can run.
 class CampaignExecutor {
  public:
-  /// `jobs` worker threads (clamped to at least 1).
+  /// `jobs` worker threads (clamped to at least 1), owned by this executor.
   explicit CampaignExecutor(int jobs = 1);
+
+  /// Fans work out over `shared_pool` (not owned; may be used by other
+  /// executors concurrently). `jobs` caps the tasks submitted per batch and
+  /// defaults to the pool width; a null pool runs inline (serial).
+  CampaignExecutor(ThreadPool* shared_pool, int jobs = 0);
 
   int jobs() const { return jobs_; }
 
@@ -56,7 +68,8 @@ class CampaignExecutor {
 
  private:
   int jobs_ = 1;
-  std::unique_ptr<ThreadPool> pool_;  // Null when jobs_ == 1.
+  std::unique_ptr<ThreadPool> owned_pool_;  // Null when jobs_ == 1 or shared.
+  ThreadPool* pool_ = nullptr;              // Null when running inline.
 };
 
 }  // namespace kondo

@@ -54,6 +54,12 @@ struct FuzzConfig {
   /// gives every tool the same per-program budget.
   double max_seconds = 0.0;
 
+  /// Optional evaluation-count budget (0 = unlimited): stop once this many
+  /// debloat tests have been *consumed*. Unlike `max_seconds`, the check
+  /// runs at serial candidate-consumption time, so a budgeted campaign is
+  /// bit-identical at every `--jobs` setting.
+  int64_t max_evals = 0;
+
   /// Returns a config running the plain exploit-and-explore schedule.
   static FuzzConfig PlainExploitExplore() {
     FuzzConfig config;

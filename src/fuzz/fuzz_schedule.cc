@@ -94,6 +94,11 @@ FuzzResult FuzzSchedule::Run(CampaignExecutor& executor,
       result.stats.stopped_by_budget = true;
       break;
     }
+    if (config_.max_evals > 0 &&
+        result.stats.evaluations >= config_.max_evals) {
+      result.stats.stopped_by_eval_budget = true;
+      break;
+    }
 
     const int next_itr = itr + 1;
     if (queue_.empty() ||
@@ -114,6 +119,12 @@ FuzzResult FuzzSchedule::Run(CampaignExecutor& executor,
     int64_t batch_size = std::min<int64_t>(
         static_cast<int64_t>(queue_.size()), max_batch);
     batch_size = std::min<int64_t>(batch_size, config_.max_iter - itr);
+    if (config_.max_evals > 0) {
+      // Evaluations consumed so far is a serial counter, so this clamp is
+      // identical at every jobs setting; it only trims speculative waste.
+      batch_size = std::min<int64_t>(
+          batch_size, config_.max_evals - result.stats.evaluations);
+    }
     if (config_.restart > 0) {
       const int64_t boundary =
           (static_cast<int64_t>(next_itr) / config_.restart + 1) *
@@ -144,6 +155,12 @@ FuzzResult FuzzSchedule::Run(CampaignExecutor& executor,
       if (config_.max_seconds > 0.0 &&
           stopwatch.ElapsedSeconds() >= config_.max_seconds) {
         result.stats.stopped_by_budget = true;
+        done = true;
+        break;
+      }
+      if (config_.max_evals > 0 &&
+          result.stats.evaluations >= config_.max_evals) {
+        result.stats.stopped_by_eval_budget = true;
         done = true;
         break;
       }

@@ -38,8 +38,9 @@ struct FuzzStats {
   int restarts = 0;
   double final_epsilon = 1.0;
   double elapsed_seconds = 0.0;
-  bool stopped_by_stagnation = false;  // stop_iter triggered.
-  bool stopped_by_budget = false;      // max_seconds triggered.
+  bool stopped_by_stagnation = false;   // stop_iter triggered.
+  bool stopped_by_budget = false;       // max_seconds (wall-clock) triggered.
+  bool stopped_by_eval_budget = false;  // max_evals triggered (jobs-invariant).
 };
 
 /// Result of a fuzz campaign: `IS = ∪ I_v` over the evaluated seeds, plus

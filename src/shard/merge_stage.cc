@@ -1,0 +1,144 @@
+#include "shard/merge_stage.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "audit/event_log.h"
+#include "common/interval_set.h"
+#include "common/strings.h"
+#include "provenance/kel2_reader.h"
+#include "provenance/persist.h"
+
+namespace kondo {
+namespace {
+
+/// Returns an error naming the first deterministic FuzzStats field that
+/// differs between shard 0 and shard `s`.
+Status CheckStatsAgree(const FuzzStats& base, const FuzzStats& other,
+                       int s) {
+  const auto mismatch = [s](std::string_view field) {
+    return InternalError(
+        StrCat("replicated shard schedules diverged: shard ", s,
+               " disagrees with shard 0 on ", field));
+  };
+  if (other.iterations != base.iterations) return mismatch("iterations");
+  if (other.evaluations != base.evaluations) return mismatch("evaluations");
+  if (other.useful_evaluations != base.useful_evaluations) {
+    return mismatch("useful_evaluations");
+  }
+  if (other.restarts != base.restarts) return mismatch("restarts");
+  if (other.final_epsilon != base.final_epsilon) {
+    return mismatch("final_epsilon");
+  }
+  if (other.stopped_by_stagnation != base.stopped_by_stagnation ||
+      other.stopped_by_budget != base.stopped_by_budget ||
+      other.stopped_by_eval_budget != base.stopped_by_eval_budget) {
+    return mismatch("stopping criterion");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<MergedCampaign> MergeShardCampaigns(
+    const ShardPlan& plan,
+    const std::vector<ShardCampaignResult>& shard_results,
+    const KondoConfig& config, CampaignExecutor& executor) {
+  if (shard_results.size() != static_cast<size_t>(plan.num_shards())) {
+    return InvalidArgumentError(
+        StrCat("merge expected ", plan.num_shards(), " shard results, got ",
+               shard_results.size()));
+  }
+
+  MergedCampaign merged;
+  merged.fuzz_stats = shard_results[0].stats;
+  merged.seeds = shard_results[0].seeds;
+  for (size_t s = 1; s < shard_results.size(); ++s) {
+    KONDO_RETURN_IF_ERROR(CheckStatsAgree(shard_results[0].stats,
+                                          shard_results[s].stats,
+                                          static_cast<int>(s)));
+    merged.fuzz_stats.elapsed_seconds =
+        std::max(merged.fuzz_stats.elapsed_seconds,
+                 shard_results[s].stats.elapsed_seconds);
+  }
+
+  const int files = plan.num_files();
+  merged.per_file_discovered.reserve(static_cast<size_t>(files));
+  for (int f = 0; f < files; ++f) {
+    IndexSet set(plan.file_shapes[static_cast<size_t>(f)]);
+    for (const ShardCampaignResult& result : shard_results) {
+      set.Union(result.per_file[static_cast<size_t>(f)]);
+    }
+    merged.per_file_discovered.push_back(std::move(set));
+  }
+
+  // Carve the files in parallel — each file's carve is independent and
+  // runs entirely inside its pool task. Rasterisation then parallelises
+  // over each file's hulls, one file at a time (a pool task must never
+  // start a nested ParallelFor).
+  struct CarveOutcome {
+    CarvedSubset carved;
+    CarveStats stats;
+  };
+  const Carver carver(config.carve);
+  std::vector<CarveOutcome> carved = executor.Map<CarveOutcome>(
+      files, [&carver, &merged](int64_t f) {
+        CarveOutcome outcome;
+        outcome.carved = carver.Carve(
+            merged.per_file_discovered[static_cast<size_t>(f)],
+            &outcome.stats);
+        return outcome;
+      });
+  merged.per_file_approx.reserve(static_cast<size_t>(files));
+  merged.per_file_carve_stats.reserve(static_cast<size_t>(files));
+  for (int f = 0; f < files; ++f) {
+    merged.per_file_approx.push_back(
+        Carver::Rasterize(carved[static_cast<size_t>(f)].carved, executor));
+    merged.per_file_carve_stats.push_back(
+        carved[static_cast<size_t>(f)].stats);
+  }
+  return merged;
+}
+
+Status MergeShardLineageStores(const std::vector<std::string>& shard_paths,
+                               const std::string& merged_path,
+                               Kel2WriterOptions options) {
+  // Regroup every shard's events into per-run, per-file coalesced ranges.
+  // IntervalSet::Add rejoins ranges split by chunk-slice boundaries, so the
+  // grouped view — and hence the re-encoded store — is shard-count
+  // invariant.
+  std::map<int64_t, std::map<int64_t, IntervalSet>> runs;
+  for (const std::string& path : shard_paths) {
+    KONDO_ASSIGN_OR_RETURN(std::vector<Event> events,
+                           ReadLineageStore(path));
+    for (const Event& event : events) {
+      if (!event.IsDataAccess()) {
+        continue;
+      }
+      runs[event.id.pid][event.id.file_id].Add(event.offset,
+                                               event.offset + event.size);
+    }
+  }
+
+  KONDO_ASSIGN_OR_RETURN(CampaignLineageSink sink,
+                         CampaignLineageSink::Create(merged_path, options));
+  const AuditPersistFn persist = sink.persister();
+  for (const auto& [pid, files] : runs) {
+    EventLog log;
+    for (const auto& [file_id, ranges] : files) {
+      for (const Interval& range : ranges.ToIntervals()) {
+        Event event;
+        event.id = EventId{pid, file_id};
+        event.type = EventType::kPread;
+        event.offset = range.begin;
+        event.size = range.length();
+        log.Record(event);
+      }
+    }
+    KONDO_RETURN_IF_ERROR(persist(log));
+  }
+  return sink.Close();
+}
+
+}  // namespace kondo

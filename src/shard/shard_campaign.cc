@@ -1,0 +1,218 @@
+#include "shard/shard_campaign.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "audit/event_log.h"
+#include "common/interval_set.h"
+#include "common/strings.h"
+#include "exec/result_collector.h"
+
+namespace kondo {
+namespace {
+
+/// Builds the canonical lineage log of one consumed debloat test: for each
+/// file in ordinal order (file_id = ordinal + 1), the run's accessed linear
+/// ids — restricted to this shard's slices — as coalesced byte ranges
+/// (id -> [8id, 8id+8)) recorded as positioned reads under pid = 1 + seq.
+/// The encoding is a pure function of the restricted index sets, so merging
+/// shard stores and re-encoding reproduces identical bytes for any shard
+/// count (docs/FORMATS.md).
+std::shared_ptr<EventLog> CanonicalLineageLog(
+    const std::vector<IndexSet>& per_file, int64_t seq) {
+  auto log = std::make_shared<EventLog>();
+  bool any = false;
+  for (size_t f = 0; f < per_file.size(); ++f) {
+    IntervalSet ranges;
+    for (int64_t id : per_file[f].ToSortedLinearIds()) {
+      ranges.Add(id * kLineageElemBytes, (id + 1) * kLineageElemBytes);
+    }
+    for (const Interval& range : ranges.ToIntervals()) {
+      Event event;
+      event.id = EventId{1 + seq, static_cast<int64_t>(f) + 1};
+      event.type = EventType::kPread;
+      event.offset = range.begin;
+      event.size = range.length();
+      log->Record(event);
+      any = true;
+    }
+  }
+  return any ? log : nullptr;
+}
+
+}  // namespace
+
+ShardCampaignResult RunShardCampaign(const MultiFileProgram& program,
+                                     const ShardPlan& plan,
+                                     const Shard& shard,
+                                     const KondoConfig& config,
+                                     CampaignExecutor& executor,
+                                     const AuditPersistFn& persist) {
+  const std::vector<Shape>& file_shapes = plan.file_shapes;
+  const std::vector<int64_t>& offsets = plan.offsets;
+  const Shape combined_shape = plan.combined_shape();
+
+  // The shard's ownership map: per file, the linear-id ranges it collects.
+  std::vector<IntervalSet> owned(file_shapes.size());
+  for (const ShardSlice& slice : shard.slices) {
+    owned[static_cast<size_t>(slice.file)].Add(slice.begin, slice.end);
+  }
+
+  const bool build_logs = static_cast<bool>(persist);
+  const CandidateTestFn test = [&program, &file_shapes, &offsets,
+                                &combined_shape, &owned,
+                                build_logs](const TestCandidate& candidate) {
+    CandidateResult result;
+    result.accessed = IndexSet(combined_shape);
+    result.per_file.reserve(file_shapes.size());
+    for (const Shape& shape : file_shapes) {
+      result.per_file.emplace_back(shape);
+    }
+    program.Execute(candidate.value, [&](int file, const Index& index) {
+      const Shape& shape = file_shapes[static_cast<size_t>(file)];
+      if (!shape.Contains(index)) {
+        return;
+      }
+      const int64_t linear = shape.Linearize(index);
+      // Progress tracking spans *all* files: the combined accessed set is
+      // what the schedule's stopping criteria consume, and it must match
+      // the unsharded campaign's trajectory exactly for every shard to
+      // replay identical decisions.
+      result.accessed.InsertLinear(offsets[static_cast<size_t>(file)] +
+                                   linear);
+      // Collection is restricted to the shard's own slices.
+      if (owned[static_cast<size_t>(file)].Contains(linear)) {
+        result.per_file[static_cast<size_t>(file)].InsertLinear(linear);
+      }
+    });
+    if (build_logs) {
+      result.log = CanonicalLineageLog(result.per_file, candidate.seq);
+    }
+    return result;
+  };
+
+  ResultCollector collector(combined_shape, persist);
+  collector.EnablePerFile(file_shapes);
+  FuzzSchedule schedule(program.param_space(), combined_shape, config.fuzz,
+                        config.rng_seed);
+  FuzzResult fuzz = schedule.Run(executor, test, &collector);
+
+  ShardCampaignResult result;
+  result.per_file = collector.TakePerFile();
+  result.seeds = std::move(fuzz.seeds);
+  result.stats = fuzz.stats;
+  return result;
+}
+
+Status SaveShardState(const std::string& path, int shard,
+                      const ShardCampaignResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open shard state for write: " + path);
+  }
+  out << "KSS1 " << shard << " " << result.per_file.size() << "\n";
+  const FuzzStats& stats = result.stats;
+  char buf[64];
+  out << "T " << stats.iterations << " " << stats.evaluations << " "
+      << stats.useful_evaluations << " " << stats.restarts;
+  std::snprintf(buf, sizeof(buf), " %.17g", stats.final_epsilon);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), " %.17g", stats.elapsed_seconds);
+  out << buf << " " << (stats.stopped_by_stagnation ? 1 : 0) << " "
+      << (stats.stopped_by_budget ? 1 : 0) << " "
+      << (stats.stopped_by_eval_budget ? 1 : 0) << "\n";
+  for (const Seed& seed : result.seeds) {
+    out << "S " << (seed.useful ? 1 : 0);
+    for (double v : seed.value) {
+      std::snprintf(buf, sizeof(buf), " %.17g", v);
+      out << buf;
+    }
+    out << "\n";
+  }
+  for (size_t f = 0; f < result.per_file.size(); ++f) {
+    for (int64_t id : result.per_file[f].ToSortedLinearIds()) {
+      out << "I " << f << " " << id << "\n";
+    }
+  }
+  if (!out.good()) {
+    return InternalError("shard state write failed: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<ShardCampaignResult> LoadShardState(
+    const std::string& path, int shard,
+    const std::vector<Shape>& file_shapes) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open shard state: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return DataLossError("empty shard state: " + path);
+  }
+  std::istringstream header(line);
+  std::string magic;
+  int stored_shard = -1;
+  size_t num_files = 0;
+  header >> magic >> stored_shard >> num_files;
+  if (magic != "KSS1" || stored_shard != shard ||
+      num_files != file_shapes.size()) {
+    return DataLossError(
+        StrCat("bad shard state header for shard ", shard, ": ", path));
+  }
+
+  ShardCampaignResult result;
+  result.per_file.reserve(file_shapes.size());
+  for (const Shape& shape : file_shapes) {
+    result.per_file.emplace_back(shape);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'T') {
+      FuzzStats& stats = result.stats;
+      int stagnation = 0, budget = 0, eval_budget = 0;
+      fields >> stats.iterations >> stats.evaluations >>
+          stats.useful_evaluations >> stats.restarts >> stats.final_epsilon >>
+          stats.elapsed_seconds >> stagnation >> budget >> eval_budget;
+      if (fields.fail()) {
+        return DataLossError("bad stats line in shard state: " + line);
+      }
+      stats.stopped_by_stagnation = stagnation != 0;
+      stats.stopped_by_budget = budget != 0;
+      stats.stopped_by_eval_budget = eval_budget != 0;
+    } else if (tag == 'S') {
+      int useful = 0;
+      fields >> useful;
+      Seed seed;
+      seed.useful = useful != 0;
+      double v = 0.0;
+      while (fields >> v) {
+        seed.value.push_back(v);
+      }
+      result.seeds.push_back(std::move(seed));
+    } else if (tag == 'I') {
+      size_t file = 0;
+      int64_t id = -1;
+      fields >> file >> id;
+      if (fields.fail() || file >= file_shapes.size() || id < 0 ||
+          id >= file_shapes[file].NumElements()) {
+        return DataLossError("bad discovered id in shard state: " + line);
+      }
+      result.per_file[file].InsertLinear(id);
+    } else {
+      return DataLossError("unknown shard state line: " + line);
+    }
+  }
+  return result;
+}
+
+}  // namespace kondo

@@ -1,0 +1,72 @@
+#ifndef KONDO_SHARD_SHARD_CAMPAIGN_H_
+#define KONDO_SHARD_SHARD_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "array/index_set.h"
+#include "audit/auditor.h"
+#include "common/statusor.h"
+#include "core/kondo.h"
+#include "exec/campaign_executor.h"
+#include "fuzz/fuzz_schedule.h"
+#include "shard/shard_plan.h"
+#include "workloads/multi_file_program.h"
+
+namespace kondo {
+
+/// Bytes one array element occupies in the canonical lineage encoding: a
+/// linear id `i` maps to the byte range [8i, 8i + 8) of its file. The
+/// constant only names an encoding, not a real element width — per-shard
+/// stores record *which* elements a run touched, and 8 bytes is the
+/// paper's double-precision default.
+inline constexpr int64_t kLineageElemBytes = 8;
+
+/// Outcome of one shard's campaign: per-file index subsets restricted to
+/// the shard's slices, plus the (shard-invariant) fuzz statistics and seed
+/// scatter of the replicated schedule.
+struct ShardCampaignResult {
+  std::vector<IndexSet> per_file;
+  std::vector<Seed> seeds;
+  FuzzStats stats;
+};
+
+/// Runs shard `shard`'s full fuzz campaign over `executor`.
+///
+/// Every shard replays the *identical* schedule: candidates are generated
+/// from the same campaign seed and progress/stopping decisions track the
+/// combined accessed set over all files — so each shard makes exactly the
+/// decisions the unsharded campaign makes, and the per-shard statistics and
+/// consumed-candidate sequence are bit-identical across shards. What
+/// differs is collection: a shard keeps only the index points falling
+/// inside its slices, and persists lineage (through `persist`, when set)
+/// only for its partition — the canonical per-run event logs described in
+/// docs/FORMATS.md. The union of all shards therefore reproduces the
+/// unsharded result exactly, at the cost of re-running the (cheap) tests
+/// per shard — which is what lets shards proceed with no cross-shard
+/// communication until the merge.
+ShardCampaignResult RunShardCampaign(const MultiFileProgram& program,
+                                     const ShardPlan& plan,
+                                     const Shard& shard,
+                                     const KondoConfig& config,
+                                     CampaignExecutor& executor,
+                                     const AuditPersistFn& persist = {});
+
+/// Saves / loads a shard's campaign outcome (`shard-NNN.kss`) so a later
+/// invocation can merge without re-fuzzing. Text format (docs/FORMATS.md):
+///
+///   KSS1 <shard> <num_files>
+///   T <iterations> <evaluations> <useful> <restarts> <epsilon> <elapsed>
+///     <stopped_by_stagnation> <stopped_by_budget> <stopped_by_eval_budget>
+///   S <useful> <v...>        seeds, full double precision, consumption order
+///   I <file> <linear>        discovered ids, per file, ascending
+Status SaveShardState(const std::string& path, int shard,
+                      const ShardCampaignResult& result);
+StatusOr<ShardCampaignResult> LoadShardState(const std::string& path,
+                                             int shard,
+                                             const std::vector<Shape>&
+                                                 file_shapes);
+
+}  // namespace kondo
+
+#endif  // KONDO_SHARD_SHARD_CAMPAIGN_H_

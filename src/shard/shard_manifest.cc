@@ -1,0 +1,178 @@
+#include "shard/shard_manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace kondo {
+
+bool ShardManifest::AllFuzzed() const {
+  for (ShardStatus status : statuses) {
+    if (status != ShardStatus::kFuzzed) {
+      return false;
+    }
+  }
+  return !statuses.empty();
+}
+
+std::string ShardLineageFileName(int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03d.kel2", shard);
+  return buf;
+}
+
+std::string ShardStateFileName(int shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03d.kss", shard);
+  return buf;
+}
+
+ShardManifest MakeShardManifest(const ShardPlan& plan, uint64_t rng_seed) {
+  ShardManifest manifest;
+  manifest.rng_seed = rng_seed;
+  manifest.file_shapes = plan.file_shapes;
+  manifest.shards = plan.shards;
+  manifest.statuses.assign(plan.shards.size(), ShardStatus::kPending);
+  return manifest;
+}
+
+Status SaveShardManifest(const std::string& path,
+                         const ShardManifest& manifest) {
+  std::ofstream out(path);
+  if (!out) {
+    return InternalError("cannot open shard manifest for write: " + path);
+  }
+  out << "KSM1 " << manifest.num_shards() << " " << manifest.rng_seed << " "
+      << manifest.file_shapes.size() << " " << (manifest.merged ? 1 : 0)
+      << "\n";
+  for (const Shape& shape : manifest.file_shapes) {
+    out << "F " << shape.rank();
+    for (int d = 0; d < shape.rank(); ++d) {
+      out << " " << shape.dim(d);
+    }
+    out << "\n";
+  }
+  for (int s = 0; s < manifest.num_shards(); ++s) {
+    out << "H " << s << " "
+        << static_cast<int>(manifest.statuses[static_cast<size_t>(s)])
+        << "\n";
+  }
+  for (const Shard& shard : manifest.shards) {
+    for (const ShardSlice& slice : shard.slices) {
+      out << "L " << shard.id << " " << slice.file << " " << slice.begin
+          << " " << slice.end << "\n";
+    }
+  }
+  if (!out.good()) {
+    return InternalError("shard manifest write failed: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<ShardManifest> LoadShardManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFoundError("cannot open shard manifest: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return DataLossError("empty shard manifest: " + path);
+  }
+  std::istringstream header(line);
+  std::string magic;
+  int num_shards = 0;
+  uint64_t rng_seed = 0;
+  size_t num_files = 0;
+  int merged = 0;
+  header >> magic >> num_shards >> rng_seed >> num_files >> merged;
+  if (magic != "KSM1" || num_shards <= 0 || num_files == 0 ||
+      (merged != 0 && merged != 1)) {
+    return DataLossError("bad shard manifest header: " + path);
+  }
+
+  ShardManifest manifest;
+  manifest.rng_seed = rng_seed;
+  manifest.merged = merged == 1;
+  manifest.shards.resize(static_cast<size_t>(num_shards));
+  manifest.statuses.assign(static_cast<size_t>(num_shards),
+                           ShardStatus::kPending);
+  for (int s = 0; s < num_shards; ++s) {
+    manifest.shards[static_cast<size_t>(s)].id = s;
+  }
+
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    char tag = 0;
+    fields >> tag;
+    if (tag == 'F') {
+      int rank = 0;
+      fields >> rank;
+      if (rank <= 0) {
+        return DataLossError("bad file line in shard manifest: " + line);
+      }
+      std::vector<int64_t> dims(static_cast<size_t>(rank));
+      for (int64_t& dim : dims) {
+        if (!(fields >> dim) || dim <= 0) {
+          return DataLossError("bad file dims in shard manifest: " + line);
+        }
+      }
+      manifest.file_shapes.emplace_back(dims);
+    } else if (tag == 'H') {
+      int shard = -1;
+      int status = -1;
+      fields >> shard >> status;
+      if (shard < 0 || shard >= num_shards || (status != 0 && status != 1)) {
+        return DataLossError("bad shard status line: " + line);
+      }
+      manifest.statuses[static_cast<size_t>(shard)] =
+          static_cast<ShardStatus>(status);
+    } else if (tag == 'L') {
+      ShardSlice slice;
+      int shard = -1;
+      fields >> shard >> slice.file >> slice.begin >> slice.end;
+      if (fields.fail() || shard < 0 || shard >= num_shards) {
+        return DataLossError("bad slice line in shard manifest: " + line);
+      }
+      manifest.shards[static_cast<size_t>(shard)].slices.push_back(slice);
+    } else {
+      return DataLossError("unknown shard manifest line: " + line);
+    }
+  }
+  if (manifest.file_shapes.size() != num_files) {
+    return DataLossError("shard manifest file count mismatch: " + path);
+  }
+  return manifest;
+}
+
+Status CheckManifestMatchesPlan(const ShardManifest& manifest,
+                                const ShardPlan& plan, uint64_t rng_seed) {
+  if (manifest.rng_seed != rng_seed) {
+    return FailedPreconditionError(
+        StrCat("shard manifest was written for rng_seed ", manifest.rng_seed,
+               ", this campaign uses ", rng_seed));
+  }
+  if (manifest.file_shapes != plan.file_shapes) {
+    return FailedPreconditionError(
+        "shard manifest file shapes do not match the campaign's files");
+  }
+  if (manifest.num_shards() != plan.num_shards()) {
+    return FailedPreconditionError(
+        StrCat("shard manifest has ", manifest.num_shards(),
+               " shards, the plan has ", plan.num_shards()));
+  }
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    if (manifest.shards[static_cast<size_t>(s)].slices !=
+        plan.shards[static_cast<size_t>(s)].slices) {
+      return FailedPreconditionError(
+          StrCat("shard ", s, " slices differ between manifest and plan"));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace kondo

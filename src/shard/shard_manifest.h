@@ -1,0 +1,64 @@
+#ifndef KONDO_SHARD_SHARD_MANIFEST_H_
+#define KONDO_SHARD_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "shard/shard_plan.h"
+
+namespace kondo {
+
+/// Lifecycle of one shard inside a campaign directory.
+enum class ShardStatus {
+  kPending = 0,  // Not yet fuzzed (or fuzzing was interrupted).
+  kFuzzed = 1,   // Campaign finished; lineage + state files are sealed.
+};
+
+/// The on-disk record (`manifest.ksm`) tying a sharded campaign directory
+/// together: the plan that produced the shards, the campaign seed, each
+/// shard's status, and whether the merged lineage store has been written.
+/// Text format (see docs/FORMATS.md):
+///
+///   KSM1 <num_shards> <rng_seed> <num_files> <merged>
+///   F <rank> <dim...>                 one line per file, in ordinal order
+///   H <shard> <status>                one line per shard (0=pending 1=fuzzed)
+///   L <shard> <file> <begin> <end>    one line per slice, in shard order
+struct ShardManifest {
+  uint64_t rng_seed = 0;
+  std::vector<Shape> file_shapes;
+  std::vector<Shard> shards;
+  std::vector<ShardStatus> statuses;
+  bool merged = false;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  bool AllFuzzed() const;
+};
+
+/// Conventional artefact names inside a sharded campaign directory.
+inline constexpr char kShardManifestFileName[] = "manifest.ksm";
+inline constexpr char kMergedLineageFileName[] = "merged.kel2";
+
+/// "shard-007.kel2": shard `shard`'s KEL2 lineage store.
+std::string ShardLineageFileName(int shard);
+
+/// "shard-007.kss": shard `shard`'s campaign state (resume artefact).
+std::string ShardStateFileName(int shard);
+
+/// Builds a fresh (all-pending) manifest from a plan and campaign seed.
+ShardManifest MakeShardManifest(const ShardPlan& plan, uint64_t rng_seed);
+
+Status SaveShardManifest(const std::string& path,
+                         const ShardManifest& manifest);
+StatusOr<ShardManifest> LoadShardManifest(const std::string& path);
+
+/// Verifies a loaded manifest describes exactly `plan` under `rng_seed` —
+/// the guard that keeps a resumed invocation from silently merging shards
+/// of a different campaign into this one.
+Status CheckManifestMatchesPlan(const ShardManifest& manifest,
+                                const ShardPlan& plan, uint64_t rng_seed);
+
+}  // namespace kondo
+
+#endif  // KONDO_SHARD_SHARD_MANIFEST_H_

@@ -1,0 +1,197 @@
+#include "shard/shard_scheduler.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/thread_pool.h"
+#include "provenance/persist.h"
+#include "shard/shard_campaign.h"
+
+namespace kondo {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+Status EnsureCampaignDirectory(const std::string& path) {
+  std::string prefix;
+  for (const std::string& piece : StrSplit(path, '/')) {
+    prefix += piece;
+    if (!prefix.empty() && !FileExists(prefix) &&
+        ::mkdir(prefix.c_str(), 0755) != 0 && !FileExists(prefix)) {
+      return InternalError("cannot create campaign directory: " + prefix);
+    }
+    prefix += '/';
+  }
+  return OkStatus();
+}
+
+StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
+                                              const KondoConfig& config,
+                                              const ShardOptions& options) {
+  std::vector<Shape> file_shapes;
+  file_shapes.reserve(static_cast<size_t>(program.num_files()));
+  for (int f = 0; f < program.num_files(); ++f) {
+    file_shapes.push_back(program.file_shape(f));
+  }
+  KONDO_ASSIGN_OR_RETURN(ShardPlan plan,
+                         PlanShards(file_shapes, options.shards));
+
+  const bool persistent = !options.output_dir.empty();
+  ShardManifest manifest = MakeShardManifest(plan, config.rng_seed);
+  std::string manifest_path;
+  if (persistent) {
+    KONDO_RETURN_IF_ERROR(EnsureCampaignDirectory(options.output_dir));
+    manifest_path = JoinPath(options.output_dir, kShardManifestFileName);
+    if (FileExists(manifest_path)) {
+      KONDO_ASSIGN_OR_RETURN(manifest, LoadShardManifest(manifest_path));
+      KONDO_RETURN_IF_ERROR(
+          CheckManifestMatchesPlan(manifest, plan, config.rng_seed));
+    } else {
+      KONDO_RETURN_IF_ERROR(SaveShardManifest(manifest_path, manifest));
+    }
+  }
+
+  std::vector<int> pending;
+  for (int s = 0; s < manifest.num_shards(); ++s) {
+    if (manifest.statuses[static_cast<size_t>(s)] == ShardStatus::kPending) {
+      pending.push_back(s);
+    }
+  }
+  // Pacing only makes sense with a campaign directory to resume from; an
+  // in-memory campaign always runs every shard.
+  std::vector<int> to_run = pending;
+  if (persistent && options.max_shards_this_run > 0 &&
+      static_cast<size_t>(options.max_shards_this_run) < to_run.size()) {
+    to_run.resize(static_cast<size_t>(options.max_shards_this_run));
+  }
+
+  const int jobs = ClampJobs(config.jobs);
+  std::vector<ShardCampaignResult> results(
+      static_cast<size_t>(plan.num_shards()));
+  std::vector<char> have(static_cast<size_t>(plan.num_shards()), 0);
+  std::vector<Status> run_statuses(to_run.size(), OkStatus());
+
+  const auto run_one = [&](size_t slot, CampaignExecutor& executor) {
+    const int s = to_run[slot];
+    const Shard& shard = plan.shards[static_cast<size_t>(s)];
+    if (persistent) {
+      StatusOr<CampaignLineageSink> sink = CampaignLineageSink::Create(
+          JoinPath(options.output_dir, ShardLineageFileName(s)));
+      if (!sink.ok()) {
+        run_statuses[slot] = sink.status();
+        return;
+      }
+      results[static_cast<size_t>(s)] = RunShardCampaign(
+          program, plan, shard, config, executor, sink->persister());
+      Status status = sink->Close();
+      if (status.ok()) {
+        status = SaveShardState(
+            JoinPath(options.output_dir, ShardStateFileName(s)), s,
+            results[static_cast<size_t>(s)]);
+      }
+      if (!status.ok()) {
+        run_statuses[slot] = status;
+        return;
+      }
+    } else {
+      results[static_cast<size_t>(s)] =
+          RunShardCampaign(program, plan, shard, config, executor);
+    }
+    have[static_cast<size_t>(s)] = 1;
+  };
+
+  if (jobs <= 1 || to_run.size() <= 1) {
+    CampaignExecutor executor(jobs);
+    for (size_t slot = 0; slot < to_run.size(); ++slot) {
+      run_one(slot, executor);
+    }
+  } else {
+    // One shared pool; one driver thread per running shard (capped at the
+    // pool width — more drivers than workers would only queue). Drivers
+    // are plain threads, NOT pool tasks: they block on their batches
+    // outside the pool, so every worker stays available for debloat tests
+    // from any shard.
+    ThreadPool pool(jobs);
+    const size_t drivers =
+        std::min(to_run.size(), static_cast<size_t>(jobs));
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(drivers);
+    for (size_t d = 0; d < drivers; ++d) {
+      threads.emplace_back([&] {
+        CampaignExecutor executor(&pool, jobs);
+        for (size_t slot = next.fetch_add(1); slot < to_run.size();
+             slot = next.fetch_add(1)) {
+          run_one(slot, executor);
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  for (const Status& status : run_statuses) {
+    KONDO_RETURN_IF_ERROR(status);
+  }
+
+  for (int s : to_run) {
+    manifest.statuses[static_cast<size_t>(s)] = ShardStatus::kFuzzed;
+  }
+  if (persistent && !to_run.empty()) {
+    KONDO_RETURN_IF_ERROR(SaveShardManifest(manifest_path, manifest));
+  }
+
+  ShardedRunResult out;
+  out.shards_total = plan.num_shards();
+  out.shards_fuzzed_now = static_cast<int>(to_run.size());
+  if (!manifest.AllFuzzed()) {
+    return out;  // Paced invocation: more shards remain for a later run.
+  }
+
+  // Shards fuzzed by *earlier* invocations are merged from their state
+  // files; shards fuzzed just now are merged from memory.
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    if (!have[static_cast<size_t>(s)]) {
+      KONDO_ASSIGN_OR_RETURN(
+          results[static_cast<size_t>(s)],
+          LoadShardState(JoinPath(options.output_dir, ShardStateFileName(s)),
+                         s, plan.file_shapes));
+    }
+  }
+
+  CampaignExecutor merge_executor(jobs);
+  KONDO_ASSIGN_OR_RETURN(
+      out.merged, MergeShardCampaigns(plan, results, config, merge_executor));
+  if (persistent) {
+    std::vector<std::string> shard_paths;
+    shard_paths.reserve(static_cast<size_t>(plan.num_shards()));
+    for (int s = 0; s < plan.num_shards(); ++s) {
+      shard_paths.push_back(
+          JoinPath(options.output_dir, ShardLineageFileName(s)));
+    }
+    out.merged_lineage_path =
+        JoinPath(options.output_dir, kMergedLineageFileName);
+    KONDO_RETURN_IF_ERROR(
+        MergeShardLineageStores(shard_paths, out.merged_lineage_path));
+    manifest.merged = true;
+    KONDO_RETURN_IF_ERROR(SaveShardManifest(manifest_path, manifest));
+  }
+  out.complete = true;
+  return out;
+}
+
+}  // namespace kondo

@@ -1,0 +1,70 @@
+#ifndef KONDO_SHARD_SHARD_SCHEDULER_H_
+#define KONDO_SHARD_SHARD_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/kondo.h"
+#include "shard/merge_stage.h"
+#include "shard/shard_manifest.h"
+#include "shard/shard_plan.h"
+#include "workloads/multi_file_program.h"
+
+namespace kondo {
+
+/// How RunShardedCampaign partitions, persists, and paces a campaign.
+struct ShardOptions {
+  /// Requested shard count (the planner may return fewer on tiny arrays).
+  int shards = 1;
+
+  /// Campaign directory for the manifest, per-shard KEL2 stores, per-shard
+  /// state files, and the merged store. Empty runs the campaign entirely
+  /// in memory: no lineage, no manifest, no resume.
+  std::string output_dir;
+
+  /// Upper bound on shards fuzzed by *this* invocation (0 = all remaining).
+  /// With a campaign directory, a later invocation picks up the pending
+  /// shards from the manifest and merges once every shard is fuzzed.
+  int max_shards_this_run = 0;
+};
+
+/// Outcome of one scheduler invocation.
+struct ShardedRunResult {
+  /// Valid only when `complete`: the merged campaign, bit-identical to the
+  /// unsharded RunMultiFileKondo output.
+  MergedCampaign merged;
+  bool complete = false;
+  int shards_fuzzed_now = 0;  // Shards campaigned by this invocation.
+  int shards_total = 0;
+  /// Path of the merged KEL2 store ("" in in-memory mode).
+  std::string merged_lineage_path;
+};
+
+/// Plans shards, runs one full fuzz campaign per shard, and merges.
+///
+/// Scheduling: all shard campaigns share ONE ThreadPool of
+/// `ClampJobs(config.jobs)` workers. Each running shard is driven by a
+/// dedicated driver thread holding a non-owning CampaignExecutor over the
+/// shared pool — drivers block on their batches outside the pool, so
+/// debloat tests from every shard interleave freely on the workers and the
+/// machine is never oversubscribed beyond `jobs` (plus the coordinating
+/// drivers, which are idle while tests run). With `jobs == 1` the shards
+/// simply run back-to-back on the calling thread.
+///
+/// Every shard replays the identical schedule (see RunShardCampaign), so
+/// the merged result — index sets, carve stats, fuzz statistics, and the
+/// merged lineage store — is bit-identical to `shards = 1` at every jobs
+/// setting.
+StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
+                                              const KondoConfig& config,
+                                              const ShardOptions& options);
+
+/// mkdir -p: creates `path` and any missing parents. The scheduler calls
+/// this for its campaign directory; exposed for callers (the CLI) that
+/// write sibling artefacts into the same tree.
+Status EnsureCampaignDirectory(const std::string& path);
+
+}  // namespace kondo
+
+#endif  // KONDO_SHARD_SHARD_SCHEDULER_H_

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "array/index_set.h"
 #include "array/shape.h"
 #include "fuzz/param_space.h"
+#include "workloads/program.h"
 
 namespace kondo {
 
@@ -82,6 +84,65 @@ class StormTrackProgram final : public MultiFileProgram {
   ParamSpace space_;
   Shape terrain_shape_;
   Shape atmosphere_shape_;
+};
+
+/// A four-file climate-analysis workload for per-file sharding: a regional
+/// study reading (a) a 2-D sea-surface-temperature grid, (b) a 3-D wind
+/// mesh, (c) a 2-D precipitation grid, and (d) a 1-D coastline profile.
+/// With four files of distinct ranks and extents, a `--shards 4` campaign
+/// assigns exactly one file per shard — the natural partition the planner
+/// defaults to.
+///
+/// Parameters: (lat0, lon0) the study region's anchor cell, integers in
+/// [0, n-1] with the Listing-1-style guard lat0 <= lon0. The study scans an
+/// SST block from the anchor, samples wind columns above every other block
+/// cell on the coarser mesh, follows precipitation along the block
+/// diagonal, and reads the coastline segment at the anchor longitude.
+class ClimateRegionProgram final : public MultiFileProgram {
+ public:
+  /// `n` is the grid extent (wind mesh is n/2 x n/2 x levels).
+  explicit ClimateRegionProgram(int64_t n = 64, int64_t levels = 12);
+
+  std::string_view name() const override { return "CLIMATE"; }
+  const ParamSpace& param_space() const override { return space_; }
+  int num_files() const override { return 4; }
+  std::string_view file_name(int file) const override;
+  const Shape& file_shape(int file) const override;
+  void Execute(const ParamValue& v, const MultiReadFn& read) const override;
+
+ private:
+  int64_t n_;
+  int64_t levels_;
+  ParamSpace space_;
+  Shape sst_shape_;
+  Shape wind_shape_;
+  Shape precip_shape_;
+  Shape coast_shape_;
+};
+
+/// Presents a single-file `Program` as a one-file MultiFileProgram so the
+/// sharding pipeline (whose chunk-range splitter partitions large single
+/// files) applies uniformly — `--shards` works on every registered program,
+/// not just the multi-file workloads.
+class SingleFileProgramAdapter final : public MultiFileProgram {
+ public:
+  explicit SingleFileProgramAdapter(std::unique_ptr<Program> program);
+
+  std::string_view name() const override { return program_->name(); }
+  const ParamSpace& param_space() const override {
+    return program_->param_space();
+  }
+  int num_files() const override { return 1; }
+  std::string_view file_name(int /*file*/) const override { return "data"; }
+  const Shape& file_shape(int /*file*/) const override {
+    return program_->data_shape();
+  }
+  void Execute(const ParamValue& v, const MultiReadFn& read) const override;
+
+  const Program& program() const { return *program_; }
+
+ private:
+  std::unique_ptr<Program> program_;
 };
 
 }  // namespace kondo

@@ -80,4 +80,20 @@ std::unique_ptr<Program> CreateProgram(std::string_view name, int64_t n) {
   return nullptr;
 }
 
+std::vector<std::string> AllMultiFileProgramNames() {
+  return {"STORM", "CLIMATE"};
+}
+
+std::unique_ptr<MultiFileProgram> CreateMultiFileProgram(std::string_view name,
+                                                         int64_t n) {
+  const int64_t extent = n > 0 ? n : 64;
+  if (name == "STORM") {
+    return std::make_unique<StormTrackProgram>(extent);
+  }
+  if (name == "CLIMATE") {
+    return std::make_unique<ClimateRegionProgram>(extent);
+  }
+  return nullptr;
+}
+
 }  // namespace kondo

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "workloads/multi_file_program.h"
 #include "workloads/program.h"
 
 namespace kondo {
@@ -25,6 +26,15 @@ std::vector<std::string> AllProgramNames();
 /// their own scaled defaults and ignore `n`). Returns nullptr for unknown
 /// names.
 std::unique_ptr<Program> CreateProgram(std::string_view name, int64_t n = 0);
+
+/// All registered multi-file program names (the sharding workloads).
+std::vector<std::string> AllMultiFileProgramNames();
+
+/// Instantiates a multi-file program by name ("STORM", "CLIMATE"); `n`
+/// overrides the default grid extent when positive. Returns nullptr for
+/// unknown names.
+std::unique_ptr<MultiFileProgram> CreateMultiFileProgram(std::string_view name,
+                                                         int64_t n = 0);
 
 }  // namespace kondo
 

@@ -5,11 +5,17 @@
 //   kondo make-data <program> <out.kdf> [--chunked] [--seed N]
 //   kondo inspect <file.kdf|file.kdd>
 //   kondo debloat <program> --data <in.kdf> --out <out.kdd>
-//                 [--seed N] [--audited] [--max-iter N] [--jobs N]
+//                 [--seed N] [--audited] [--max-iter N] [--max-evals N]
+//                 [--jobs N] [--shards N] [--shard-dir DIR]
+//   kondo debloat <multi-file-program> --out <dir>
+//                 [--seed N] [--max-iter N] [--max-evals N]
+//                 [--jobs N] [--shards N] [--shard-dir DIR]
 //   kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]
-//   kondo evaluate <program> [--seed N] [--map] [--jobs N]
+//   kondo evaluate <program> [--seed N] [--map] [--jobs N] [--shards N]
+//                 [--max-evals N]
 //   kondo fuzz <program> --out <state.kcs> [--seed N] [--max-iter N]
-//               [--resume <state.kcs>] [--jobs N]
+//               [--max-evals N] [--resume <state.kcs>] [--jobs N]
+//               [--shards N]
 //   kondo carve <program> --state <state.kcs> [--center X] [--boundary X]
 //   kondo provenance compact <in.kel> <out.kel2> [--block N]
 //   kondo provenance query <store> --range A:B [--file F] [--runs]
@@ -32,6 +38,7 @@
 #include "core/debloat_test.h"
 #include "core/kondo.h"
 #include "core/metrics.h"
+#include "core/multi_kondo.h"
 #include "core/remote_fetch.h"
 #include "core/report.h"
 #include "core/runtime.h"
@@ -43,6 +50,7 @@
 #include "provenance/kel2_writer.h"
 #include "provenance/persist.h"
 #include "provenance/provenance_query.h"
+#include "shard/shard_scheduler.h"
 #include "workloads/registry.h"
 
 namespace kondo::cli {
@@ -63,13 +71,20 @@ constexpr CommandHelp kCommandHelp[] = {
     {"inspect", "  kondo inspect <file.kdf|file.kdd>\n"},
     {"debloat",
      "  kondo debloat <program> --data <in.kdf> --out <out.kdd>\n"
-     "                [--seed N] [--audited] [--max-iter N] [--jobs N]\n"},
+     "                [--seed N] [--audited] [--max-iter N] [--max-evals N]\n"
+     "                [--jobs N] [--shards N] [--shard-dir DIR]\n"
+     "  kondo debloat <multi-file-program> --out <dir>\n"
+     "                [--seed N] [--max-iter N] [--max-evals N] [--jobs N]\n"
+     "                [--shards N] [--shard-dir DIR]\n"},
     {"replay",
      "  kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]\n"},
-    {"evaluate", "  kondo evaluate <program> [--seed N] [--map] [--jobs N]\n"},
+    {"evaluate",
+     "  kondo evaluate <program> [--seed N] [--map] [--jobs N]\n"
+     "                 [--shards N] [--max-evals N]\n"},
     {"fuzz",
      "  kondo fuzz <program> --out <state.kcs> [--seed N]\n"
-     "              [--max-iter N] [--resume <state.kcs>] [--jobs N]\n"},
+     "              [--max-iter N] [--max-evals N] [--resume <state.kcs>]\n"
+     "              [--jobs N] [--shards N]\n"},
     {"carve",
      "  kondo carve <program> --state <state.kcs> [--center X]\n"
      "              [--boundary X]\n"},
@@ -130,13 +145,85 @@ uint64_t SeedFrom(std::vector<std::string>* args) {
   return value.empty() ? 1 : std::strtoull(value.c_str(), nullptr, 10);
 }
 
+/// Outcome of pulling an integer-valued flag out of the argument list.
+enum class FlagParse {
+  kAbsent,  // Flag not present; caller keeps its default.
+  kOk,      // Parsed a positive integer.
+  kBad,     // Present but non-numeric or non-positive (error printed).
+};
+
+/// Strictly parses `--flag N` with N a positive integer. Garbage, zero,
+/// and negatives are usage errors, not silently-clamped defaults.
+FlagParse TakePositiveInt(std::vector<std::string>* args,
+                          const std::string& flag, int64_t* value) {
+  const std::string text = TakeFlagValue(args, flag);
+  if (text.empty()) {
+    return FlagParse::kAbsent;
+  }
+  int64_t parsed = 0;
+  if (!ParseInt64(text, &parsed) || parsed <= 0) {
+    std::fprintf(stderr, "invalid %s value (want a positive integer): %s\n",
+                 flag.c_str(), text.c_str());
+    return FlagParse::kBad;
+  }
+  *value = parsed;
+  return FlagParse::kOk;
+}
+
 /// `--jobs N` (campaign worker threads). Defaults to the hardware
-/// concurrency; any value is clamped to a sane range. Results are
-/// bit-identical across settings — only wall-clock time changes.
-int JobsFrom(std::vector<std::string>* args) {
-  const std::string value = TakeFlagValue(args, "--jobs");
-  const int jobs = value.empty() ? HardwareThreads() : std::atoi(value.c_str());
-  return ClampJobs(jobs);
+/// concurrency; explicit values must be positive integers (then clamped to
+/// a sane range). Results are bit-identical across settings — only
+/// wall-clock time changes. Returns false on a malformed value.
+bool JobsFrom(std::vector<std::string>* args, int* jobs) {
+  int64_t value = 0;
+  switch (TakePositiveInt(args, "--jobs", &value)) {
+    case FlagParse::kAbsent:
+      *jobs = ClampJobs(HardwareThreads());
+      return true;
+    case FlagParse::kOk:
+      *jobs = ClampJobs(static_cast<int>(std::min<int64_t>(value, 1 << 20)));
+      return true;
+    case FlagParse::kBad:
+      return false;
+  }
+  return false;
+}
+
+/// `--shards N` (campaign shards; default 1 = unsharded). The merged
+/// result is bit-identical at every setting.
+bool ShardsFrom(std::vector<std::string>* args, int* shards) {
+  int64_t value = 1;
+  if (TakePositiveInt(args, "--shards", &value) == FlagParse::kBad) {
+    return false;
+  }
+  *shards = static_cast<int>(std::min<int64_t>(value, 1 << 20));
+  return true;
+}
+
+/// `--max-evals N` (deterministic evaluation budget; 0 = unlimited).
+bool MaxEvalsFrom(std::vector<std::string>* args, int64_t* max_evals) {
+  *max_evals = 0;
+  return TakePositiveInt(args, "--max-evals", max_evals) != FlagParse::kBad;
+}
+
+/// `--max-iter N` (schedule iteration cap; 0 = keep the config default).
+bool MaxIterFrom(std::vector<std::string>* args, int64_t* max_iter) {
+  *max_iter = 0;
+  return TakePositiveInt(args, "--max-iter", max_iter) != FlagParse::kBad;
+}
+
+/// Which stopping criterion ended a campaign, for run reports.
+const char* StopReason(const FuzzStats& stats) {
+  if (stats.stopped_by_eval_budget) {
+    return "eval budget";
+  }
+  if (stats.stopped_by_budget) {
+    return "time budget";
+  }
+  if (stats.stopped_by_stagnation) {
+    return "stagnation";
+  }
+  return "max iterations";
 }
 
 int CmdPrograms() {
@@ -147,6 +234,23 @@ int CmdPrograms() {
                 program->param_space().num_params(),
                 program->data_shape().ToString().c_str(),
                 std::string(program->description()).c_str());
+  }
+  std::printf("\nmulti-file programs (debloat/evaluate with --shards):\n");
+  std::printf("%-8s %-8s %-6s %s\n", "name", "params", "files", "shapes");
+  for (const std::string& name : AllMultiFileProgramNames()) {
+    const std::unique_ptr<MultiFileProgram> program =
+        CreateMultiFileProgram(name);
+    std::string shapes;
+    for (int f = 0; f < program->num_files(); ++f) {
+      if (f > 0) {
+        shapes += "  ";
+      }
+      shapes += std::string(program->file_name(f)) + ":" +
+                program->file_shape(f).ToString();
+    }
+    std::printf("%-8s %-8d %-6d %s\n", name.c_str(),
+                program->param_space().num_params(), program->num_files(),
+                shapes.c_str());
   }
   return 0;
 }
@@ -246,38 +350,168 @@ int CmdInspect(const std::string& path) {
   return 0;
 }
 
+/// Multi-file debloat: one campaign over Θ (optionally sharded), one
+/// synthesised source array + packaged .kdd per data file under `out_dir`.
+int CmdDebloatMultiFile(std::unique_ptr<MultiFileProgram> program,
+                        const std::string& out_dir,
+                        const std::string& shard_dir, uint64_t seed, int jobs,
+                        int shards, int64_t max_evals, int64_t max_iter) {
+  KondoConfig config;
+  config.rng_seed = seed;
+  config.jobs = jobs;
+  config.shards = shards;
+  config.fuzz.max_evals = max_evals;
+  if (max_iter > 0) {
+    config.fuzz.max_iter = static_cast<int>(max_iter);
+  }
+
+  MultiKondoResult result;
+  if (!shard_dir.empty()) {
+    ShardOptions options;
+    options.shards = shards;
+    options.output_dir = shard_dir;
+    StatusOr<ShardedRunResult> sharded =
+        RunShardedCampaign(*program, config, options);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
+      return 1;
+    }
+    if (!sharded->complete) {
+      std::printf("campaign paused: %d of %d shards fuzzed; rerun to "
+                  "continue\n",
+                  sharded->shards_fuzzed_now, sharded->shards_total);
+      return 0;
+    }
+    result.fuzz_stats = sharded->merged.fuzz_stats;
+    result.per_file_discovered = std::move(sharded->merged.per_file_discovered);
+    result.per_file_approx = std::move(sharded->merged.per_file_approx);
+    result.per_file_carve_stats =
+        std::move(sharded->merged.per_file_carve_stats);
+    std::printf("lineage: %s\n", sharded->merged_lineage_path.c_str());
+  } else {
+    result = RunMultiFileKondo(*program, config);
+  }
+  std::printf("fuzz:  %d evaluations (%d useful), stopped by %s\n",
+              result.fuzz_stats.evaluations,
+              result.fuzz_stats.useful_evaluations,
+              StopReason(result.fuzz_stats));
+
+  if (Status status = EnsureCampaignDirectory(out_dir); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (int f = 0; f < program->num_files(); ++f) {
+    DataArray array(program->file_shape(f), DType::kFloat128);
+    array.FillPattern(seed + static_cast<uint64_t>(f));
+    DebloatedArray debloated =
+        PackageDebloated(array, result.per_file_approx[static_cast<size_t>(f)]);
+    const std::string path =
+        out_dir + "/" + std::string(program->file_name(f)) + ".kdd";
+    if (Status status = debloated.WriteFile(path); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %lld -> %lld bytes (%.1f%% smaller, %d hulls)\n",
+                path.c_str(),
+                static_cast<long long>(debloated.OriginalPayloadBytes()),
+                static_cast<long long>(debloated.DebloatedPayloadBytes()),
+                100.0 * debloated.SizeReductionFraction(),
+                result.per_file_carve_stats[static_cast<size_t>(f)]
+                    .final_hulls);
+  }
+  return 0;
+}
+
 int CmdDebloat(std::vector<std::string> args) {
   const std::string data_path = TakeFlagValue(&args, "--data");
   const std::string out_path = TakeFlagValue(&args, "--out");
-  const std::string max_iter = TakeFlagValue(&args, "--max-iter");
+  const std::string shard_dir = TakeFlagValue(&args, "--shard-dir");
   const bool audited = TakeFlag(&args, "--audited");
   const uint64_t seed = SeedFrom(&args);
-  const int jobs = JobsFrom(&args);
-  if (args.size() != 1 || data_path.empty() || out_path.empty()) {
+  int jobs = 0;
+  int shards = 1;
+  int64_t max_evals = 0;
+  int64_t max_iter = 0;
+  if (!JobsFrom(&args, &jobs) || !ShardsFrom(&args, &shards) ||
+      !MaxEvalsFrom(&args, &max_evals) || !MaxIterFrom(&args, &max_iter) ||
+      args.size() != 1 || out_path.empty()) {
     return UsageFor("debloat");
   }
-  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+
+  if (std::unique_ptr<MultiFileProgram> multi =
+          CreateMultiFileProgram(args[0]);
+      multi != nullptr) {
+    if (!data_path.empty() || audited) {
+      return UsageFor("debloat");
+    }
+    return CmdDebloatMultiFile(std::move(multi), out_path, shard_dir, seed,
+                               jobs, shards, max_evals, max_iter);
+  }
+
+  std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
     std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
     return 1;
+  }
+  if (data_path.empty()) {
+    return UsageFor("debloat");
   }
 
   KondoConfig config = ScaledKondoConfig(program->data_shape());
   config.rng_seed = seed;
   config.jobs = jobs;
-  if (!max_iter.empty()) {
-    config.fuzz.max_iter = std::atoi(max_iter.c_str());
+  config.shards = shards;
+  config.fuzz.max_evals = max_evals;
+  if (max_iter > 0) {
+    config.fuzz.max_iter = static_cast<int>(max_iter);
   }
-  KondoPipeline pipeline(config);
-  const KondoResult result =
-      audited ? pipeline.RunWithCandidateTest(
-                    MakeAuditedCandidateTest(*program, data_path),
-                    program->param_space(), program->data_shape())
-              : pipeline.Run(*program);
-  std::printf("fuzz:  %d evaluations (%d useful), %d hulls carved\n",
-              result.fuzz.stats.evaluations,
-              result.fuzz.stats.useful_evaluations,
-              result.carve_stats.final_hulls);
+
+  IndexSet approx(program->data_shape());
+  if (shards > 1 || !shard_dir.empty()) {
+    // The chunk-range splitter partitions the single file; the merged
+    // result is bit-identical to the unsharded pipeline.
+    if (audited) {
+      std::fprintf(stderr,
+                   "--audited and --shards/--shard-dir are exclusive\n");
+      return UsageFor("debloat");
+    }
+    const SingleFileProgramAdapter adapter(std::move(program));
+    ShardOptions options;
+    options.shards = shards;
+    options.output_dir = shard_dir;
+    StatusOr<ShardedRunResult> sharded =
+        RunShardedCampaign(adapter, config, options);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
+      return 1;
+    }
+    if (!sharded->complete) {
+      std::printf("campaign paused: %d of %d shards fuzzed; rerun to "
+                  "continue\n",
+                  sharded->shards_fuzzed_now, sharded->shards_total);
+      return 0;
+    }
+    approx = std::move(sharded->merged.per_file_approx[0]);
+    std::printf("fuzz:  %d evaluations (%d useful), %d hulls carved, "
+                "stopped by %s\n",
+                sharded->merged.fuzz_stats.evaluations,
+                sharded->merged.fuzz_stats.useful_evaluations,
+                sharded->merged.per_file_carve_stats[0].final_hulls,
+                StopReason(sharded->merged.fuzz_stats));
+  } else {
+    KondoPipeline pipeline(config);
+    const KondoResult result =
+        audited ? pipeline.RunWithCandidateTest(
+                      MakeAuditedCandidateTest(*program, data_path),
+                      program->param_space(), program->data_shape())
+                : pipeline.Run(*program);
+    approx = result.approx;
+    std::printf("fuzz:  %d evaluations (%d useful), %d hulls carved, "
+                "stopped by %s\n",
+                result.fuzz.stats.evaluations,
+                result.fuzz.stats.useful_evaluations,
+                result.carve_stats.final_hulls, StopReason(result.fuzz.stats));
+  }
 
   StatusOr<KdfReader> reader = KdfReader::Open(data_path);
   if (!reader.ok()) {
@@ -289,7 +523,7 @@ int CmdDebloat(std::vector<std::string> args) {
     std::fprintf(stderr, "%s\n", array.status().ToString().c_str());
     return 1;
   }
-  DebloatedArray debloated = PackageDebloated(*array, result.approx);
+  DebloatedArray debloated = PackageDebloated(*array, approx);
   if (Status status = debloated.WriteFile(out_path); !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
@@ -354,14 +588,56 @@ int CmdReplay(std::vector<std::string> args) {
   return status.ok() ? 0 : 1;
 }
 
+/// Multi-file evaluate: runs the (optionally sharded) multi-file pipeline
+/// and scores each file's approximation against its enumerated ground
+/// truth.
+int CmdEvaluateMultiFile(std::unique_ptr<MultiFileProgram> program,
+                         uint64_t seed, int jobs, int shards,
+                         int64_t max_evals) {
+  KondoConfig config;
+  config.rng_seed = seed;
+  config.jobs = jobs;
+  config.shards = shards;
+  config.fuzz.max_evals = max_evals;
+  const MultiKondoResult result = RunMultiFileKondo(*program, config);
+  std::printf("fuzz:  %d evaluations (%d useful) in %d iterations, "
+              "stopped by %s\n",
+              result.fuzz_stats.evaluations,
+              result.fuzz_stats.useful_evaluations, result.fuzz_stats.iterations,
+              StopReason(result.fuzz_stats));
+  const MultiIndexSets truths = program->GroundTruths();
+  for (int f = 0; f < program->num_files(); ++f) {
+    const IndexSet& approx = result.per_file_approx[static_cast<size_t>(f)];
+    const AccuracyMetrics metrics =
+        ComputeAccuracy(truths[static_cast<size_t>(f)], approx);
+    std::printf("%-12s precision %.3f  recall %.3f  bloat %.1f%%  "
+                "(%d hulls)\n",
+                std::string(program->file_name(f)).c_str(), metrics.precision,
+                metrics.recall,
+                100.0 * BloatFraction(program->file_shape(f), approx),
+                result.per_file_carve_stats[static_cast<size_t>(f)]
+                    .final_hulls);
+  }
+  return 0;
+}
+
 int CmdEvaluate(std::vector<std::string> args) {
   const uint64_t seed = SeedFrom(&args);
   const bool map = TakeFlag(&args, "--map");
-  const int jobs = JobsFrom(&args);
-  if (args.size() != 1) {
+  int jobs = 0;
+  int shards = 1;
+  int64_t max_evals = 0;
+  if (!JobsFrom(&args, &jobs) || !ShardsFrom(&args, &shards) ||
+      !MaxEvalsFrom(&args, &max_evals) || args.size() != 1) {
     return UsageFor("evaluate");
   }
-  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  if (std::unique_ptr<MultiFileProgram> multi =
+          CreateMultiFileProgram(args[0]);
+      multi != nullptr) {
+    return CmdEvaluateMultiFile(std::move(multi), seed, jobs, shards,
+                                max_evals);
+  }
+  std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
     std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
     return 1;
@@ -369,6 +645,31 @@ int CmdEvaluate(std::vector<std::string> args) {
   KondoConfig config = ScaledKondoConfig(program->data_shape());
   config.rng_seed = seed;
   config.jobs = jobs;
+  config.fuzz.max_evals = max_evals;
+  if (shards > 1) {
+    // Route through the chunk-range splitter; the merged approximation is
+    // bit-identical to the unsharded pipeline's.
+    const IndexSet truth = program->GroundTruth();
+    const Shape shape = program->data_shape();
+    const SingleFileProgramAdapter adapter(std::move(program));
+    config.shards = shards;
+    const MultiKondoResult result = RunMultiFileKondo(adapter, config);
+    const IndexSet& approx = result.per_file_approx[0];
+    const AccuracyMetrics metrics = ComputeAccuracy(truth, approx);
+    std::printf("fuzz:  %d evaluations (%d useful) across %d shards, "
+                "stopped by %s\n",
+                result.fuzz_stats.evaluations,
+                result.fuzz_stats.useful_evaluations, shards,
+                StopReason(result.fuzz_stats));
+    std::printf("precision %.3f  recall %.3f  bloat %.1f%%  (%d hulls)\n",
+                metrics.precision, metrics.recall,
+                100.0 * BloatFraction(shape, approx),
+                result.per_file_carve_stats[0].final_hulls);
+    if (map) {
+      std::printf("%s", RenderComparison(truth, approx).c_str());
+    }
+    return 0;
+  }
   const KondoResult result = KondoPipeline(config).Run(*program);
   const AccuracyMetrics metrics =
       ComputeAccuracy(program->GroundTruth(), result.approx);
@@ -386,29 +687,53 @@ int CmdEvaluate(std::vector<std::string> args) {
 int CmdFuzz(std::vector<std::string> args) {
   const std::string out_path = TakeFlagValue(&args, "--out");
   const std::string resume_path = TakeFlagValue(&args, "--resume");
-  const std::string max_iter = TakeFlagValue(&args, "--max-iter");
   const uint64_t seed = SeedFrom(&args);
-  const int jobs = JobsFrom(&args);
-  if (args.size() != 1 || out_path.empty()) {
+  int jobs = 0;
+  int shards = 1;
+  int64_t max_evals = 0;
+  int64_t max_iter = 0;
+  if (!JobsFrom(&args, &jobs) || !ShardsFrom(&args, &shards) ||
+      !MaxEvalsFrom(&args, &max_evals) || !MaxIterFrom(&args, &max_iter) ||
+      args.size() != 1 || out_path.empty()) {
     return UsageFor("fuzz");
   }
-  const std::unique_ptr<Program> program = CreateProgram(args[0]);
+  std::unique_ptr<Program> program = CreateProgram(args[0]);
   if (program == nullptr) {
     std::fprintf(stderr, "unknown program: %s\n", args[0].c_str());
     return 1;
   }
-  KondoConfig config = ScaledKondoConfig(program->data_shape());
+  const Shape shape = program->data_shape();
+  KondoConfig config = ScaledKondoConfig(shape);
   config.rng_seed = seed;
-  if (!max_iter.empty()) {
-    config.fuzz.max_iter = std::atoi(max_iter.c_str());
+  config.jobs = jobs;
+  config.fuzz.max_evals = max_evals;
+  if (max_iter > 0) {
+    config.fuzz.max_iter = static_cast<int>(max_iter);
   }
-  CampaignExecutor executor(jobs);
-  FuzzSchedule schedule(program->param_space(), program->data_shape(),
-                        config.fuzz, seed);
-  const FuzzResult result =
-      schedule.Run(executor, MakeCandidateTest(*program));
-  CampaignState state =
-      MakeCampaignState(program->data_shape(), result);
+
+  FuzzResult result;
+  if (shards > 1) {
+    // Sharded campaign (in memory): the merge reconstitutes the exact
+    // serial FuzzResult — seeds from the replicated schedule, discovered
+    // set as the union over the shard partition.
+    const SingleFileProgramAdapter adapter(std::move(program));
+    ShardOptions options;
+    options.shards = shards;
+    StatusOr<ShardedRunResult> sharded =
+        RunShardedCampaign(adapter, config, options);
+    if (!sharded.ok()) {
+      std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
+      return 1;
+    }
+    result.discovered = std::move(sharded->merged.per_file_discovered[0]);
+    result.seeds = std::move(sharded->merged.seeds);
+    result.stats = sharded->merged.fuzz_stats;
+  } else {
+    CampaignExecutor executor(jobs);
+    FuzzSchedule schedule(program->param_space(), shape, config.fuzz, seed);
+    result = schedule.Run(executor, MakeCandidateTest(*program));
+  }
+  CampaignState state = MakeCampaignState(shape, result);
 
   if (!resume_path.empty()) {
     StatusOr<CampaignState> previous = LoadCampaignState(resume_path);
@@ -423,10 +748,10 @@ int CmdFuzz(std::vector<std::string> args) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("campaign: %d evaluations this run; state now holds %zu seeds "
-              "and %zu discovered offsets -> %s\n",
-              result.stats.evaluations, state.seeds.size(),
-              state.discovered.size(), out_path.c_str());
+  std::printf("campaign: %d evaluations this run (stopped by %s); state now "
+              "holds %zu seeds and %zu discovered offsets -> %s\n",
+              result.stats.evaluations, StopReason(result.stats),
+              state.seeds.size(), state.discovered.size(), out_path.c_str());
   return 0;
 }
 
