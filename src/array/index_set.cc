@@ -44,6 +44,7 @@ int64_t IndexSet::IntersectionSize(const IndexSet& other) const {
     std::swap(small, large);
   }
   int64_t count = 0;
+  // kondo-lint: allow(R2) pure reduction — the count is order-insensitive.
   for (int64_t id : small->ids_) {
     if (large->ids_.count(id) > 0) {
       ++count;
@@ -56,6 +57,7 @@ bool IndexSet::IsSubsetOf(const IndexSet& other) const {
   if (size() > other.size()) {
     return false;
   }
+  // kondo-lint: allow(R2) pure reduction — the verdict is order-insensitive.
   for (int64_t id : ids_) {
     if (other.ids_.count(id) == 0) {
       return false;
@@ -67,7 +69,7 @@ bool IndexSet::IsSubsetOf(const IndexSet& other) const {
 std::vector<Index> IndexSet::ToIndices() const {
   std::vector<Index> result;
   result.reserve(ids_.size());
-  for (int64_t id : ids_) {
+  for (int64_t id : ToSortedLinearIds()) {
     result.push_back(shape_.Delinearize(id));
   }
   return result;

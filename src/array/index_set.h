@@ -41,16 +41,21 @@ class IndexSet {
   /// True when every element of this set is contained in `other`.
   bool IsSubsetOf(const IndexSet& other) const;
 
-  /// Materialises the indices (unordered).
+  /// Materialises the indices, in ascending linear-id order.
   std::vector<Index> ToIndices() const;
 
   /// Materialises the linear ids, sorted ascending.
   std::vector<int64_t> ToSortedLinearIds() const;
 
-  /// Invokes `fn(index)` for each member (unordered).
+  /// Invokes `fn(index)` for each member, in ascending linear-id order.
+  ///
+  /// The deterministic order is load-bearing: ForEach feeds carve-cell
+  /// construction, offset mapping, and report rendering — paths whose
+  /// artefacts must be bit-identical under replay. The O(n log n) sort is
+  /// noise next to the per-index work every caller does.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (int64_t id : ids_) {
+    for (int64_t id : ToSortedLinearIds()) {
       fn(shape_.Delinearize(id));
     }
   }

@@ -31,7 +31,13 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error result type. Kondo does not use C++
 /// exceptions; every fallible operation returns `Status` or `StatusOr<T>`.
-class Status {
+///
+/// `[[nodiscard]]` at class level: silently dropping a Status — an IO
+/// writer's short-write, a failed manifest save — is exactly the bug class
+/// kondo-lint rule R3 exists for, and the compiler is the first line of
+/// defence. Deliberate discards must be spelled `(void)expr` with a
+/// `// kondo-lint: allow(R3) <reason>` justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

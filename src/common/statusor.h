@@ -16,8 +16,10 @@ namespace kondo {
 /// Dereferencing a non-OK StatusOr aborts the process with a diagnostic:
 /// this mirrors absl's CHECK semantics and keeps call sites honest in a
 /// codebase without exceptions.
+/// `[[nodiscard]]` for the same reason as Status: a discarded StatusOr is
+/// either a swallowed error or a thrown-away result, and both are bugs.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Passing an OK status is a programming
   /// error and is converted to an internal error.

@@ -1,0 +1,119 @@
+#ifndef KONDO_COMMON_THREAD_ANNOTATIONS_H_
+#define KONDO_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang thread-safety annotations (https://clang.llvm.org/docs/
+/// ThreadSafetyAnalysis.html) behind Kondo-prefixed macros, plus annotated
+/// drop-in wrappers around the standard synchronisation primitives.
+///
+/// Why this exists: the repo's headline guarantee is bit-identical replay at
+/// any --jobs/--shards, which only holds while every shared mutable field is
+/// reached under its lock. `-Wthread-safety` proves that statically — but
+/// only when mutexes are *capabilities* the analysis can see. `std::mutex`
+/// carries no capability attributes, so Kondo code uses `kondo::Mutex`,
+/// `kondo::MutexLock`, and `kondo::CondVar` below; on GCC (and any compiler
+/// without the attributes) every macro expands to nothing and the wrappers
+/// compile to exactly the std primitives they hold.
+///
+/// kondo-lint rule R4 enforces adoption: a class declaring a mutex member
+/// must annotate what that mutex guards (see docs/STATIC_ANALYSIS.md).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define KONDO_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef KONDO_THREAD_ANNOTATION_
+#define KONDO_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Field annotation: reads and writes require holding `x`.
+#define KONDO_GUARDED_BY(x) KONDO_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointer field annotation: the *pointee* is guarded by `x`.
+#define KONDO_PT_GUARDED_BY(x) KONDO_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function annotation: caller must hold `...` for the duration of the call.
+#define KONDO_REQUIRES(...) \
+  KONDO_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function annotation: caller must NOT hold `...` (the function acquires it).
+#define KONDO_EXCLUDES(...) \
+  KONDO_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Function annotation: acquires `...` and holds it on return.
+#define KONDO_ACQUIRE(...) \
+  KONDO_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+/// Function annotation: releases `...` (held on entry).
+#define KONDO_RELEASE(...) \
+  KONDO_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+/// Type annotation: this type is a lockable capability named in diagnostics.
+#define KONDO_CAPABILITY(x) KONDO_THREAD_ANNOTATION_(capability(x))
+/// Type annotation: RAII type that holds a capability for its lifetime.
+#define KONDO_SCOPED_CAPABILITY KONDO_THREAD_ANNOTATION_(scoped_lockable)
+/// Function annotation: returns the mutex guarding this object.
+#define KONDO_RETURN_CAPABILITY(x) \
+  KONDO_THREAD_ANNOTATION_(lock_returned(x))
+/// Escape hatch for code the analysis cannot model; use with a comment.
+#define KONDO_NO_THREAD_SAFETY_ANALYSIS \
+  KONDO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace kondo {
+
+/// `std::mutex` as a Clang capability. Identical layout and cost; the only
+/// addition is the attribute set that lets `-Wthread-safety` track it.
+class KONDO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KONDO_ACQUIRE() { mu_.lock(); }
+  void Unlock() KONDO_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over `Mutex` — the annotated equivalent of
+/// `std::lock_guard<std::mutex>`.
+class KONDO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) KONDO_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() KONDO_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to `Mutex`. `Wait` must be called with the mutex
+/// held (enforced by the analysis); it atomically releases while blocked and
+/// re-acquires before returning, like `std::condition_variable::wait`.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// No predicate overload on purpose: a predicate lambda reads guarded
+  /// state from a context the analysis treats as a separate function, which
+  /// defeats the point. Write the standard `while (!cond) cv.Wait(mu);`
+  /// loop inside the locked scope instead — the analysis verifies it.
+  void Wait(Mutex& mu) KONDO_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller's scope still owns the re-acquired mutex.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace kondo {
+namespace {
+
+/// Shared completion state of one ParallelFor batch. The cursor is lock-free
+/// (contended on every item); the latch and the first captured exception sit
+/// behind an annotated mutex so `-Wthread-safety` proves every access.
+struct BatchState {
+  std::atomic<int64_t> cursor{0};
+  Mutex mu;
+  CondVar done;
+  int pending KONDO_GUARDED_BY(mu) = 0;
+  std::exception_ptr first_error KONDO_GUARDED_BY(mu);
+};
+
+}  // namespace
 
 CampaignExecutor::CampaignExecutor(int jobs) : jobs_(std::max(1, jobs)) {
   if (jobs_ > 1) {
@@ -37,33 +51,40 @@ void CampaignExecutor::ParallelFor(int64_t n,
   // debloat tests have wildly varying access-set sizes).
   const int tasks = static_cast<int>(
       std::min<int64_t>(n, static_cast<int64_t>(jobs_)));
-  std::atomic<int64_t> cursor{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  int pending = tasks;
-  std::exception_ptr first_error;
+  BatchState state;
+  {
+    MutexLock lock(state.mu);
+    state.pending = tasks;
+  }
 
   for (int t = 0; t < tasks; ++t) {
-    pool_->Submit([&] {
-      for (int64_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+    pool_->Submit([&state, &fn, n] {
+      for (int64_t i = state.cursor.fetch_add(1); i < n;
+           i = state.cursor.fetch_add(1)) {
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(done_mu);
-          if (first_error == nullptr) {
-            first_error = std::current_exception();
+          MutexLock lock(state.mu);
+          if (state.first_error == nullptr) {
+            state.first_error = std::current_exception();
           }
         }
       }
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--pending == 0) {
-        done_cv.notify_all();
+      MutexLock lock(state.mu);
+      if (--state.pending == 0) {
+        state.done.NotifyAll();
       }
     });
   }
 
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&pending] { return pending == 0; });
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state.mu);
+    while (state.pending != 0) {
+      state.done.Wait(state.mu);
+    }
+    first_error = state.first_error;
+  }
   if (first_error != nullptr) {
     std::rethrow_exception(first_error);
   }

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -26,18 +26,20 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) {
+        task_ready_.Wait(mu_);
+      }
       if (tasks_.empty()) {
         return;  // stopping_ and drained.
       }

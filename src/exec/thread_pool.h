@@ -1,12 +1,12 @@
 #ifndef KONDO_EXEC_THREAD_POOL_H_
 #define KONDO_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace kondo {
 
@@ -34,16 +34,16 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker. Tasks must not throw
   /// across the pool boundary; wrap and capture exceptions on the caller's
   /// side (CampaignExecutor does).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) KONDO_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() KONDO_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar task_ready_;
+  std::deque<std::function<void()>> tasks_ KONDO_GUARDED_BY(mu_);
+  bool stopping_ KONDO_GUARDED_BY(mu_) = false;
 };
 
 /// `std::thread::hardware_concurrency()` with the zero-means-unknown case

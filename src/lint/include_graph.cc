@@ -1,0 +1,148 @@
+#include "lint/include_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace kondo {
+namespace lint {
+namespace {
+
+/// Lexically normalizes `path`: collapses "a/./b" and "a/../b". Good enough
+/// for the repo-relative joins the resolver produces.
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string piece;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (piece == "..") {
+        if (!parts.empty()) {
+          parts.pop_back();
+        }
+      } else if (!piece.empty() && piece != ".") {
+        parts.push_back(piece);
+      }
+      piece.clear();
+    } else {
+      piece += path[i];
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += '/';
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> ExtractIncludeTargets(const LexedFile& lexed) {
+  std::vector<std::string> targets;
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct || toks[i].text != "#") {
+      continue;
+    }
+    // '#' must open its logical line — i.e. not follow a token on the same
+    // line — to be a preprocessor directive.
+    if (i > 0 && toks[i - 1].line == toks[i].line) {
+      continue;
+    }
+    if (toks[i + 1].kind != TokenKind::kIdentifier ||
+        toks[i + 1].text != "include") {
+      continue;
+    }
+    if (i + 2 >= toks.size()) {
+      continue;
+    }
+    const Token& target = toks[i + 2];
+    if (target.kind == TokenKind::kString) {
+      targets.push_back(target.text);
+    } else if (target.kind == TokenKind::kPunct && target.text == "<") {
+      std::string joined;
+      for (size_t j = i + 3;
+           j < toks.size() && toks[j].line == toks[i].line &&
+           !(toks[j].kind == TokenKind::kPunct && toks[j].text == ">");
+           ++j) {
+        joined += toks[j].text;
+      }
+      targets.push_back(joined);
+    }
+  }
+  return targets;
+}
+
+IncludeGraph IncludeGraph::Build(
+    const std::map<std::string, LexedFile>& files) {
+  IncludeGraph graph;
+  for (const auto& [path, lexed] : files) {
+    std::vector<std::string> resolved;
+    for (const std::string& inc : ExtractIncludeTargets(lexed)) {
+      // Resolution order mirrors the build: -I src, repo root, then the
+      // including file's own directory.
+      const std::string candidates[] = {
+          NormalizePath("src/" + inc),
+          NormalizePath(inc),
+          NormalizePath(DirName(path) + "/" + inc),
+      };
+      for (const std::string& candidate : candidates) {
+        if (files.count(candidate) > 0) {
+          if (std::find(resolved.begin(), resolved.end(), candidate) ==
+              resolved.end()) {
+            resolved.push_back(candidate);
+          }
+          break;
+        }
+      }
+    }
+    graph.edges_[path] = std::move(resolved);
+  }
+  return graph;
+}
+
+const std::vector<std::string>& IncludeGraph::DirectIncludes(
+    const std::string& path) const {
+  const auto it = edges_.find(path);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+std::set<std::string> IncludeGraph::CriticalClosure(
+    const std::vector<std::string>& module_prefixes) const {
+  std::set<std::string> critical;
+  std::deque<std::string> frontier;
+  for (const auto& [path, includes] : edges_) {
+    (void)includes;
+    for (const std::string& prefix : module_prefixes) {
+      if (StartsWith(path, prefix)) {
+        critical.insert(path);
+        frontier.push_back(path);
+        break;
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const std::string at = frontier.front();
+    frontier.pop_front();
+    for (const std::string& next : DirectIncludes(at)) {
+      if (critical.insert(next).second) {
+        frontier.push_back(next);
+      }
+    }
+  }
+  return critical;
+}
+
+}  // namespace lint
+}  // namespace kondo

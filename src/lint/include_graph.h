@@ -1,0 +1,50 @@
+#ifndef KONDO_LINT_INCLUDE_GRAPH_H_
+#define KONDO_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace kondo {
+namespace lint {
+
+/// Quoted-include edges between the files under lint, with includes
+/// resolved against the repository layout (`#include "array/index.h"`
+/// resolves relative to `src/`, the repo root, and the including file's
+/// directory). Unresolvable includes — system headers — are dropped.
+///
+/// All containers are ordered: the linter's own output must be
+/// deterministic, so the subsystem practices what rule R2 preaches.
+class IncludeGraph {
+ public:
+  /// `files` maps repo-relative paths to their lexed form.
+  static IncludeGraph Build(const std::map<std::string, LexedFile>& files);
+
+  /// Files directly included by `path` (repo-relative, resolved).
+  const std::vector<std::string>& DirectIncludes(
+      const std::string& path) const;
+
+  /// The determinism-critical closure: every file whose repo-relative path
+  /// starts with one of `module_prefixes`, plus everything such files
+  /// transitively include. A header outside src/fuzz that a fuzz module
+  /// includes shapes fuzz results just as much as the module itself — this
+  /// is how e.g. src/array/index_set.h becomes critical.
+  std::set<std::string> CriticalClosure(
+      const std::vector<std::string>& module_prefixes) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> edges_;
+  std::vector<std::string> empty_;
+};
+
+/// Extracts the quoted and angle-bracket include targets from a token
+/// stream (quoted first, in order; exposed for tests).
+std::vector<std::string> ExtractIncludeTargets(const LexedFile& lexed);
+
+}  // namespace lint
+}  // namespace kondo
+
+#endif  // KONDO_LINT_INCLUDE_GRAPH_H_

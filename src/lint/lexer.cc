@@ -1,0 +1,293 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace kondo {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Scanner state threaded through the helpers below.
+struct Cursor {
+  std::string_view src;
+  size_t pos = 0;
+  int line = 1;
+
+  bool Done() const { return pos >= src.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  void Advance() {
+    if (src[pos] == '\n') {
+      ++line;
+    }
+    ++pos;
+  }
+};
+
+/// Parses a `kondo-lint:` directive out of comment text. Returns true when
+/// the comment contains a directive at all; `*rules` receives the allowed
+/// rule ids and `*ok` whether the directive was well-formed.
+bool ParseDirective(std::string_view comment, std::set<std::string>* rules,
+                    bool* ok) {
+  // A directive must open the comment (after the comment markers): prose
+  // that merely *mentions* the syntax — docs, error messages — is ignored.
+  size_t start = 0;
+  while (start < comment.size() &&
+         (comment[start] == '/' || comment[start] == '*' ||
+          comment[start] == '!' ||
+          std::isspace(static_cast<unsigned char>(comment[start])))) {
+    ++start;
+  }
+  constexpr std::string_view kPrefix = "kondo-lint:";
+  if (comment.substr(start, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  const size_t at = start;
+  *ok = false;
+  std::string_view rest = comment.substr(at + kPrefix.size());
+  size_t i = 0;
+  while (i < rest.size() && std::isspace(static_cast<unsigned char>(rest[i]))) {
+    ++i;
+  }
+  if (rest.substr(i, 5) != "allow") {
+    return true;  // Directive present but not understood.
+  }
+  i += 5;
+  while (i < rest.size() && std::isspace(static_cast<unsigned char>(rest[i]))) {
+    ++i;
+  }
+  if (i >= rest.size() || rest[i] != '(') {
+    return true;
+  }
+  ++i;
+  std::string id;
+  bool any = false;
+  for (; i < rest.size(); ++i) {
+    const char c = rest[i];
+    if (c == ')') {
+      if (!id.empty()) {
+        rules->insert(id);
+        any = true;
+      }
+      *ok = any;  // `allow()` with an empty list is malformed.
+      return true;
+    }
+    if (c == ',') {
+      if (!id.empty()) {
+        rules->insert(id);
+        any = true;
+      }
+      id.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      id += c;
+    }
+  }
+  return true;  // Unterminated rule list: malformed.
+}
+
+/// Records the suppression carried by a comment. A comment with no code
+/// token before it on its own line ("standalone") also covers the next
+/// line; an end-of-line comment covers only its line.
+void RecordComment(std::string_view text, int comment_line, bool standalone,
+                   LexedFile* out) {
+  std::set<std::string> rules;
+  bool ok = false;
+  if (!ParseDirective(text, &rules, &ok)) {
+    return;
+  }
+  if (!ok) {
+    out->malformed_directives.emplace_back(
+        comment_line,
+        "unparseable kondo-lint directive (expected "
+        "`kondo-lint: allow(R1[,R2...]) reason`)");
+    return;
+  }
+  out->suppressions[comment_line].insert(rules.begin(), rules.end());
+  if (standalone) {
+    out->suppressions[comment_line + 1].insert(rules.begin(), rules.end());
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) {
+  LexedFile out;
+  Cursor c{source};
+  int last_token_line = 0;  // Line of the most recent emitted token.
+
+  auto emit = [&](TokenKind kind, std::string text, int line) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+    last_token_line = line;
+  };
+
+  while (!c.Done()) {
+    const char ch = c.Peek();
+
+    if (ch == '\n' || std::isspace(static_cast<unsigned char>(ch))) {
+      c.Advance();
+      continue;
+    }
+
+    // Line comment.
+    if (ch == '/' && c.Peek(1) == '/') {
+      const int line = c.line;
+      const bool standalone = last_token_line != line;
+      std::string text;
+      while (!c.Done() && c.Peek() != '\n') {
+        text += c.Peek();
+        c.Advance();
+      }
+      RecordComment(text, line, standalone, &out);
+      continue;
+    }
+
+    // Block comment. A directive inside one anchors to the comment's first
+    // line, consistent with the line-comment rule.
+    if (ch == '/' && c.Peek(1) == '*') {
+      const int line = c.line;
+      const bool standalone = last_token_line != line;
+      std::string text;
+      c.Advance();
+      c.Advance();
+      while (!c.Done() && !(c.Peek() == '*' && c.Peek(1) == '/')) {
+        text += c.Peek();
+        c.Advance();
+      }
+      if (!c.Done()) {
+        c.Advance();
+        c.Advance();
+      }
+      RecordComment(text, line, standalone, &out);
+      continue;
+    }
+
+    // String literal (handles escapes).
+    if (ch == '"') {
+      const int line = c.line;
+      std::string text;
+      c.Advance();
+      while (!c.Done() && c.Peek() != '"') {
+        if (c.Peek() == '\\' && c.Peek(1) != '\0') {
+          text += c.Peek();
+          c.Advance();
+        }
+        text += c.Peek();
+        c.Advance();
+      }
+      if (!c.Done()) {
+        c.Advance();
+      }
+      emit(TokenKind::kString, std::move(text), line);
+      continue;
+    }
+
+    // Char literal.
+    if (ch == '\'') {
+      const int line = c.line;
+      std::string text;
+      c.Advance();
+      while (!c.Done() && c.Peek() != '\'') {
+        if (c.Peek() == '\\' && c.Peek(1) != '\0') {
+          text += c.Peek();
+          c.Advance();
+        }
+        text += c.Peek();
+        c.Advance();
+      }
+      if (!c.Done()) {
+        c.Advance();
+      }
+      emit(TokenKind::kChar, std::move(text), line);
+      continue;
+    }
+
+    // Identifier / keyword — with raw-string detection: an identifier
+    // ending in 'R' immediately followed by '"' opens R"delim(...)delim".
+    if (IsIdentStart(ch)) {
+      const int line = c.line;
+      std::string text;
+      while (!c.Done() && IsIdentChar(c.Peek())) {
+        text += c.Peek();
+        c.Advance();
+      }
+      if (!text.empty() && text.back() == 'R' && c.Peek() == '"') {
+        c.Advance();  // Consume the quote.
+        std::string delim;
+        while (!c.Done() && c.Peek() != '(') {
+          delim += c.Peek();
+          c.Advance();
+        }
+        if (!c.Done()) {
+          c.Advance();  // Consume '('.
+        }
+        const std::string closer = ")" + delim + "\"";
+        std::string body;
+        while (!c.Done()) {
+          body += c.Peek();
+          c.Advance();
+          if (body.size() >= closer.size() &&
+              body.compare(body.size() - closer.size(), closer.size(),
+                           closer) == 0) {
+            body.resize(body.size() - closer.size());
+            break;
+          }
+        }
+        emit(TokenKind::kString, std::move(body), line);
+        continue;
+      }
+      emit(TokenKind::kIdentifier, std::move(text), line);
+      continue;
+    }
+
+    // Number (loose: consumes digits, '.', exponent signs, and suffixes —
+    // enough to keep numeric text out of the identifier space).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.Peek(1))))) {
+      const int line = c.line;
+      std::string text;
+      while (!c.Done() &&
+             (IsIdentChar(c.Peek()) || c.Peek() == '.' ||
+              ((c.Peek() == '+' || c.Peek() == '-') && !text.empty() &&
+               (text.back() == 'e' || text.back() == 'E' ||
+                text.back() == 'p' || text.back() == 'P')))) {
+        text += c.Peek();
+        c.Advance();
+      }
+      emit(TokenKind::kNumber, std::move(text), line);
+      continue;
+    }
+
+    // Punctuation. "::" and "->" are combined (the rules match on them);
+    // everything else is a single character, which keeps template-bracket
+    // balancing trivial (">>" closes two levels as two tokens).
+    {
+      const int line = c.line;
+      if (ch == ':' && c.Peek(1) == ':') {
+        c.Advance();
+        c.Advance();
+        emit(TokenKind::kPunct, "::", line);
+      } else if (ch == '-' && c.Peek(1) == '>') {
+        c.Advance();
+        c.Advance();
+        emit(TokenKind::kPunct, "->", line);
+      } else {
+        c.Advance();
+        emit(TokenKind::kPunct, std::string(1, ch), line);
+      }
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace lint
+}  // namespace kondo

@@ -1,0 +1,32 @@
+#ifndef KONDO_LINT_LEXER_H_
+#define KONDO_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "lint/token.h"
+
+namespace kondo {
+namespace lint {
+
+/// Tokenizes C++ source. The lexer is comment- and string-aware — the two
+/// properties the rules depend on:
+///
+///  * comments are stripped from the token stream (after being mined for
+///    `kondo-lint:` suppression directives), so commented-out code can
+///    never trigger a finding;
+///  * string/char literals (including raw strings) become single literal
+///    tokens, so banned identifiers inside text can never trigger one
+///    either.
+///
+/// It is deliberately NOT a preprocessor: macros are not expanded and
+/// `#if`-excluded regions are still scanned. For an invariant linter that
+/// is the safe direction — code that is conditionally compiled into a
+/// determinism-critical module must satisfy the invariants in every
+/// configuration.
+LexedFile Lex(std::string_view source);
+
+}  // namespace lint
+}  // namespace kondo
+
+#endif  // KONDO_LINT_LEXER_H_

@@ -1,0 +1,581 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace kondo {
+namespace lint {
+namespace {
+
+bool IsIdent(const Token& tok, const char* text) {
+  return tok.kind == TokenKind::kIdentifier && tok.text == text;
+}
+
+bool IsPunct(const Token& tok, const char* text) {
+  return tok.kind == TokenKind::kPunct && tok.text == text;
+}
+
+bool IsAnyIdent(const Token& tok) {
+  return tok.kind == TokenKind::kIdentifier;
+}
+
+/// True when `name` names an unordered standard container.
+bool IsUnorderedContainerName(const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+/// Starting at the '<' token at `open`, returns the index one past the
+/// matching '>' (template brackets; single-char punctuation makes ">>"
+/// close two levels naturally). Returns `open` when unbalanced.
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t open) {
+  if (open >= toks.size() || !IsPunct(toks[open], "<")) {
+    return open;
+  }
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], "<")) {
+      ++depth;
+    } else if (IsPunct(toks[i], ">")) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (IsPunct(toks[i], ";") || IsPunct(toks[i], "{")) {
+      break;  // Statement ended: this '<' was a comparison, not a template.
+    }
+  }
+  return open;
+}
+
+/// The banned-identifier table of R1. `sequence` entries must appear as
+/// consecutive tokens; single-entry rows match one identifier anywhere.
+struct BannedApi {
+  std::vector<const char*> sequence;  // Identifier/punct texts in order.
+  const char* why;
+};
+
+const BannedApi kBannedApis[] = {
+    {{"rand"}, "seed-free C PRNG"},
+    {{"srand"}, "reseeds the global C PRNG"},
+    {{"rand_r"}, "caller-seeded C PRNG outside the campaign Rng stream"},
+    {{"drand48"}, "global-state C PRNG"},
+    {{"lrand48"}, "global-state C PRNG"},
+    {{"mrand48"}, "global-state C PRNG"},
+    {{"random_device"}, "hardware entropy source"},
+    {{"system_clock"}, "wall-clock read"},
+    {{"high_resolution_clock"}, "wall-clock read (aliases system_clock on "
+                                "some platforms)"},
+    {{"gettimeofday"}, "wall-clock read"},
+    {{"getpid"}, "process identity as data (campaign event pids are the "
+                 "deterministic 1+seq stream)"},
+    {{"gettid"}, "thread identity as data"},
+    {{"this_thread", "::", "get_id"}, "thread identity as data"},
+    {{"time", "(", "nullptr", ")"}, "wall-clock read"},
+    {{"time", "(", "NULL", ")"}, "wall-clock read"},
+    {{"time", "(", "0", ")"}, "wall-clock read"},
+    {{"clock", "(", ")"}, "process-time read"},
+};
+
+/// Writer methods whose Status return must never be dropped (R3).
+bool IsWriterMethod(const std::string& name) {
+  return name == "Append" || name == "AppendAll" || name == "Close" ||
+         name == "Flush" || name == "SealBlock" || name == "Collect";
+}
+
+/// Receiver names that identify an IO writer for the bare-discard check.
+bool IsWriterishReceiver(const std::string& name) {
+  auto ends_with = [&name](const char* suffix) {
+    const std::string s(suffix);
+    return name.size() >= s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return name == "writer" || name == "sink" || name == "store" ||
+         name == "persister" || ends_with("writer") || ends_with("writer_") ||
+         ends_with("sink") || ends_with("sink_") || ends_with("store_");
+}
+
+/// True when any token in [begin, end) is `.` or `->` followed by a writer
+/// method and a call paren, or a writer method directly followed by a call
+/// paren (implicit `this`). Sets `*method` to the matched name.
+bool ContainsWriterCall(const std::vector<Token>& toks, size_t begin,
+                        size_t end, std::string* method) {
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (IsAnyIdent(toks[i]) && IsWriterMethod(toks[i].text) &&
+        i + 1 < toks.size() && IsPunct(toks[i + 1], "(")) {
+      const bool qualified =
+          i > begin && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+      const bool leading = i == begin;
+      if (qualified || leading) {
+        *method = toks[i].text;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Index of the terminating ';' of the statement starting at `start`
+/// (tracking paren/brace/bracket depth), or toks.size().
+size_t FindStatementEnd(const std::vector<Token>& toks, size_t start) {
+  int depth = 0;
+  for (size_t i = start; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kPunct) {
+      continue;
+    }
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+      if (depth < 0) {
+        return i;
+      }
+    } else if (t.text == ";" && depth == 0) {
+      return i;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+void CheckR1(const FileContext& ctx, std::vector<Finding>* findings) {
+  if (!ctx.critical) {
+    return;
+  }
+  const auto& toks = ctx.lexed->tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    for (const BannedApi& banned : kBannedApis) {
+      if (i + banned.sequence.size() > toks.size()) {
+        continue;
+      }
+      bool match = true;
+      for (size_t j = 0; j < banned.sequence.size(); ++j) {
+        const Token& tok = toks[i + j];
+        if (tok.kind == TokenKind::kString || tok.kind == TokenKind::kChar ||
+            tok.text != banned.sequence[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) {
+        continue;
+      }
+      // A banned name used as a member of something else (`foo.rand`,
+      // `mine::rand`) is someone else's symbol; qualified std:: uses still
+      // match because `std` precedes the `::`.
+      if (i >= 2 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+        continue;
+      }
+      if (i >= 2 && IsPunct(toks[i - 1], "::") && !IsIdent(toks[i - 2], "std") &&
+          !IsIdent(toks[i - 2], "chrono")) {
+        continue;
+      }
+      std::string spelled;
+      for (const char* part : banned.sequence) {
+        spelled += part;
+      }
+      findings->push_back(Finding{
+          "R1", ctx.path, toks[i].line,
+          "banned nondeterminism API '" + spelled + "' (" + banned.why +
+              ") in a determinism-critical module; campaign randomness must "
+              "come from the seeded Rng stream (TestCandidate::rng_seed) and "
+              "timing must stay out of result-affecting state"});
+      break;  // One finding per token position.
+    }
+  }
+}
+
+std::set<std::string> CollectUnorderedDeclNames(const LexedFile& lexed) {
+  std::set<std::string> names;
+  const auto& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsAnyIdent(toks[i]) || !IsUnorderedContainerName(toks[i].text)) {
+      continue;
+    }
+    const size_t after = SkipTemplateArgs(toks, i + 1);
+    if (after == i + 1) {
+      continue;  // No template argument list.
+    }
+    // Skip ref/pointer/const decoration between the type and the name.
+    size_t k = after;
+    while (k < toks.size() &&
+           (IsPunct(toks[k], "&") || IsPunct(toks[k], "*") ||
+            IsIdent(toks[k], "const"))) {
+      ++k;
+    }
+    if (k < toks.size() && IsAnyIdent(toks[k])) {
+      names.insert(toks[k].text);
+    }
+  }
+  return names;
+}
+
+void CheckR2(const FileContext& ctx, std::vector<Finding>* findings) {
+  const auto& toks = ctx.lexed->tokens;
+
+  // (a) Pointer-keyed unordered containers: flagged everywhere. Iteration
+  // order over pointer keys depends on allocation addresses, which differ
+  // run to run — no replay can be bit-identical once that order leaks out.
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsAnyIdent(toks[i]) || !IsUnorderedContainerName(toks[i].text)) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "<")) {
+      continue;
+    }
+    const size_t end = SkipTemplateArgs(toks, i + 1);
+    if (end == i + 1) {
+      continue;
+    }
+    int depth = 0;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (IsPunct(toks[j], "<")) {
+        ++depth;
+      } else if (IsPunct(toks[j], ">")) {
+        --depth;
+      } else if (depth == 1 && IsPunct(toks[j], ",")) {
+        break;  // Only the key (first) template argument matters.
+      } else if (depth == 1 && IsPunct(toks[j], "*")) {
+        findings->push_back(Finding{
+            "R2", ctx.path, toks[i].line,
+            "pointer-keyed " + toks[i].text +
+                ": iteration order follows allocation addresses and varies "
+                "run to run; key by a stable id instead"});
+        break;
+      }
+    }
+  }
+
+  // (b) Range-for over an unordered container in a critical file.
+  if (!ctx.critical) {
+    return;
+  }
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "for") || !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    // Find the range-for ':' at paren depth 1 ("::" is a distinct token, so
+    // a lone ':' is unambiguous).
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], "(")) {
+        ++depth;
+      } else if (IsPunct(toks[j], ")")) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (depth == 1 && colon == 0 && IsPunct(toks[j], ":")) {
+        colon = j;
+      } else if (depth == 1 && IsPunct(toks[j], ";")) {
+        break;  // Classic three-clause for.
+      }
+    }
+    if (colon == 0 || close == 0) {
+      continue;
+    }
+    for (size_t j = colon + 1; j < close; ++j) {
+      const bool declared_unordered =
+          IsAnyIdent(toks[j]) && ctx.unordered_names != nullptr &&
+          ctx.unordered_names->count(toks[j].text) > 0;
+      const bool literal_unordered =
+          IsAnyIdent(toks[j]) &&
+          toks[j].text.find("unordered_") != std::string::npos;
+      if (declared_unordered || literal_unordered) {
+        findings->push_back(Finding{
+            "R2", ctx.path, toks[i].line,
+            "iteration over unordered container '" + toks[j].text +
+                "' in a determinism-critical file: the order is unspecified "
+                "and leaks into results; iterate a sorted materialisation "
+                "(e.g. IndexSet::ToSortedLinearIds) or justify with "
+                "`// kondo-lint: allow(R2) <reason>`"});
+        break;
+      }
+    }
+  }
+}
+
+void CheckR3(const FileContext& ctx, std::vector<Finding>* findings) {
+  const auto& toks = ctx.lexed->tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // `(void) <writer call>` — only when the cast opens a statement (a
+    // parameter list `(void)` is followed by `{`, `;`, or nothing).
+    if (IsPunct(toks[i], "(") && i + 2 < toks.size() &&
+        IsIdent(toks[i + 1], "void") && IsPunct(toks[i + 2], ")")) {
+      const size_t expr = i + 3;
+      const size_t end = FindStatementEnd(toks, expr);
+      std::string method;
+      if (ContainsWriterCall(toks, expr, end, &method)) {
+        findings->push_back(Finding{
+            "R3", ctx.path, toks[i].line,
+            "IO writer status of '" + method +
+                "' suppressed with (void): a swallowed short write turns a "
+                "torn store into silent data loss; handle the Status or "
+                "justify with `// kondo-lint: allow(R3) <reason>`"});
+      }
+      continue;
+    }
+    // `static_cast<void>(<writer call>)`.
+    if (IsIdent(toks[i], "static_cast") && i + 4 < toks.size() &&
+        IsPunct(toks[i + 1], "<") && IsIdent(toks[i + 2], "void") &&
+        IsPunct(toks[i + 3], ">") && IsPunct(toks[i + 4], "(")) {
+      const size_t end = FindStatementEnd(toks, i + 5);
+      std::string method;
+      if (ContainsWriterCall(toks, i + 5, end, &method)) {
+        findings->push_back(Finding{
+            "R3", ctx.path, toks[i].line,
+            "IO writer status of '" + method +
+                "' suppressed with static_cast<void>; handle the Status or "
+                "justify with `// kondo-lint: allow(R3) <reason>`"});
+      }
+      continue;
+    }
+    // `std::ignore = <writer call>`.
+    if (IsIdent(toks[i], "ignore") && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "=")) {
+      const size_t end = FindStatementEnd(toks, i + 2);
+      std::string method;
+      if (ContainsWriterCall(toks, i + 2, end, &method)) {
+        findings->push_back(Finding{
+            "R3", ctx.path, toks[i].line,
+            "IO writer status of '" + method +
+                "' discarded into std::ignore; handle the Status or justify "
+                "with `// kondo-lint: allow(R3) <reason>`"});
+      }
+      continue;
+    }
+    // Bare `writer.Method(...);` statement on a writer-named receiver.
+    const bool at_statement_start =
+        i == 0 || IsPunct(toks[i - 1], ";") || IsPunct(toks[i - 1], "{") ||
+        IsPunct(toks[i - 1], "}") || IsPunct(toks[i - 1], ")") ||
+        IsIdent(toks[i - 1], "else");
+    // `(void)writer.Close()` already reported by the cast arm above; the
+    // trailing ')' must not re-trigger the bare-discard arm.
+    const bool after_void_cast = i >= 3 && IsPunct(toks[i - 1], ")") &&
+                                 IsIdent(toks[i - 2], "void") &&
+                                 IsPunct(toks[i - 3], "(");
+    if (at_statement_start && !after_void_cast && IsAnyIdent(toks[i]) &&
+        IsWriterishReceiver(toks[i].text) && i + 2 < toks.size() &&
+        (IsPunct(toks[i + 1], ".") || IsPunct(toks[i + 1], "->")) &&
+        IsAnyIdent(toks[i + 2]) && IsWriterMethod(toks[i + 2].text) &&
+        i + 3 < toks.size() && IsPunct(toks[i + 3], "(")) {
+      // The call's value is discarded only when the statement ends right
+      // after the closing paren.
+      int depth = 0;
+      size_t j = i + 3;
+      for (; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "(")) {
+          ++depth;
+        } else if (IsPunct(toks[j], ")")) {
+          if (--depth == 0) {
+            break;
+          }
+        }
+      }
+      if (j + 1 < toks.size() && IsPunct(toks[j + 1], ";")) {
+        findings->push_back(Finding{
+            "R3", ctx.path, toks[i].line,
+            "discarded Status of IO writer call '" + toks[i].text +
+                (toks[i + 1].text == "->" ? "->" : ".") + toks[i + 2].text +
+                "(...)': check it (KONDO_RETURN_IF_ERROR) or justify with "
+                "`// kondo-lint: allow(R3) <reason>`"});
+      }
+    }
+  }
+}
+
+void CheckR4(const FileContext& ctx, std::vector<Finding>* findings) {
+  const auto& toks = ctx.lexed->tokens;
+
+  struct ClassFrame {
+    std::string name;
+    int body_depth = 0;  // Brace depth of direct members.
+    std::vector<std::pair<int, std::string>> mutex_members;  // line, name.
+    bool has_annotation = false;
+  };
+
+  std::vector<ClassFrame> frames;
+  bool pending_class = false;
+  std::string pending_name;
+  int depth = 0;
+
+  auto is_mutex_type_at = [&toks](size_t i, size_t* decl_name_idx,
+                                  std::string* type_name) {
+    // `std::mutex` / `std::shared_mutex` / `std::recursive_mutex` /
+    // `std::condition_variable[_any]` member: std :: <type> <name> ;
+    if (IsIdent(toks[i], "std") && i + 3 < toks.size() &&
+        IsPunct(toks[i + 1], "::") && IsAnyIdent(toks[i + 2])) {
+      const std::string& t = toks[i + 2].text;
+      if (t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+          t == "timed_mutex" || t == "condition_variable" ||
+          t == "condition_variable_any") {
+        if (IsAnyIdent(toks[i + 3]) && i + 4 < toks.size() &&
+            IsPunct(toks[i + 4], ";")) {
+          *decl_name_idx = i + 3;
+          *type_name = "std::" + t;
+          return true;
+        }
+      }
+      return false;
+    }
+    // Kondo's annotated wrappers: Mutex <name> ; / CondVar <name> ;
+    if ((IsIdent(toks[i], "Mutex") || IsIdent(toks[i], "CondVar")) &&
+        i + 2 < toks.size() && IsAnyIdent(toks[i + 1]) &&
+        IsPunct(toks[i + 2], ";")) {
+      if (i > 0 && (IsPunct(toks[i - 1], "::") || IsPunct(toks[i - 1], ".") ||
+                    IsPunct(toks[i - 1], "->"))) {
+        return false;  // Qualified use of someone else's Mutex.
+      }
+      *decl_name_idx = i + 1;
+      *type_name = toks[i].text;
+      return true;
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+
+    if ((IsIdent(tok, "class") || IsIdent(tok, "struct")) &&
+        !(i > 0 && IsIdent(toks[i - 1], "enum")) &&
+        !(i > 0 && (IsPunct(toks[i - 1], "<") || IsPunct(toks[i - 1], ",")))) {
+      // Scan ahead for the class-head name: the last identifier before the
+      // body '{', the base-clause ':', or a terminating ';' (forward decl).
+      pending_class = false;
+      pending_name.clear();
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (IsPunct(toks[j], "{") || IsPunct(toks[j], ":")) {
+          pending_class = !pending_name.empty();
+          break;
+        }
+        if (IsPunct(toks[j], ";") || IsPunct(toks[j], ">")) {
+          break;  // Forward declaration or template parameter.
+        }
+        if (IsPunct(toks[j], "(")) {
+          // Annotation macro in the head, e.g. KONDO_CAPABILITY("mutex"):
+          // skip its argument list.
+          int inner = 0;
+          for (; j < toks.size(); ++j) {
+            if (IsPunct(toks[j], "(")) {
+              ++inner;
+            } else if (IsPunct(toks[j], ")") && --inner == 0) {
+              break;
+            }
+          }
+          continue;
+        }
+        if (IsAnyIdent(toks[j]) && toks[j].text != "final" &&
+            toks[j].text != "public" && toks[j].text != "private" &&
+            toks[j].text != "protected" && toks[j].text != "virtual") {
+          pending_name = toks[j].text;
+        }
+      }
+    }
+
+    if (tok.kind == TokenKind::kPunct && tok.text == "{") {
+      ++depth;
+      if (pending_class) {
+        frames.push_back(ClassFrame{pending_name, depth, {}, false});
+        pending_class = false;
+        pending_name.clear();
+      }
+      continue;
+    }
+    if (tok.kind == TokenKind::kPunct && tok.text == "}") {
+      if (!frames.empty() && frames.back().body_depth == depth) {
+        const ClassFrame& frame = frames.back();
+        if (!frame.has_annotation) {
+          for (const auto& [line, name] : frame.mutex_members) {
+            findings->push_back(Finding{
+                "R4", ctx.path, line,
+                "class '" + frame.name + "' declares mutex member '" + name +
+                    "' but carries no thread-safety annotations; mark the "
+                    "fields it protects with KONDO_GUARDED_BY(" + name +
+                    ") (src/common/thread_annotations.h) so -Wthread-safety "
+                    "can verify the locking discipline"});
+          }
+        }
+        frames.pop_back();
+      }
+      --depth;
+      continue;
+    }
+
+    if (frames.empty()) {
+      continue;
+    }
+
+    // Any KONDO_* thread-safety annotation anywhere inside the class body
+    // (member or method, any nesting) satisfies R4 for that class.
+    if (IsAnyIdent(tok) &&
+        (tok.text.rfind("KONDO_GUARDED_BY", 0) == 0 ||
+         tok.text.rfind("KONDO_PT_GUARDED_BY", 0) == 0 ||
+         tok.text.rfind("KONDO_REQUIRES", 0) == 0 ||
+         tok.text.rfind("KONDO_ACQUIRE", 0) == 0 ||
+         tok.text.rfind("KONDO_RELEASE", 0) == 0 ||
+         tok.text.rfind("KONDO_EXCLUDES", 0) == 0 ||
+         tok.text.rfind("KONDO_CAPABILITY", 0) == 0 ||
+         tok.text.rfind("KONDO_NO_THREAD_SAFETY_ANALYSIS", 0) == 0 ||
+         tok.text.rfind("GUARDED_BY", 0) == 0)) {
+      for (ClassFrame& frame : frames) {
+        frame.has_annotation = true;
+      }
+      continue;
+    }
+
+    // Mutex member declarations attach to the innermost class whose direct
+    // member depth we are at.
+    if (frames.back().body_depth == depth) {
+      size_t name_idx = 0;
+      std::string type_name;
+      if (is_mutex_type_at(i, &name_idx, &type_name)) {
+        frames.back().mutex_members.emplace_back(toks[name_idx].line,
+                                                 toks[name_idx].text);
+      }
+    }
+  }
+}
+
+int CheckFile(const FileContext& ctx, const std::set<std::string>& enabled,
+              std::vector<Finding>* findings) {
+  std::vector<Finding> raw;
+  if (enabled.count("R1") > 0) {
+    CheckR1(ctx, &raw);
+  }
+  if (enabled.count("R2") > 0) {
+    CheckR2(ctx, &raw);
+  }
+  if (enabled.count("R3") > 0) {
+    CheckR3(ctx, &raw);
+  }
+  if (enabled.count("R4") > 0) {
+    CheckR4(ctx, &raw);
+  }
+
+  int suppressed = 0;
+  for (Finding& finding : raw) {
+    const auto it = ctx.lexed->suppressions.find(finding.line);
+    if (it != ctx.lexed->suppressions.end() &&
+        (it->second.count(finding.rule) > 0 || it->second.count("*") > 0)) {
+      ++suppressed;
+      continue;
+    }
+    findings->push_back(std::move(finding));
+  }
+  for (const auto& [line, message] : ctx.lexed->malformed_directives) {
+    findings->push_back(Finding{"LINT", ctx.path, line, message});
+  }
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return suppressed;
+}
+
+}  // namespace lint
+}  // namespace kondo

@@ -1,0 +1,78 @@
+#ifndef KONDO_LINT_RULES_H_
+#define KONDO_LINT_RULES_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace kondo {
+namespace lint {
+
+/// One lint diagnostic, anchored to a file and 1-based line.
+struct Finding {
+  std::string rule;  // "R1".."R4", or "LINT" for linter-level errors.
+  std::string file;  // Repo-relative path.
+  int line = 0;
+  std::string message;
+};
+
+/// Everything the per-file rules need to know about one translation unit.
+struct FileContext {
+  std::string path;
+  const LexedFile* lexed = nullptr;
+  /// True when the file belongs to the determinism-critical closure (a
+  /// determinism-critical module, or transitively included by one).
+  bool critical = false;
+  /// Names declared with an unordered container type, merged from this file
+  /// and its direct includes (so a .cc sees the members of its header).
+  const std::set<std::string>* unordered_names = nullptr;
+};
+
+/// R1 — banned nondeterminism APIs in determinism-critical files. Flags
+/// `rand`-family calls, `std::random_device`, wall-clock reads
+/// (`system_clock`, `time(nullptr)`, `gettimeofday`), and thread identity
+/// as data (`this_thread::get_id`, `getpid`): any of these in a
+/// result-affecting path silently breaks bit-identical replay.
+void CheckR1(const FileContext& ctx, std::vector<Finding>* findings);
+
+/// R2 — unordered-container iteration hazards. Pointer-keyed unordered
+/// containers are flagged unconditionally (their order varies run to run
+/// even on one machine); range-for iteration over an unordered container is
+/// flagged in determinism-critical files (order is stable only per
+/// platform/libc++ version — a refactor or toolchain bump reorders
+/// serialization, lineage, and IndexSet construction silently).
+void CheckR2(const FileContext& ctx, std::vector<Finding>* findings);
+
+/// R3 — suppressed or discarded IO-writer status. `Status` is
+/// `[[nodiscard]]`, so the compiler rejects plain discards; this rule
+/// closes the remaining holes: `(void)` / `static_cast<void>` /
+/// `std::ignore =` suppressions of writer calls (Append/AppendAll/Close/
+/// Flush/SealBlock/Collect), and bare discarded calls on writer-named
+/// receivers. A swallowed short write turns a torn lineage store into
+/// silent data loss.
+void CheckR3(const FileContext& ctx, std::vector<Finding>* findings);
+
+/// R4 — mutex members without Clang thread-safety annotations. A class
+/// declaring a mutex/condition-variable member must carry at least one
+/// KONDO_* thread-safety annotation (typically KONDO_GUARDED_BY on the
+/// fields the mutex protects), keeping `-Wthread-safety` meaningful.
+void CheckR4(const FileContext& ctx, std::vector<Finding>* findings);
+
+/// Runs every rule in `enabled` over `ctx`, applies the file's suppression
+/// directives, and appends surviving findings. Malformed `kondo-lint:`
+/// directives are reported as rule "LINT" (never suppressible) so a typo
+/// cannot silently disable a rule. Returns the number of findings dropped
+/// by suppression.
+int CheckFile(const FileContext& ctx, const std::set<std::string>& enabled,
+              std::vector<Finding>* findings);
+
+/// Names declared in `lexed` with an unordered container type (used to seed
+/// FileContext::unordered_names across the include graph).
+std::set<std::string> CollectUnorderedDeclNames(const LexedFile& lexed);
+
+}  // namespace lint
+}  // namespace kondo
+
+#endif  // KONDO_LINT_RULES_H_

@@ -1,0 +1,54 @@
+#ifndef KONDO_LINT_TOKEN_H_
+#define KONDO_LINT_TOKEN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kondo {
+namespace lint {
+
+/// Lexical classes kondo-lint distinguishes. The rules only ever match on
+/// identifiers and punctuation; strings, characters, and numbers exist as
+/// classes so that banned names *inside literals* (error messages, the
+/// linter's own rule tables) can never produce findings.
+enum class TokenKind {
+  kIdentifier,  // Identifiers and keywords, undifferentiated.
+  kNumber,
+  kString,  // Includes raw strings; text is the literal's contents.
+  kChar,
+  kPunct,  // Single characters, except the combined "::" and "->".
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based.
+};
+
+/// One lexed translation unit: the token stream (comments stripped) plus
+/// the suppression directives the comments carried.
+///
+/// Suppression syntax (documented in docs/STATIC_ANALYSIS.md):
+///
+///   code();  // kondo-lint: allow(R2) reason for the exemption
+///
+/// applies to findings on the comment's own line; a directive on a line of
+/// its own applies to the following line as well:
+///
+///   // kondo-lint: allow(R1,R4) reason
+///   code_on_next_line();
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line -> rule ids exempted on that line ("R1".."R4", or "*").
+  std::map<int, std::set<std::string>> suppressions;
+  /// Directive comments that failed to parse (e.g. "allow" with no rule
+  /// list). Reported as lint errors so typos cannot silently disable rules.
+  std::vector<std::pair<int, std::string>> malformed_directives;
+};
+
+}  // namespace lint
+}  // namespace kondo
+
+#endif  // KONDO_LINT_TOKEN_H_

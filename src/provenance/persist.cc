@@ -2,10 +2,10 @@
 
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "audit/event_store.h"
+#include "common/thread_annotations.h"
 #include "provenance/kel2_reader.h"
 
 namespace kondo {
@@ -48,9 +48,9 @@ AuditPersistFn CampaignLineageSink::persister() const {
 Status CampaignLineageSink::Close() { return writer_->Close(); }
 
 AuditPersistFn MakeSerializedPersister(AuditPersistFn persist) {
-  auto mu = std::make_shared<std::mutex>();
+  auto mu = std::make_shared<Mutex>();
   return [mu, persist = std::move(persist)](const EventLog& log) -> Status {
-    std::lock_guard<std::mutex> lock(*mu);
+    MutexLock lock(*mu);
     return persist(log);
   };
 }

@@ -69,7 +69,7 @@ const IndexSet& CsProgram::GroundTruth() const {
   if (variant_ != CsVariant::kCs3) {
     return Program::GroundTruth();
   }
-  std::lock_guard<std::mutex> lock(ground_truth_mu_);
+  MutexLock lock(ground_truth_mu_);
   if (!ground_truth_ready_) {
     // Useful runs satisfy sx <= sy and sy >= 3n/4. Position k of the walk is
     // read while both coordinates are <= n-2; k >= 2 overshoots (2*sy >=

@@ -81,7 +81,7 @@ void Prl3DProgram::Execute(const ParamValue& v, const ReadFn& read) const {
 }
 
 const IndexSet& Prl3DProgram::GroundTruth() const {
-  std::lock_guard<std::mutex> lock(ground_truth_mu_);
+  MutexLock lock(ground_truth_mu_);
   if (!ground_truth_ready_) {
     // A point at absolute offsets (a, b, e) from the centre is read by some
     // run iff it lies inside the largest box (all offsets <= max extent)

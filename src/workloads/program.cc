@@ -31,7 +31,7 @@ Status Program::ExecuteOnFile(const ParamValue& v, TracedFile& file) const {
 }
 
 const IndexSet& Program::GroundTruth() const {
-  std::lock_guard<std::mutex> lock(ground_truth_mu_);
+  MutexLock lock(ground_truth_mu_);
   if (!ground_truth_ready_) {
     ground_truth_cache_ = GroundTruthByEnumeration(2e6);
     ground_truth_ready_ = true;

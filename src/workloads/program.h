@@ -2,7 +2,6 @@
 #define KONDO_WORKLOADS_PROGRAM_H_
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -10,6 +9,7 @@
 #include "array/shape.h"
 #include "audit/traced_file.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "fuzz/param_space.h"
 
 namespace kondo {
@@ -65,9 +65,9 @@ class Program {
   IndexSet GroundTruthByEnumeration(double max_enumerated_valuations) const;
 
  protected:
-  mutable std::mutex ground_truth_mu_;
-  mutable IndexSet ground_truth_cache_;
-  mutable bool ground_truth_ready_ = false;
+  mutable Mutex ground_truth_mu_;
+  mutable IndexSet ground_truth_cache_ KONDO_GUARDED_BY(ground_truth_mu_);
+  mutable bool ground_truth_ready_ KONDO_GUARDED_BY(ground_truth_mu_) = false;
 };
 
 }  // namespace kondo

@@ -31,7 +31,7 @@ void ArdProgram::Execute(const ParamValue& v, const ReadFn& read) const {
 }
 
 const IndexSet& ArdProgram::GroundTruth() const {
-  std::lock_guard<std::mutex> lock(ground_truth_mu_);
+  MutexLock lock(ground_truth_mu_);
   if (!ground_truth_ready_) {
     IndexSet gt(shape_);
     for (int64_t x = 0; x < w_max_; ++x) {
@@ -74,7 +74,7 @@ void MsiProgram::Execute(const ParamValue& v, const ReadFn& read) const {
 }
 
 const IndexSet& MsiProgram::GroundTruth() const {
-  std::lock_guard<std::mutex> lock(ground_truth_mu_);
+  MutexLock lock(ground_truth_mu_);
   if (!ground_truth_ready_) {
     IndexSet gt(shape_);
     for (int64_t x = 0; x < nx_; ++x) {

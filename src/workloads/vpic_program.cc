@@ -61,7 +61,7 @@ void VpicProgram::Execute(const ParamValue& v, const ReadFn& read) const {
 }
 
 const IndexSet& VpicProgram::GroundTruth() const {
-  std::lock_guard<std::mutex> lock(ground_truth_mu_);
+  MutexLock lock(ground_truth_mu_);
   if (!ground_truth_ready_) {
     // The loosest supported run per slab reads everything with energy >=
     // min_threshold; tighter thresholds read subsets of that.

@@ -404,7 +404,7 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   Stopwatch stopwatch;
   volatile double sink = 0.0;
   for (int i = 0; i < 100000; ++i) {
-    sink += std::sqrt(static_cast<double>(i));
+    sink = sink + std::sqrt(static_cast<double>(i));
   }
   EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
   EXPECT_GE(stopwatch.ElapsedMicros(), 0);

@@ -211,7 +211,7 @@ TEST(FuzzScheduleTest, RespectsTimeBudget) {
   const DebloatTestFn slow_test = [&shape](const ParamValue&) {
     volatile double sink = 0.0;
     for (int i = 0; i < 20000; ++i) {
-      sink += std::sqrt(static_cast<double>(i));
+      sink = sink + std::sqrt(static_cast<double>(i));
     }
     return IndexSet(shape);
   };

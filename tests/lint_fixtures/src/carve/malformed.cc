@@ -1,0 +1,8 @@
+// Fixture: a directive that parses as kondo-lint but is not a well-formed
+// allow(...) — reported as rule LINT and never honoured as a suppression.
+namespace kondo_fixture {
+
+// kondo-lint: allow() forgot the rule list -- line 5: LINT
+int Answer() { return 42; }
+
+}  // namespace kondo_fixture

@@ -1,0 +1,20 @@
+// Fixture: real violations silenced by well-formed suppression directives.
+// lint_test.cc asserts zero findings and a suppressed count of 2.
+#include <unordered_map>
+
+namespace kondo_fixture {
+
+long Stamp() {
+  return time(nullptr);  // kondo-lint: allow(R1) fixture: timing-only stat
+}
+
+int Sum(const std::unordered_map<int, int>& hist) {
+  int sum = 0;
+  // kondo-lint: allow(R2) fixture: pure reduction, order-insensitive
+  for (const auto& entry : hist) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+}  // namespace kondo_fixture

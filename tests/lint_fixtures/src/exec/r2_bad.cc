@@ -1,0 +1,25 @@
+// Fixture: R2 violations — unordered iteration in a determinism-critical
+// module (src/exec mirror), plus a pointer-keyed container (flagged
+// unconditionally). Line numbers are asserted by lint_test.cc.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace kondo_fixture {
+
+struct Task {};
+
+// line 14: R2 (pointer-keyed unordered container)
+std::unordered_set<Task*> live_tasks;
+
+std::vector<std::string> SerializeCounts(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> lines;
+  for (const auto& entry : counts) {  // line 19: R2 (unordered iteration)
+    lines.push_back(entry.first + ":" + std::to_string(entry.second));
+  }
+  return lines;
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,28 @@
+// Fixture: the clean counterpart of r2_bad.cc — the unordered container is
+// materialised into a sorted vector before any result-affecting iteration,
+// and lookups (which are order-free) stay on the hash table.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kondo_fixture {
+
+std::vector<std::string> SerializeCounts(
+    const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::pair<std::string, int>> sorted(counts.begin(),
+                                                  counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::string> lines;
+  for (const auto& entry : sorted) {
+    lines.push_back(entry.first + ":" + std::to_string(entry.second));
+  }
+  return lines;
+}
+
+bool Known(const std::unordered_map<std::string, int>& counts,
+           const std::string& key) {
+  return counts.find(key) != counts.end();
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,21 @@
+// Fixture: R1 violations — nondeterminism APIs inside a determinism-
+// critical module (src/fuzz mirror). Line numbers are asserted by
+// lint_test.cc; append only.
+#include <random>
+
+namespace kondo_fixture {
+
+int SampleSeed() {
+  std::random_device entropy;  // line 9: R1 (hardware entropy)
+  return static_cast<int>(entropy());
+}
+
+long WallClockSeed() {
+  return time(nullptr);  // line 14: R1 (wall clock)
+}
+
+int LegacyNoise() {
+  return rand();  // line 18: R1 (seed-free C PRNG)
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,22 @@
+// Fixture: the clean counterpart of r1_bad.cc — randomness flows from an
+// explicitly seeded campaign stream, so replay is bit-identical.
+#include <cstdint>
+
+namespace kondo_fixture {
+
+struct Rng {
+  explicit Rng(uint64_t seed) : state(seed) {}
+  uint64_t Next() { return state = state * 6364136223846793005ULL + 1442695040888963407ULL; }
+  uint64_t state;
+};
+
+uint64_t SampleSeed(uint64_t campaign_seed) {
+  Rng rng(campaign_seed);
+  return rng.Next();
+}
+
+// Mentioning rand() or std::random_device in a comment — or "rand" in a
+// string literal — must never trigger R1.
+const char* kDoc = "never call rand() or std::random_device here";
+
+}  // namespace kondo_fixture

@@ -1,0 +1,20 @@
+// Fixture: R3 violations — IO writer statuses dropped in three ways. Line
+// numbers are asserted by lint_test.cc; append only.
+#include <tuple>
+
+namespace kondo_fixture {
+
+struct Event {};
+struct Writer {
+  int Append(const Event&) { return 0; }
+  int Flush() { return 0; }
+  int Close() { return 0; }
+};
+
+void DropAll(Writer& writer, const Event& ev) {
+  (void)writer.Close();  // line 15: R3 ((void) cast)
+  writer.Append(ev);  // line 16: R3 (bare discard on writer receiver)
+  std::ignore = writer.Flush();  // line 17: R3 (std::ignore)
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,29 @@
+// Fixture: the clean counterpart of r3_bad.cc — every writer status is
+// propagated or branched on, so a short write can never vanish silently.
+namespace kondo_fixture {
+
+struct Status {
+  bool ok() const { return code == 0; }
+  int code = 0;
+};
+
+struct Event {};
+struct Writer {
+  Status Append(const Event&) { return {}; }
+  Status Flush() { return {}; }
+  Status Close() { return {}; }
+};
+
+Status WriteAll(Writer& writer, const Event& ev) {
+  Status append_status = writer.Append(ev);
+  if (!append_status.ok()) {
+    return append_status;
+  }
+  Status flush_status = writer.Flush();
+  if (!flush_status.ok()) {
+    return flush_status;
+  }
+  return writer.Close();
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,21 @@
+// Fixture: R4 violation — a class guards shared state with a mutex but
+// carries no thread-safety annotations, so -Wthread-safety verifies
+// nothing. Line numbers are asserted by lint_test.cc; append only.
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace kondo_fixture {
+
+class ResultQueue {
+ public:
+  void Push(int value);
+  int Pop();
+
+ private:
+  std::mutex mu_;  // line 16: R4 (unannotated mutex member)
+  std::condition_variable nonempty_;  // line 17: R4
+  std::vector<int> items_;
+};
+
+}  // namespace kondo_fixture

@@ -1,0 +1,23 @@
+// Fixture: the clean counterpart of r4_bad.cc — the mutex-protected fields
+// carry KONDO_GUARDED_BY annotations, so clang's -Wthread-safety analysis
+// can verify the locking discipline at compile time.
+#include <vector>
+
+#define KONDO_GUARDED_BY(x)
+#define KONDO_EXCLUDES(...)
+
+namespace kondo_fixture {
+
+class Mutex {};
+
+class ResultQueue {
+ public:
+  void Push(int value) KONDO_EXCLUDES(mu_);
+  int Pop() KONDO_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  std::vector<int> items_ KONDO_GUARDED_BY(mu_);
+};
+
+}  // namespace kondo_fixture

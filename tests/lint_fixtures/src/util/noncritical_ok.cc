@@ -1,0 +1,24 @@
+// Fixture: nondeterminism APIs and unordered iteration OUTSIDE the
+// determinism-critical modules. R1 and R2(b) are scoped to critical
+// modules, so this file must produce zero findings.
+#include <unordered_map>
+
+namespace kondo_fixture {
+
+long UptimeSeconds() {
+  return time(nullptr);  // Fine here: src/util is not critical.
+}
+
+int JitterSource() {
+  return rand();  // Fine here too.
+}
+
+int CountAll(const std::unordered_map<int, int>& hist) {
+  int n = 0;
+  for (const auto& entry : hist) {
+    n += entry.second;
+  }
+  return n;
+}
+
+}  // namespace kondo_fixture

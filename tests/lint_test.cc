@@ -1,0 +1,473 @@
+// Tests for the kondo-lint static-analysis subsystem (src/lint/).
+//
+// Three layers:
+//   1. Unit tests over the lexer, directive parser, and include graph.
+//   2. Rule tests on inline sources via CheckR1..CheckR4 directly.
+//   3. End-to-end tests over tests/lint_fixtures/ — a miniature repo tree
+//      whose src/{fuzz,exec,shard,carve,provenance} mirror the real
+//      determinism-critical modules, with one seeded violation per rule
+//      and a clean counterpart next to each. These assert exact rule ids,
+//      file:line anchors, suppression counts, and LintMain exit codes.
+//
+// The fixture directory is compiled in as KONDO_LINT_FIXTURES; the built
+// binary path as KONDO_LINT_BINARY (for process-level exit-code checks).
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/include_graph.h"
+#include "lint/lexer.h"
+#include "lint/linter.h"
+#include "lint/rules.h"
+#include "lint/token.h"
+
+namespace kondo {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+std::vector<std::string> IdentTexts(const LexedFile& lexed) {
+  std::vector<std::string> out;
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind == TokenKind::kIdentifier) {
+      out.push_back(tok.text);
+    }
+  }
+  return out;
+}
+
+bool HasIdent(const LexedFile& lexed, const std::string& name) {
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind == TokenKind::kIdentifier && tok.text == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Runs one rule over an inline source snippet.
+std::vector<Finding> RunRule(
+    void (*check)(const FileContext&, std::vector<Finding>*),
+    const std::string& source, bool critical) {
+  const LexedFile lexed = Lex(source);
+  const std::set<std::string> names = CollectUnorderedDeclNames(lexed);
+  FileContext ctx;
+  ctx.path = "snippet.cc";
+  ctx.lexed = &lexed;
+  ctx.critical = critical;
+  ctx.unordered_names = &names;
+  std::vector<Finding> findings;
+  check(ctx, &findings);
+  return findings;
+}
+
+/// Lints `paths` inside the fixture tree and fails the test on lint-runner
+/// errors (not on findings — those are the assertions' subject).
+LintReport LintFixture(const std::vector<std::string>& paths) {
+  LintOptions options;
+  options.root = KONDO_LINT_FIXTURES;
+  options.paths = paths;
+  const StatusOr<LintReport> report = RunLint(options);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return report.ok() ? *report : LintReport{};
+}
+
+/// (rule, line) pairs for every finding in `report`, in report order.
+std::vector<std::pair<std::string, int>> RuleLines(const LintReport& report) {
+  std::vector<std::pair<std::string, int>> out;
+  for (const Finding& finding : report.findings) {
+    out.emplace_back(finding.rule, finding.line);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Lexer.
+
+TEST(LintLexerTest, CombinesScopeAndArrowPuncts) {
+  const LexedFile lexed = Lex("a->b::c");
+  ASSERT_EQ(lexed.tokens.size(), 5u);
+  EXPECT_EQ(lexed.tokens[1].text, "->");
+  EXPECT_EQ(lexed.tokens[3].text, "::");
+  EXPECT_EQ(lexed.tokens[1].kind, TokenKind::kPunct);
+}
+
+TEST(LintLexerTest, CommentsAndStringsNeverLeakIdentifiers) {
+  const LexedFile lexed = Lex(
+      "int x = 0;  // rand() lives here\n"
+      "/* std::random_device too */\n"
+      "const char* s = \"rand() and \\\"random_device\\\"\";\n"
+      "char c = 'r';\n");
+  EXPECT_FALSE(HasIdent(lexed, "rand"));
+  EXPECT_FALSE(HasIdent(lexed, "random_device"));
+  EXPECT_TRUE(HasIdent(lexed, "x"));
+  EXPECT_TRUE(HasIdent(lexed, "s"));
+}
+
+TEST(LintLexerTest, RawStringLiteralIsOneStringToken) {
+  const LexedFile lexed = Lex("auto s = R\"(call rand() \"anywhere\")\";");
+  EXPECT_FALSE(HasIdent(lexed, "rand"));
+  bool saw_string = false;
+  for (const Token& tok : lexed.tokens) {
+    if (tok.kind == TokenKind::kString) {
+      saw_string = true;
+      EXPECT_NE(tok.text.find("rand()"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_string);
+}
+
+TEST(LintLexerTest, TracksLineNumbers) {
+  const LexedFile lexed = Lex("one\n\ntwo\nthree");
+  const std::vector<std::string> idents = IdentTexts(lexed);
+  ASSERT_EQ(idents.size(), 3u);
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  EXPECT_EQ(lexed.tokens[1].line, 3);
+  EXPECT_EQ(lexed.tokens[2].line, 4);
+}
+
+// ---------------------------------------------------------------------------
+// 1b. Suppression directives.
+
+TEST(LintDirectiveTest, EndOfLineDirectiveCoversItsOwnLine) {
+  const LexedFile lexed = Lex("int a = rand();  // kondo-lint: allow(R1) x\n");
+  ASSERT_EQ(lexed.suppressions.count(1), 1u);
+  EXPECT_EQ(lexed.suppressions.at(1).count("R1"), 1u);
+  EXPECT_EQ(lexed.suppressions.count(2), 0u);
+}
+
+TEST(LintDirectiveTest, StandaloneDirectiveCoversTheNextLine) {
+  const LexedFile lexed = Lex(
+      "// kondo-lint: allow(R2, R3) reason\n"
+      "for (const auto& e : m) {}\n");
+  ASSERT_EQ(lexed.suppressions.count(2), 1u);
+  EXPECT_EQ(lexed.suppressions.at(2).count("R2"), 1u);
+  EXPECT_EQ(lexed.suppressions.at(2).count("R3"), 1u);
+  EXPECT_EQ(lexed.suppressions.at(2).count("R1"), 0u);
+}
+
+TEST(LintDirectiveTest, ProseMentionOfTheSyntaxIsNotADirective) {
+  const LexedFile lexed =
+      Lex("// justify with `kondo-lint: allow(R2) reason` when needed\n");
+  EXPECT_TRUE(lexed.suppressions.empty());
+  EXPECT_TRUE(lexed.malformed_directives.empty());
+}
+
+TEST(LintDirectiveTest, MalformedDirectiveIsReportedNotHonoured) {
+  const LexedFile lexed = Lex("// kondo-lint: allow() oops\n");
+  EXPECT_TRUE(lexed.suppressions.empty());
+  ASSERT_EQ(lexed.malformed_directives.size(), 1u);
+  EXPECT_EQ(lexed.malformed_directives[0].first, 1);
+}
+
+// ---------------------------------------------------------------------------
+// 1c. Include graph.
+
+TEST(LintIncludeGraphTest, ExtractsQuotedIncludeTargets) {
+  const LexedFile lexed = Lex(
+      "#include \"array/index_set.h\"\n"
+      "#include <vector>\n");
+  const std::vector<std::string> targets = ExtractIncludeTargets(lexed);
+  ASSERT_FALSE(targets.empty());
+  EXPECT_EQ(targets[0], "array/index_set.h");
+}
+
+TEST(LintIncludeGraphTest, CriticalClosureFollowsIncludes) {
+  std::map<std::string, LexedFile> files;
+  files["src/fuzz/driver.cc"] = Lex("#include \"array/shared.h\"\n");
+  files["src/array/shared.h"] = Lex("int x;\n");
+  files["src/other/outside.cc"] = Lex("int y;\n");
+  const IncludeGraph graph = IncludeGraph::Build(files);
+  const std::set<std::string> critical = graph.CriticalClosure({"src/fuzz/"});
+  EXPECT_EQ(critical.count("src/fuzz/driver.cc"), 1u);
+  EXPECT_EQ(critical.count("src/array/shared.h"), 1u)
+      << "headers included by critical modules must join the closure";
+  EXPECT_EQ(critical.count("src/other/outside.cc"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Rules on inline snippets.
+
+TEST(LintRuleR1Test, FlagsBannedApisOnlyInCriticalFiles) {
+  const std::string source = "int seed() { return rand(); }";
+  EXPECT_EQ(RunRule(CheckR1, source, /*critical=*/true).size(), 1u);
+  EXPECT_TRUE(RunRule(CheckR1, source, /*critical=*/false).empty());
+}
+
+TEST(LintRuleR1Test, MemberNamedLikeBannedApiIsNotFlagged) {
+  EXPECT_TRUE(RunRule(CheckR1, "int x = obj.rand();", true).empty());
+  EXPECT_TRUE(RunRule(CheckR1, "int y = mylib::rand();", true).empty());
+  EXPECT_EQ(RunRule(CheckR1, "auto d = std::random_device{};", true).size(),
+            1u);
+}
+
+TEST(LintRuleR1Test, TimeIsOnlyBannedAsWallClockRead) {
+  EXPECT_EQ(RunRule(CheckR1, "long t = time(nullptr);", true).size(), 1u);
+  // `time` as a plain identifier (a variable, a field) is fine.
+  EXPECT_TRUE(RunRule(CheckR1, "double time = 0.5; Use(time);", true).empty());
+}
+
+TEST(LintRuleR2Test, PointerKeyedUnorderedFlaggedEvenOutsideCriticalCode) {
+  const std::string source = "std::unordered_set<Node*> live;";
+  ASSERT_EQ(RunRule(CheckR2, source, /*critical=*/false).size(), 1u);
+  EXPECT_EQ(RunRule(CheckR2, source, false)[0].rule, "R2");
+}
+
+TEST(LintRuleR2Test, RangeForOverUnorderedOnlyFlaggedWhenCritical) {
+  const std::string source =
+      "std::unordered_map<std::string, int> counts;\n"
+      "void f() { for (const auto& e : counts) { Use(e); } }\n";
+  ASSERT_EQ(RunRule(CheckR2, source, /*critical=*/true).size(), 1u);
+  EXPECT_EQ(RunRule(CheckR2, source, true)[0].line, 2);
+  EXPECT_TRUE(RunRule(CheckR2, source, /*critical=*/false).empty());
+}
+
+TEST(LintRuleR2Test, SortedMaterialisationIsClean) {
+  const std::string source =
+      "std::map<std::string, int> counts;\n"
+      "void f() { for (const auto& e : counts) { Use(e); } }\n";
+  EXPECT_TRUE(RunRule(CheckR2, source, /*critical=*/true).empty());
+}
+
+TEST(LintRuleR3Test, FlagsEachSuppressionShapeOnce) {
+  EXPECT_EQ(RunRule(CheckR3, "void f() { (void)writer.Close(); }", true).size(),
+            1u)
+      << "(void) cast must report exactly once, not once per arm";
+  EXPECT_EQ(
+      RunRule(CheckR3, "void f() { static_cast<void>(sink->Flush()); }", true)
+          .size(),
+      1u);
+  EXPECT_EQ(
+      RunRule(CheckR3, "void f() { std::ignore = writer.Append(e); }", true)
+          .size(),
+      1u);
+  EXPECT_EQ(RunRule(CheckR3, "void f() { event_writer_->Append(e); }", true)
+                .size(),
+            1u);
+}
+
+TEST(LintRuleR3Test, HandledStatusesAreClean) {
+  EXPECT_TRUE(RunRule(CheckR3,
+                      "Status f() {\n"
+                      "  Status s = writer.Append(e);\n"
+                      "  if (!s.ok()) return s;\n"
+                      "  return writer.Close();\n"
+                      "}\n",
+                      true)
+                  .empty());
+}
+
+TEST(LintRuleR4Test, UnannotatedMutexMemberIsFlagged) {
+  const std::vector<Finding> findings = RunRule(
+      CheckR4,
+      "class Q {\n"
+      " public:\n"
+      "  void Push(int v);\n"
+      " private:\n"
+      "  std::mutex mu_;\n"
+      "  std::vector<int> items_;\n"
+      "};\n",
+      true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R4");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_NE(findings[0].message.find("'Q'"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("'mu_'"), std::string::npos);
+}
+
+TEST(LintRuleR4Test, AnyKondoAnnotationInTheClassSatisfiesTheRule) {
+  EXPECT_TRUE(RunRule(CheckR4,
+                      "class Q {\n"
+                      "  Mutex mu_;\n"
+                      "  int n_ KONDO_GUARDED_BY(mu_) = 0;\n"
+                      "};\n",
+                      true)
+                  .empty());
+}
+
+TEST(LintRuleR4Test, EnumClassAndForwardDeclarationsAreNotClasses) {
+  EXPECT_TRUE(RunRule(CheckR4,
+                      "enum class Mode { kA, kB };\n"
+                      "class Fwd;\n"
+                      "std::mutex global_mu;\n",
+                      true)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// 3. Fixture tree, per file: exact rule ids and line anchors.
+
+TEST(LintFixtureTest, R1BadAnchorsEveryViolation) {
+  const LintReport report = LintFixture({"src/fuzz/r1_bad.cc"});
+  EXPECT_EQ(RuleLines(report),
+            (std::vector<std::pair<std::string, int>>{
+                {"R1", 9}, {"R1", 14}, {"R1", 18}}));
+  for (const Finding& finding : report.findings) {
+    EXPECT_EQ(finding.file, "src/fuzz/r1_bad.cc");
+  }
+}
+
+TEST(LintFixtureTest, R1CleanCounterpartIsClean) {
+  EXPECT_TRUE(LintFixture({"src/fuzz/r1_clean.cc"}).findings.empty());
+}
+
+TEST(LintFixtureTest, R2BadAnchorsPointerKeyAndIteration) {
+  const LintReport report = LintFixture({"src/exec/r2_bad.cc"});
+  EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
+                                   {"R2", 14}, {"R2", 19}}));
+}
+
+TEST(LintFixtureTest, R2CleanCounterpartIsClean) {
+  EXPECT_TRUE(LintFixture({"src/exec/r2_clean.cc"}).findings.empty());
+}
+
+TEST(LintFixtureTest, R3BadAnchorsAllThreeDiscardShapes) {
+  const LintReport report = LintFixture({"src/provenance/r3_bad.cc"});
+  EXPECT_EQ(RuleLines(report),
+            (std::vector<std::pair<std::string, int>>{
+                {"R3", 15}, {"R3", 16}, {"R3", 17}}));
+}
+
+TEST(LintFixtureTest, R3CleanCounterpartIsClean) {
+  EXPECT_TRUE(LintFixture({"src/provenance/r3_clean.cc"}).findings.empty());
+}
+
+TEST(LintFixtureTest, R4BadAnchorsEachUnannotatedMutexMember) {
+  const LintReport report = LintFixture({"src/shard/r4_bad.cc"});
+  EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
+                                   {"R4", 16}, {"R4", 17}}));
+}
+
+TEST(LintFixtureTest, R4CleanCounterpartIsClean) {
+  EXPECT_TRUE(LintFixture({"src/shard/r4_clean.cc"}).findings.empty());
+}
+
+TEST(LintFixtureTest, WellFormedDirectivesSuppressAndAreCounted) {
+  const LintReport report = LintFixture({"src/carve/suppressed.cc"});
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, 2);
+}
+
+TEST(LintFixtureTest, MalformedDirectiveSurfacesAsLintRule) {
+  const LintReport report = LintFixture({"src/carve/malformed.cc"});
+  EXPECT_EQ(RuleLines(report),
+            (std::vector<std::pair<std::string, int>>{{"LINT", 5}}));
+}
+
+TEST(LintFixtureTest, NoncriticalModuleEscapesR1AndR2Iteration) {
+  EXPECT_TRUE(LintFixture({"src/util/noncritical_ok.cc"}).findings.empty());
+}
+
+TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
+  const LintReport report = LintFixture({"src"});
+  EXPECT_EQ(report.files_scanned, 11);
+  EXPECT_EQ(report.suppressed, 2);
+  std::map<std::string, int> by_rule;
+  for (const Finding& finding : report.findings) {
+    ++by_rule[finding.rule];
+  }
+  EXPECT_EQ(by_rule["R1"], 3);
+  EXPECT_EQ(by_rule["R2"], 2);
+  EXPECT_EQ(by_rule["R3"], 3);
+  EXPECT_EQ(by_rule["R4"], 2);
+  EXPECT_EQ(by_rule["LINT"], 1);
+  EXPECT_EQ(report.findings.size(), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// 3b. LintMain: flags, report format, exit codes.
+
+TEST(LintMainTest, ExitsOneAndPrintsAnchorsOnFindings) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code =
+      LintMain({"--root", KONDO_LINT_FIXTURES, "src"}, out, err);
+  EXPECT_EQ(code, 1);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("src/fuzz/r1_bad.cc:9: [R1]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("src/exec/r2_bad.cc:14: [R2]"), std::string::npos);
+  EXPECT_NE(text.find("src/provenance/r3_bad.cc:16: [R3]"),
+            std::string::npos);
+  EXPECT_NE(text.find("src/shard/r4_bad.cc:16: [R4]"), std::string::npos);
+  EXPECT_NE(text.find("src/carve/malformed.cc:5: [LINT]"),
+            std::string::npos);
+  EXPECT_NE(text.find("11 finding(s) across 11 file(s) (2 suppressed)"),
+            std::string::npos);
+}
+
+TEST(LintMainTest, ExitsZeroOnCleanInput) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = LintMain(
+      {"--root", KONDO_LINT_FIXTURES, "src/fuzz/r1_clean.cc"}, out, err);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.str().find("0 finding(s)"), std::string::npos);
+}
+
+TEST(LintMainTest, RulesFlagRestrictsToTheListedRules) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = LintMain(
+      {"--root", KONDO_LINT_FIXTURES, "--rules", "R1", "src"}, out, err);
+  EXPECT_EQ(code, 1);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("[R1]"), std::string::npos);
+  EXPECT_EQ(text.find("[R2]"), std::string::npos);
+  EXPECT_EQ(text.find("[R3]"), std::string::npos);
+  EXPECT_EQ(text.find("[R4]"), std::string::npos);
+  // Malformed directives stay fatal under any rule filter: a typo must
+  // never silently disable linting.
+  EXPECT_NE(text.find("[LINT]"), std::string::npos);
+}
+
+TEST(LintMainTest, ExitsTwoOnUnknownFlagOrBadPath) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(LintMain({"--bogus"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown flag"), std::string::npos);
+  std::ostringstream out2;
+  std::ostringstream err2;
+  EXPECT_EQ(LintMain({"--root", KONDO_LINT_FIXTURES, "no/such/dir"}, out2,
+                     err2),
+            2);
+}
+
+TEST(LintMainTest, HelpExitsZero) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(LintMain({"--help"}, out, err), 0);
+  EXPECT_NE(out.str().find("exit codes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// 3c. The shipped binary: process-level exit codes match LintMain's.
+
+TEST(LintBinaryTest, ProcessExitCodesMatchContract) {
+  const std::string binary = KONDO_LINT_BINARY;
+  const std::string fixtures = KONDO_LINT_FIXTURES;
+  const int findings_code = std::system(
+      (binary + " --root " + fixtures + " src > /dev/null 2>&1").c_str());
+  ASSERT_NE(findings_code, -1);
+  EXPECT_EQ(WEXITSTATUS(findings_code), 1);
+  const int clean_code = std::system(
+      (binary + " --root " + fixtures +
+       " src/exec/r2_clean.cc > /dev/null 2>&1")
+          .c_str());
+  EXPECT_EQ(WEXITSTATUS(clean_code), 0);
+  const int usage_code =
+      std::system((binary + " --definitely-not-a-flag > /dev/null 2>&1")
+                      .c_str());
+  EXPECT_EQ(WEXITSTATUS(usage_code), 2);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace kondo

@@ -1,0 +1,25 @@
+// kondo_lint — static analysis for Kondo's determinism & concurrency
+// invariants.
+//
+// The binary tokenizes the source tree (comment/string-aware), walks the
+// include graph to find everything a determinism-critical module depends
+// on, and enforces the project rules R1-R4 (banned nondeterminism APIs,
+// unordered-iteration hazards, suppressed IO status, unannotated mutexes).
+// See docs/STATIC_ANALYSIS.md for the rule catalogue and suppression
+// policy.
+//
+//   kondo_lint --root . src        # what CI runs
+//   kondo_lint --rules R2 src/fuzz
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return kondo::lint::LintMain(args, std::cout, std::cerr);
+}
