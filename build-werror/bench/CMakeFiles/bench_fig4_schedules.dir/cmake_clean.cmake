@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_schedules.dir/bench_fig4_schedules.cc.o"
+  "CMakeFiles/bench_fig4_schedules.dir/bench_fig4_schedules.cc.o.d"
+  "bench_fig4_schedules"
+  "bench_fig4_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_merge.dir/bench_fig6_merge.cc.o"
+  "CMakeFiles/bench_fig6_merge.dir/bench_fig6_merge.cc.o.d"
+  "bench_fig6_merge"
+  "bench_fig6_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_bloat.dir/bench_fig9_bloat.cc.o"
+  "CMakeFiles/bench_fig9_bloat.dir/bench_fig9_bloat.cc.o.d"
+  "bench_fig9_bloat"
+  "bench_fig9_bloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

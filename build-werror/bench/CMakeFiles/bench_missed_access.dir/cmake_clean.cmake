@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_missed_access.dir/bench_missed_access.cc.o"
+  "CMakeFiles/bench_missed_access.dir/bench_missed_access.cc.o.d"
+  "bench_missed_access"
+  "bench_missed_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_missed_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_missed_access.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_speedup.dir/bench_parallel_speedup.cc.o"
+  "CMakeFiles/bench_parallel_speedup.dir/bench_parallel_speedup.cc.o.d"
+  "bench_parallel_speedup"
+  "bench_parallel_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_stencils.dir/bench_tab1_stencils.cc.o"
+  "CMakeFiles/bench_tab1_stencils.dir/bench_tab1_stencils.cc.o.d"
+  "bench_tab1_stencils"
+  "bench_tab1_stencils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_stencils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_programs.dir/bench_tab2_programs.cc.o"
+  "CMakeFiles/bench_tab2_programs.dir/bench_tab2_programs.cc.o.d"
+  "bench_tab2_programs"
+  "bench_tab2_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

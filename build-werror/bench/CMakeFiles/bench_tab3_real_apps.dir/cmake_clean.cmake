@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_real_apps.dir/bench_tab3_real_apps.cc.o"
+  "CMakeFiles/bench_tab3_real_apps.dir/bench_tab3_real_apps.cc.o.d"
+  "bench_tab3_real_apps"
+  "bench_tab3_real_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_real_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trajectory.dir/bench_trajectory.cc.o"
+  "CMakeFiles/bench_trajectory.dir/bench_trajectory.cc.o.d"
+  "bench_trajectory"
+  "bench_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_explorer.dir/audit_explorer.cpp.o"
+  "CMakeFiles/audit_explorer.dir/audit_explorer.cpp.o.d"
+  "audit_explorer"
+  "audit_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

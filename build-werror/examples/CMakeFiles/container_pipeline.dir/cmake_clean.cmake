@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_pipeline.dir/container_pipeline.cpp.o"
+  "CMakeFiles/container_pipeline.dir/container_pipeline.cpp.o.d"
+  "container_pipeline"
+  "container_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_program.dir/evaluate_program.cpp.o"
+  "CMakeFiles/evaluate_program.dir/evaluate_program.cpp.o.d"
+  "evaluate_program"
+  "evaluate_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_apps.dir/real_apps.cpp.o"
+  "CMakeFiles/real_apps.dir/real_apps.cpp.o.d"
+  "real_apps"
+  "real_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-werror/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lint")
+subdirs("array")
+subdirs("geom")
+subdirs("audit")
+subdirs("exec")
+subdirs("provenance")
+subdirs("carve")
+subdirs("fuzz")
+subdirs("workloads")
+subdirs("shard")
+subdirs("baselines")
+subdirs("core")

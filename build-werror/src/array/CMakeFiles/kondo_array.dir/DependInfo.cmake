@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/data_array.cc" "src/array/CMakeFiles/kondo_array.dir/data_array.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/data_array.cc.o.d"
+  "/root/repo/src/array/debloated_array.cc" "src/array/CMakeFiles/kondo_array.dir/debloated_array.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/debloated_array.cc.o.d"
+  "/root/repo/src/array/dtype.cc" "src/array/CMakeFiles/kondo_array.dir/dtype.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/dtype.cc.o.d"
+  "/root/repo/src/array/index.cc" "src/array/CMakeFiles/kondo_array.dir/index.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/index.cc.o.d"
+  "/root/repo/src/array/index_set.cc" "src/array/CMakeFiles/kondo_array.dir/index_set.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/index_set.cc.o.d"
+  "/root/repo/src/array/kdf_file.cc" "src/array/CMakeFiles/kondo_array.dir/kdf_file.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/kdf_file.cc.o.d"
+  "/root/repo/src/array/layout.cc" "src/array/CMakeFiles/kondo_array.dir/layout.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/layout.cc.o.d"
+  "/root/repo/src/array/shape.cc" "src/array/CMakeFiles/kondo_array.dir/shape.cc.o" "gcc" "src/array/CMakeFiles/kondo_array.dir/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

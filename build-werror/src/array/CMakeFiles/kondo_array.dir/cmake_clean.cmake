@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_array.dir/data_array.cc.o"
+  "CMakeFiles/kondo_array.dir/data_array.cc.o.d"
+  "CMakeFiles/kondo_array.dir/debloated_array.cc.o"
+  "CMakeFiles/kondo_array.dir/debloated_array.cc.o.d"
+  "CMakeFiles/kondo_array.dir/dtype.cc.o"
+  "CMakeFiles/kondo_array.dir/dtype.cc.o.d"
+  "CMakeFiles/kondo_array.dir/index.cc.o"
+  "CMakeFiles/kondo_array.dir/index.cc.o.d"
+  "CMakeFiles/kondo_array.dir/index_set.cc.o"
+  "CMakeFiles/kondo_array.dir/index_set.cc.o.d"
+  "CMakeFiles/kondo_array.dir/kdf_file.cc.o"
+  "CMakeFiles/kondo_array.dir/kdf_file.cc.o.d"
+  "CMakeFiles/kondo_array.dir/layout.cc.o"
+  "CMakeFiles/kondo_array.dir/layout.cc.o.d"
+  "CMakeFiles/kondo_array.dir/shape.cc.o"
+  "CMakeFiles/kondo_array.dir/shape.cc.o.d"
+  "libkondo_array.a"
+  "libkondo_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

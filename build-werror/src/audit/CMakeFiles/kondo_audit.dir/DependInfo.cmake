@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audit/auditor.cc" "src/audit/CMakeFiles/kondo_audit.dir/auditor.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/auditor.cc.o.d"
+  "/root/repo/src/audit/event.cc" "src/audit/CMakeFiles/kondo_audit.dir/event.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/event.cc.o.d"
+  "/root/repo/src/audit/event_log.cc" "src/audit/CMakeFiles/kondo_audit.dir/event_log.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/event_log.cc.o.d"
+  "/root/repo/src/audit/event_store.cc" "src/audit/CMakeFiles/kondo_audit.dir/event_store.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/event_store.cc.o.d"
+  "/root/repo/src/audit/interval_btree.cc" "src/audit/CMakeFiles/kondo_audit.dir/interval_btree.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/interval_btree.cc.o.d"
+  "/root/repo/src/audit/offset_mapper.cc" "src/audit/CMakeFiles/kondo_audit.dir/offset_mapper.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/offset_mapper.cc.o.d"
+  "/root/repo/src/audit/traced_file.cc" "src/audit/CMakeFiles/kondo_audit.dir/traced_file.cc.o" "gcc" "src/audit/CMakeFiles/kondo_audit.dir/traced_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_audit.dir/auditor.cc.o"
+  "CMakeFiles/kondo_audit.dir/auditor.cc.o.d"
+  "CMakeFiles/kondo_audit.dir/event.cc.o"
+  "CMakeFiles/kondo_audit.dir/event.cc.o.d"
+  "CMakeFiles/kondo_audit.dir/event_log.cc.o"
+  "CMakeFiles/kondo_audit.dir/event_log.cc.o.d"
+  "CMakeFiles/kondo_audit.dir/event_store.cc.o"
+  "CMakeFiles/kondo_audit.dir/event_store.cc.o.d"
+  "CMakeFiles/kondo_audit.dir/interval_btree.cc.o"
+  "CMakeFiles/kondo_audit.dir/interval_btree.cc.o.d"
+  "CMakeFiles/kondo_audit.dir/offset_mapper.cc.o"
+  "CMakeFiles/kondo_audit.dir/offset_mapper.cc.o.d"
+  "CMakeFiles/kondo_audit.dir/traced_file.cc.o"
+  "CMakeFiles/kondo_audit.dir/traced_file.cc.o.d"
+  "libkondo_audit.a"
+  "libkondo_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/afl_fuzzer.cc" "src/baselines/CMakeFiles/kondo_baselines.dir/afl_fuzzer.cc.o" "gcc" "src/baselines/CMakeFiles/kondo_baselines.dir/afl_fuzzer.cc.o.d"
+  "/root/repo/src/baselines/brute_force.cc" "src/baselines/CMakeFiles/kondo_baselines.dir/brute_force.cc.o" "gcc" "src/baselines/CMakeFiles/kondo_baselines.dir/brute_force.cc.o.d"
+  "/root/repo/src/baselines/invariant_baseline.cc" "src/baselines/CMakeFiles/kondo_baselines.dir/invariant_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/kondo_baselines.dir/invariant_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/workloads/CMakeFiles/kondo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/fuzz/CMakeFiles/kondo_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/kondo_exec.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_baselines.dir/afl_fuzzer.cc.o"
+  "CMakeFiles/kondo_baselines.dir/afl_fuzzer.cc.o.d"
+  "CMakeFiles/kondo_baselines.dir/brute_force.cc.o"
+  "CMakeFiles/kondo_baselines.dir/brute_force.cc.o.d"
+  "CMakeFiles/kondo_baselines.dir/invariant_baseline.cc.o"
+  "CMakeFiles/kondo_baselines.dir/invariant_baseline.cc.o.d"
+  "libkondo_baselines.a"
+  "libkondo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

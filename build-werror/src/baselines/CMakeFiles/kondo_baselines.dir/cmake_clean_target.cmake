@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkondo_baselines.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/carve/carved_subset.cc" "src/carve/CMakeFiles/kondo_carve.dir/carved_subset.cc.o" "gcc" "src/carve/CMakeFiles/kondo_carve.dir/carved_subset.cc.o.d"
+  "/root/repo/src/carve/carver.cc" "src/carve/CMakeFiles/kondo_carve.dir/carver.cc.o" "gcc" "src/carve/CMakeFiles/kondo_carve.dir/carver.cc.o.d"
+  "/root/repo/src/carve/chunk_subset.cc" "src/carve/CMakeFiles/kondo_carve.dir/chunk_subset.cc.o" "gcc" "src/carve/CMakeFiles/kondo_carve.dir/chunk_subset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/geom/CMakeFiles/kondo_geom.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/kondo_exec.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

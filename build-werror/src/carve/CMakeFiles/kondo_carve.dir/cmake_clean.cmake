@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_carve.dir/carved_subset.cc.o"
+  "CMakeFiles/kondo_carve.dir/carved_subset.cc.o.d"
+  "CMakeFiles/kondo_carve.dir/carver.cc.o"
+  "CMakeFiles/kondo_carve.dir/carver.cc.o.d"
+  "CMakeFiles/kondo_carve.dir/chunk_subset.cc.o"
+  "CMakeFiles/kondo_carve.dir/chunk_subset.cc.o.d"
+  "libkondo_carve.a"
+  "libkondo_carve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_carve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_common.dir/interval_set.cc.o"
+  "CMakeFiles/kondo_common.dir/interval_set.cc.o.d"
+  "CMakeFiles/kondo_common.dir/logging.cc.o"
+  "CMakeFiles/kondo_common.dir/logging.cc.o.d"
+  "CMakeFiles/kondo_common.dir/rng.cc.o"
+  "CMakeFiles/kondo_common.dir/rng.cc.o.d"
+  "CMakeFiles/kondo_common.dir/status.cc.o"
+  "CMakeFiles/kondo_common.dir/status.cc.o.d"
+  "CMakeFiles/kondo_common.dir/strings.cc.o"
+  "CMakeFiles/kondo_common.dir/strings.cc.o.d"
+  "libkondo_common.a"
+  "libkondo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/container_spec.cc" "src/core/CMakeFiles/kondo_core.dir/container_spec.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/container_spec.cc.o.d"
+  "/root/repo/src/core/debloat_test.cc" "src/core/CMakeFiles/kondo_core.dir/debloat_test.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/debloat_test.cc.o.d"
+  "/root/repo/src/core/debloated_file.cc" "src/core/CMakeFiles/kondo_core.dir/debloated_file.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/debloated_file.cc.o.d"
+  "/root/repo/src/core/ensemble.cc" "src/core/CMakeFiles/kondo_core.dir/ensemble.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/ensemble.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/kondo_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/kondo.cc" "src/core/CMakeFiles/kondo_core.dir/kondo.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/kondo.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/kondo_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/multi_kondo.cc" "src/core/CMakeFiles/kondo_core.dir/multi_kondo.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/multi_kondo.cc.o.d"
+  "/root/repo/src/core/remote_fetch.cc" "src/core/CMakeFiles/kondo_core.dir/remote_fetch.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/remote_fetch.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/kondo_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/report.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/kondo_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/kondo_core.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/geom/CMakeFiles/kondo_geom.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/carve/CMakeFiles/kondo_carve.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/fuzz/CMakeFiles/kondo_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/workloads/CMakeFiles/kondo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/baselines/CMakeFiles/kondo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/shard/CMakeFiles/kondo_shard.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/kondo_exec.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/provenance/CMakeFiles/kondo_provenance.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

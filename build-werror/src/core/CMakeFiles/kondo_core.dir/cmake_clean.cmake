@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_core.dir/container_spec.cc.o"
+  "CMakeFiles/kondo_core.dir/container_spec.cc.o.d"
+  "CMakeFiles/kondo_core.dir/debloat_test.cc.o"
+  "CMakeFiles/kondo_core.dir/debloat_test.cc.o.d"
+  "CMakeFiles/kondo_core.dir/debloated_file.cc.o"
+  "CMakeFiles/kondo_core.dir/debloated_file.cc.o.d"
+  "CMakeFiles/kondo_core.dir/ensemble.cc.o"
+  "CMakeFiles/kondo_core.dir/ensemble.cc.o.d"
+  "CMakeFiles/kondo_core.dir/hybrid.cc.o"
+  "CMakeFiles/kondo_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/kondo_core.dir/kondo.cc.o"
+  "CMakeFiles/kondo_core.dir/kondo.cc.o.d"
+  "CMakeFiles/kondo_core.dir/metrics.cc.o"
+  "CMakeFiles/kondo_core.dir/metrics.cc.o.d"
+  "CMakeFiles/kondo_core.dir/multi_kondo.cc.o"
+  "CMakeFiles/kondo_core.dir/multi_kondo.cc.o.d"
+  "CMakeFiles/kondo_core.dir/remote_fetch.cc.o"
+  "CMakeFiles/kondo_core.dir/remote_fetch.cc.o.d"
+  "CMakeFiles/kondo_core.dir/report.cc.o"
+  "CMakeFiles/kondo_core.dir/report.cc.o.d"
+  "CMakeFiles/kondo_core.dir/runtime.cc.o"
+  "CMakeFiles/kondo_core.dir/runtime.cc.o.d"
+  "libkondo_core.a"
+  "libkondo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

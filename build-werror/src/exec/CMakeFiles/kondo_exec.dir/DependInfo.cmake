@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/campaign_executor.cc" "src/exec/CMakeFiles/kondo_exec.dir/campaign_executor.cc.o" "gcc" "src/exec/CMakeFiles/kondo_exec.dir/campaign_executor.cc.o.d"
+  "/root/repo/src/exec/result_collector.cc" "src/exec/CMakeFiles/kondo_exec.dir/result_collector.cc.o" "gcc" "src/exec/CMakeFiles/kondo_exec.dir/result_collector.cc.o.d"
+  "/root/repo/src/exec/test_candidate.cc" "src/exec/CMakeFiles/kondo_exec.dir/test_candidate.cc.o" "gcc" "src/exec/CMakeFiles/kondo_exec.dir/test_candidate.cc.o.d"
+  "/root/repo/src/exec/thread_pool.cc" "src/exec/CMakeFiles/kondo_exec.dir/thread_pool.cc.o" "gcc" "src/exec/CMakeFiles/kondo_exec.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

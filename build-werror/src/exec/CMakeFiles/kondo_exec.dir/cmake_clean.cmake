@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_exec.dir/campaign_executor.cc.o"
+  "CMakeFiles/kondo_exec.dir/campaign_executor.cc.o.d"
+  "CMakeFiles/kondo_exec.dir/result_collector.cc.o"
+  "CMakeFiles/kondo_exec.dir/result_collector.cc.o.d"
+  "CMakeFiles/kondo_exec.dir/test_candidate.cc.o"
+  "CMakeFiles/kondo_exec.dir/test_candidate.cc.o.d"
+  "CMakeFiles/kondo_exec.dir/thread_pool.cc.o"
+  "CMakeFiles/kondo_exec.dir/thread_pool.cc.o.d"
+  "libkondo_exec.a"
+  "libkondo_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/campaign_state.cc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/campaign_state.cc.o" "gcc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/campaign_state.cc.o.d"
+  "/root/repo/src/fuzz/cluster.cc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/cluster.cc.o" "gcc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/cluster.cc.o.d"
+  "/root/repo/src/fuzz/fuzz_schedule.cc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/fuzz_schedule.cc.o" "gcc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/fuzz_schedule.cc.o.d"
+  "/root/repo/src/fuzz/param_space.cc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/param_space.cc.o" "gcc" "src/fuzz/CMakeFiles/kondo_fuzz.dir/param_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/kondo_exec.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_fuzz.dir/campaign_state.cc.o"
+  "CMakeFiles/kondo_fuzz.dir/campaign_state.cc.o.d"
+  "CMakeFiles/kondo_fuzz.dir/cluster.cc.o"
+  "CMakeFiles/kondo_fuzz.dir/cluster.cc.o.d"
+  "CMakeFiles/kondo_fuzz.dir/fuzz_schedule.cc.o"
+  "CMakeFiles/kondo_fuzz.dir/fuzz_schedule.cc.o.d"
+  "CMakeFiles/kondo_fuzz.dir/param_space.cc.o"
+  "CMakeFiles/kondo_fuzz.dir/param_space.cc.o.d"
+  "libkondo_fuzz.a"
+  "libkondo_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

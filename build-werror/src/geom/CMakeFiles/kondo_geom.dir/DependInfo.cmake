@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/convex2d.cc" "src/geom/CMakeFiles/kondo_geom.dir/convex2d.cc.o" "gcc" "src/geom/CMakeFiles/kondo_geom.dir/convex2d.cc.o.d"
+  "/root/repo/src/geom/convex3d.cc" "src/geom/CMakeFiles/kondo_geom.dir/convex3d.cc.o" "gcc" "src/geom/CMakeFiles/kondo_geom.dir/convex3d.cc.o.d"
+  "/root/repo/src/geom/hull.cc" "src/geom/CMakeFiles/kondo_geom.dir/hull.cc.o" "gcc" "src/geom/CMakeFiles/kondo_geom.dir/hull.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_geom.dir/convex2d.cc.o"
+  "CMakeFiles/kondo_geom.dir/convex2d.cc.o.d"
+  "CMakeFiles/kondo_geom.dir/convex3d.cc.o"
+  "CMakeFiles/kondo_geom.dir/convex3d.cc.o.d"
+  "CMakeFiles/kondo_geom.dir/hull.cc.o"
+  "CMakeFiles/kondo_geom.dir/hull.cc.o.d"
+  "libkondo_geom.a"
+  "libkondo_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

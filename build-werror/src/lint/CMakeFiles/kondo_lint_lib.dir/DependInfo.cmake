@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lint/include_graph.cc" "src/lint/CMakeFiles/kondo_lint_lib.dir/include_graph.cc.o" "gcc" "src/lint/CMakeFiles/kondo_lint_lib.dir/include_graph.cc.o.d"
+  "/root/repo/src/lint/lexer.cc" "src/lint/CMakeFiles/kondo_lint_lib.dir/lexer.cc.o" "gcc" "src/lint/CMakeFiles/kondo_lint_lib.dir/lexer.cc.o.d"
+  "/root/repo/src/lint/linter.cc" "src/lint/CMakeFiles/kondo_lint_lib.dir/linter.cc.o" "gcc" "src/lint/CMakeFiles/kondo_lint_lib.dir/linter.cc.o.d"
+  "/root/repo/src/lint/rules.cc" "src/lint/CMakeFiles/kondo_lint_lib.dir/rules.cc.o" "gcc" "src/lint/CMakeFiles/kondo_lint_lib.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

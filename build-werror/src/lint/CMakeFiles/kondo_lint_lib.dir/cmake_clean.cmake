@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_lint_lib.dir/include_graph.cc.o"
+  "CMakeFiles/kondo_lint_lib.dir/include_graph.cc.o.d"
+  "CMakeFiles/kondo_lint_lib.dir/lexer.cc.o"
+  "CMakeFiles/kondo_lint_lib.dir/lexer.cc.o.d"
+  "CMakeFiles/kondo_lint_lib.dir/linter.cc.o"
+  "CMakeFiles/kondo_lint_lib.dir/linter.cc.o.d"
+  "CMakeFiles/kondo_lint_lib.dir/rules.cc.o"
+  "CMakeFiles/kondo_lint_lib.dir/rules.cc.o.d"
+  "libkondo_lint_lib.a"
+  "libkondo_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/crc32.cc" "src/provenance/CMakeFiles/kondo_provenance.dir/crc32.cc.o" "gcc" "src/provenance/CMakeFiles/kondo_provenance.dir/crc32.cc.o.d"
+  "/root/repo/src/provenance/kel2_reader.cc" "src/provenance/CMakeFiles/kondo_provenance.dir/kel2_reader.cc.o" "gcc" "src/provenance/CMakeFiles/kondo_provenance.dir/kel2_reader.cc.o.d"
+  "/root/repo/src/provenance/kel2_writer.cc" "src/provenance/CMakeFiles/kondo_provenance.dir/kel2_writer.cc.o" "gcc" "src/provenance/CMakeFiles/kondo_provenance.dir/kel2_writer.cc.o.d"
+  "/root/repo/src/provenance/persist.cc" "src/provenance/CMakeFiles/kondo_provenance.dir/persist.cc.o" "gcc" "src/provenance/CMakeFiles/kondo_provenance.dir/persist.cc.o.d"
+  "/root/repo/src/provenance/provenance_query.cc" "src/provenance/CMakeFiles/kondo_provenance.dir/provenance_query.cc.o" "gcc" "src/provenance/CMakeFiles/kondo_provenance.dir/provenance_query.cc.o.d"
+  "/root/repo/src/provenance/varint.cc" "src/provenance/CMakeFiles/kondo_provenance.dir/varint.cc.o" "gcc" "src/provenance/CMakeFiles/kondo_provenance.dir/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_provenance.dir/crc32.cc.o"
+  "CMakeFiles/kondo_provenance.dir/crc32.cc.o.d"
+  "CMakeFiles/kondo_provenance.dir/kel2_reader.cc.o"
+  "CMakeFiles/kondo_provenance.dir/kel2_reader.cc.o.d"
+  "CMakeFiles/kondo_provenance.dir/kel2_writer.cc.o"
+  "CMakeFiles/kondo_provenance.dir/kel2_writer.cc.o.d"
+  "CMakeFiles/kondo_provenance.dir/persist.cc.o"
+  "CMakeFiles/kondo_provenance.dir/persist.cc.o.d"
+  "CMakeFiles/kondo_provenance.dir/provenance_query.cc.o"
+  "CMakeFiles/kondo_provenance.dir/provenance_query.cc.o.d"
+  "CMakeFiles/kondo_provenance.dir/varint.cc.o"
+  "CMakeFiles/kondo_provenance.dir/varint.cc.o.d"
+  "libkondo_provenance.a"
+  "libkondo_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_shard.dir/merge_stage.cc.o"
+  "CMakeFiles/kondo_shard.dir/merge_stage.cc.o.d"
+  "CMakeFiles/kondo_shard.dir/shard_campaign.cc.o"
+  "CMakeFiles/kondo_shard.dir/shard_campaign.cc.o.d"
+  "CMakeFiles/kondo_shard.dir/shard_manifest.cc.o"
+  "CMakeFiles/kondo_shard.dir/shard_manifest.cc.o.d"
+  "CMakeFiles/kondo_shard.dir/shard_plan.cc.o"
+  "CMakeFiles/kondo_shard.dir/shard_plan.cc.o.d"
+  "CMakeFiles/kondo_shard.dir/shard_scheduler.cc.o"
+  "CMakeFiles/kondo_shard.dir/shard_scheduler.cc.o.d"
+  "libkondo_shard.a"
+  "libkondo_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/block_programs.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/block_programs.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/block_programs.cc.o.d"
+  "/root/repo/src/workloads/cs_programs.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/cs_programs.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/cs_programs.cc.o.d"
+  "/root/repo/src/workloads/demo_program.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/demo_program.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/demo_program.cc.o.d"
+  "/root/repo/src/workloads/multi_file_program.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/multi_file_program.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/multi_file_program.cc.o.d"
+  "/root/repo/src/workloads/prl_programs.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/prl_programs.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/prl_programs.cc.o.d"
+  "/root/repo/src/workloads/program.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/program.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/program.cc.o.d"
+  "/root/repo/src/workloads/real_app_programs.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/real_app_programs.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/real_app_programs.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/stencil.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/stencil.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/stencil.cc.o.d"
+  "/root/repo/src/workloads/vpic_program.cc" "src/workloads/CMakeFiles/kondo_workloads.dir/vpic_program.cc.o" "gcc" "src/workloads/CMakeFiles/kondo_workloads.dir/vpic_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/fuzz/CMakeFiles/kondo_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/kondo_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

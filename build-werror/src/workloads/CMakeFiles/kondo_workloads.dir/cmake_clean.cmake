@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_workloads.dir/block_programs.cc.o"
+  "CMakeFiles/kondo_workloads.dir/block_programs.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/cs_programs.cc.o"
+  "CMakeFiles/kondo_workloads.dir/cs_programs.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/demo_program.cc.o"
+  "CMakeFiles/kondo_workloads.dir/demo_program.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/multi_file_program.cc.o"
+  "CMakeFiles/kondo_workloads.dir/multi_file_program.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/prl_programs.cc.o"
+  "CMakeFiles/kondo_workloads.dir/prl_programs.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/program.cc.o"
+  "CMakeFiles/kondo_workloads.dir/program.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/real_app_programs.cc.o"
+  "CMakeFiles/kondo_workloads.dir/real_app_programs.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/registry.cc.o"
+  "CMakeFiles/kondo_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/stencil.cc.o"
+  "CMakeFiles/kondo_workloads.dir/stencil.cc.o.d"
+  "CMakeFiles/kondo_workloads.dir/vpic_program.cc.o"
+  "CMakeFiles/kondo_workloads.dir/vpic_program.cc.o.d"
+  "libkondo_workloads.a"
+  "libkondo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

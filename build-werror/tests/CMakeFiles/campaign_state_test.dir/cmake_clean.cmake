@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_state_test.dir/campaign_state_test.cc.o"
+  "CMakeFiles/campaign_state_test.dir/campaign_state_test.cc.o.d"
+  "campaign_state_test"
+  "campaign_state_test.pdb"
+  "campaign_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carve_test.dir/carve_test.cc.o"
+  "CMakeFiles/carve_test.dir/carve_test.cc.o.d"
+  "carve_test"
+  "carve_test.pdb"
+  "carve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdf_test.dir/kdf_test.cc.o"
+  "CMakeFiles/kdf_test.dir/kdf_test.cc.o.d"
+  "kdf_test"
+  "kdf_test.pdb"
+  "kdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

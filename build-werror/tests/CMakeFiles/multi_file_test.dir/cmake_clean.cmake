@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_file_test.dir/multi_file_test.cc.o"
+  "CMakeFiles/multi_file_test.dir/multi_file_test.cc.o.d"
+  "multi_file_test"
+  "multi_file_test.pdb"
+  "multi_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_extensions_test.dir/replay_extensions_test.cc.o"
+  "CMakeFiles/replay_extensions_test.dir/replay_extensions_test.cc.o.d"
+  "replay_extensions_test"
+  "replay_extensions_test.pdb"
+  "replay_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

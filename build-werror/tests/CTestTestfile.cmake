@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-werror/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-werror/tests/common_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/array_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/kdf_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/geom_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/audit_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/exec_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/provenance_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/carve_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/core_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/multi_file_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/property_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/report_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/campaign_state_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/shard_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/replay_extensions_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/lint_test[1]_include.cmake")
+include("/root/repo/build-werror/tests/cli_test[1]_include.cmake")

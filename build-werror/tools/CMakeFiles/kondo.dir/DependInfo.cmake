@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/kondo_cli.cc" "tools/CMakeFiles/kondo.dir/kondo_cli.cc.o" "gcc" "tools/CMakeFiles/kondo.dir/kondo_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/core/CMakeFiles/kondo_core.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/provenance/CMakeFiles/kondo_provenance.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/baselines/CMakeFiles/kondo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/shard/CMakeFiles/kondo_shard.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/carve/CMakeFiles/kondo_carve.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/geom/CMakeFiles/kondo_geom.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/workloads/CMakeFiles/kondo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/fuzz/CMakeFiles/kondo_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/kondo_exec.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/audit/CMakeFiles/kondo_audit.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/array/CMakeFiles/kondo_array.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/common/CMakeFiles/kondo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo.dir/kondo_cli.cc.o"
+  "CMakeFiles/kondo.dir/kondo_cli.cc.o.d"
+  "kondo"
+  "kondo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kondo_lint.dir/kondo_lint.cc.o"
+  "CMakeFiles/kondo_lint.dir/kondo_lint.cc.o.d"
+  "kondo_lint"
+  "kondo_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kondo_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
