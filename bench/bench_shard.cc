@@ -182,8 +182,10 @@ MergedCampaign RunSharded(const MultiFileProgram& program,
   if (bench.jobs <= 1) {
     CampaignExecutor executor(1);
     for (const Shard& shard : plan->shards) {
-      results[static_cast<size_t>(shard.id)] =
+      StatusOr<ShardCampaignResult> run =
           RunShardCampaign(program, *plan, shard, config, executor, persist);
+      KONDO_CHECK(run.ok()) << run.status();
+      results[static_cast<size_t>(shard.id)] = *std::move(run);
     }
   } else {
     ThreadPool pool(bench.jobs);
@@ -197,8 +199,10 @@ MergedCampaign RunSharded(const MultiFileProgram& program,
         CampaignExecutor executor(&pool, bench.jobs);
         for (size_t s = next.fetch_add(1); s < results.size();
              s = next.fetch_add(1)) {
-          results[s] = RunShardCampaign(
+          StatusOr<ShardCampaignResult> run = RunShardCampaign(
               program, *plan, plan->shards[s], config, executor, persist);
+          KONDO_CHECK(run.ok()) << run.status();
+          results[s] = *std::move(run);
         }
       });
     }

@@ -1,5 +1,6 @@
 #include "audit/event_store.h"
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/strings.h"
@@ -32,29 +33,26 @@ Event DecodeRecord(const char* buf) {
 
 }  // namespace
 
-StatusOr<EventStoreWriter> EventStoreWriter::Create(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return InternalError("cannot create event store: " + path);
+StatusOr<EventStoreWriter> EventStoreWriter::Create(const std::string& path,
+                                                    Env* env) {
+  StatusOr<AtomicFile> file = AtomicFile::Create(path, env);
+  if (!file.ok()) {
+    return Status(file.status().code(),
+                  StrCat("cannot create event store: ", path, ": ",
+                         file.status().message()));
   }
   char header[kHeaderBytes] = {};
   std::memcpy(header, kMagic, 4);
-  const size_t n = std::fwrite(header, 1, kHeaderBytes, file);
-  if (n != kHeaderBytes) {
-    std::fclose(file);
-    return InternalError(StrCat("event store header short write: ", path,
-                                ": wrote ", n, " of ", kHeaderBytes,
-                                " bytes"));
+  const Status written = file->Append(header, kHeaderBytes);
+  if (!written.ok()) {
+    return Status(written.code(), StrCat("event store header write: ",
+                                         written.message()));
   }
-  return EventStoreWriter(file, path);
+  return EventStoreWriter(*std::move(file));
 }
 
-EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept
-    : file_(other.file_),
-      path_(std::move(other.path_)),
-      events_written_(other.events_written_) {
-  other.file_ = nullptr;
-}
+EventStoreWriter::EventStoreWriter(EventStoreWriter&& other) noexcept =
+    default;
 
 EventStoreWriter& EventStoreWriter::operator=(
     EventStoreWriter&& other) noexcept {
@@ -63,32 +61,31 @@ EventStoreWriter& EventStoreWriter::operator=(
     // the tail durable call Close() explicitly.
     // kondo-lint: allow(R3) move-assign swallows the stale writer's status
     (void)Close();
-    file_ = other.file_;
-    path_ = std::move(other.path_);
+    file_ = std::move(other.file_);
     events_written_ = other.events_written_;
-    other.file_ = nullptr;
   }
   return *this;
 }
 
 EventStoreWriter::~EventStoreWriter() {
-  // Destructors cannot propagate the status; an unsealed tail is covered
-  // by the format's torn-write guarantee.
+  // Destructors cannot propagate the status; the uncommitted tmp store is
+  // discarded if the commit fails, so no torn artifact is published.
   // kondo-lint: allow(R3) destructor swallows the close status by design
   (void)Close();
 }
 
 Status EventStoreWriter::Append(const Event& event) {
-  if (file_ == nullptr) {
-    return FailedPreconditionError("event store already closed: " + path_);
+  if (!file_.open()) {
+    return FailedPreconditionError("event store already closed: " +
+                                   file_.path());
   }
   char buf[kRecordBytes];
   EncodeRecord(event, buf);
-  const size_t n = std::fwrite(buf, 1, kRecordBytes, file_);
-  if (n != kRecordBytes) {
-    return InternalError(StrCat("event store short write: ", path_,
-                                ": wrote ", n, " of ", kRecordBytes,
-                                " bytes (record ", events_written_, ")"));
+  const Status written = file_.Append(buf, kRecordBytes);
+  if (!written.ok()) {
+    return Status(written.code(),
+                  StrCat("event store append failed (record ",
+                         events_written_, "): ", written.message()));
   }
   ++events_written_;
   return OkStatus();
@@ -102,13 +99,14 @@ Status EventStoreWriter::AppendAll(const EventLog& log) {
 }
 
 Status EventStoreWriter::Close() {
-  if (file_ == nullptr) {
+  if (!file_.open()) {
     return OkStatus();
   }
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) {
-    return InternalError("event store close failed: " + path_);
+  const Status committed = file_.Commit();
+  if (!committed.ok()) {
+    return Status(committed.code(), StrCat("event store close failed: ",
+                                           file_.path(), ": ",
+                                           committed.message()));
   }
   return OkStatus();
 }

@@ -2,12 +2,12 @@
 #define KONDO_AUDIT_EVENT_STORE_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "audit/event.h"
 #include "audit/event_log.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "common/statusor.h"
 
@@ -24,10 +24,18 @@ namespace kondo {
 ///
 /// The record count is implied by the file length, so a crashed writer
 /// loses at most one partial trailing record.
+///
+/// Durability: records accumulate in `path + ".tmp"`; Close() (also run by
+/// the destructor) flushes, fsyncs, and renames the store into place, so a
+/// reader observes either no store or a complete one (see
+/// docs/ROBUSTNESS.md). Device paths such as /dev/full are written in
+/// place.
 class EventStoreWriter {
  public:
-  /// Creates (truncates) `path` and writes the header.
-  static StatusOr<EventStoreWriter> Create(const std::string& path);
+  /// Creates (truncates) `path` and writes the header. `env == nullptr`
+  /// selects the real filesystem; tests inject a FaultInjectingEnv.
+  static StatusOr<EventStoreWriter> Create(const std::string& path,
+                                           Env* env = nullptr);
 
   EventStoreWriter(EventStoreWriter&& other) noexcept;
   EventStoreWriter& operator=(EventStoreWriter&& other) noexcept;
@@ -39,17 +47,16 @@ class EventStoreWriter {
   /// Appends every event of `log` in arrival order.
   Status AppendAll(const EventLog& log);
 
-  /// Flushes and closes; further Appends fail. Idempotent.
+  /// Commits the store (fsync + atomic rename); further Appends fail.
+  /// Idempotent.
   Status Close();
 
   int64_t events_written() const { return events_written_; }
 
  private:
-  EventStoreWriter(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  explicit EventStoreWriter(AtomicFile file) : file_(std::move(file)) {}
 
-  std::FILE* file_ = nullptr;
-  std::string path_;
+  AtomicFile file_;
   int64_t events_written_ = 0;
 };
 

@@ -1,6 +1,9 @@
 #include "core/remote_fetch.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
+#include "common/strings.h"
 
 namespace kondo {
 
@@ -36,11 +39,39 @@ StatusOr<double> FetchingRuntime::Read(const Index& index) {
     ++stats_.local_hits;
     return it->second;
   }
+  if (stats_.degraded) {
+    ++stats_.hard_misses;
+    return DataMissingError(
+        StrCat("data missing (remote fetching degraded after ",
+               consecutive_failures_, " consecutive fetch failures)"));
+  }
+  const int max_attempts = std::max(1, policy_.max_attempts);
   StatusOr<double> fetched = remote_->Fetch(index);
+  int attempt = 1;
+  while (!fetched.ok() && attempt < max_attempts) {
+    if (policy_.backoff_micros > 0) {
+      BusyWaitMicros(policy_.backoff_micros << (attempt - 1));
+    }
+    ++attempt;
+    ++stats_.fetch_retries;
+    fetched = remote_->Fetch(index);
+  }
   if (!fetched.ok()) {
     ++stats_.hard_misses;
-    return fetched;
+    ++stats_.fetch_failures;
+    ++consecutive_failures_;
+    if (policy_.degrade_after > 0 &&
+        consecutive_failures_ >= policy_.degrade_after) {
+      stats_.degraded = true;
+    }
+    // Surface the paper's data-missing error, not the transport error: to
+    // the program, an unfetchable element is indistinguishable from a
+    // debloated one.
+    return DataMissingError(StrCat("data missing and remote fetch failed (",
+                                   attempt, " attempts): ",
+                                   fetched.status().message()));
   }
+  consecutive_failures_ = 0;
   ++stats_.remote_fetches;
   stats_.bytes_fetched = remote_->bytes_fetched();
   fetched_cache_.emplace(linear, *fetched);

@@ -60,6 +60,26 @@ struct FetchStats {
   int64_t remote_fetches = 0; // Pulled from the remote source.
   int64_t hard_misses = 0;    // Remote also failed: data-missing surfaced.
   int64_t bytes_fetched = 0;
+  int64_t fetch_retries = 0;  // Re-issued requests after transient failures.
+  int64_t fetch_failures = 0; // Elements whose fetch exhausted every attempt.
+  bool degraded = false;      // Remote disabled after repeated failures.
+};
+
+/// Failure policy of a fetching runtime: how hard to try the remote source
+/// before surfacing the paper's data-missing error, and when to stop
+/// bothering the remote entirely.
+struct FetchPolicy {
+  /// Fetch attempts per missing element (>= 1). Attempt k > 1 busy-waits
+  /// `backoff_micros << (k - 2)` first (exponential backoff).
+  int max_attempts = 1;
+  int64_t backoff_micros = 0;
+
+  /// After this many *consecutive* elements exhaust every attempt, the
+  /// runtime enters degraded mode: the remote is skipped and Null accesses
+  /// surface data-missing immediately (no pointless round-trips against a
+  /// dead server). 0 disables degradation. A successful fetch resets the
+  /// consecutive count.
+  int degrade_after = 0;
 };
 
 /// A user-end runtime that serves reads from the debloated payload and
@@ -72,7 +92,15 @@ class FetchingRuntime {
   /// `remote` may be null: the runtime then degrades to plain debloated
   /// behaviour (data-missing on Null access).
   FetchingRuntime(DebloatedArray array, std::unique_ptr<RemoteSource> remote)
-      : local_(std::move(array)), remote_(std::move(remote)) {}
+      : FetchingRuntime(std::move(array), std::move(remote), FetchPolicy{}) {}
+
+  /// As above, with an explicit failure policy (retries, backoff, degraded
+  /// mode) for flaky remotes.
+  FetchingRuntime(DebloatedArray array, std::unique_ptr<RemoteSource> remote,
+                  const FetchPolicy& policy)
+      : local_(std::move(array)),
+        remote_(std::move(remote)),
+        policy_(policy) {}
 
   const FetchStats& stats() const { return stats_; }
   const DebloatedArray& local_array() const { return local_.array(); }
@@ -87,6 +115,8 @@ class FetchingRuntime {
  private:
   DebloatRuntime local_;
   std::unique_ptr<RemoteSource> remote_;
+  FetchPolicy policy_;
+  int consecutive_failures_ = 0;
   std::unordered_map<int64_t, double> fetched_cache_;
   FetchStats stats_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/stopwatch.h"
 #include "common/thread_annotations.h"
 
 namespace kondo {
@@ -95,6 +96,32 @@ std::vector<CandidateResult> CampaignExecutor::RunBatch(
   return Map<CandidateResult>(
       static_cast<int64_t>(batch.size()),
       [&batch, &test](int64_t i) { return test(batch[static_cast<size_t>(i)]); });
+}
+
+std::vector<CandidateResult> CampaignExecutor::RunBatch(
+    const std::vector<TestCandidate>& batch, const CandidateTestFn& test,
+    const RetryPolicy& policy) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  if (max_attempts == 1) {
+    return RunBatch(batch, test);
+  }
+  return Map<CandidateResult>(
+      static_cast<int64_t>(batch.size()),
+      [&batch, &test, &policy, max_attempts](int64_t i) {
+        const TestCandidate& candidate = batch[static_cast<size_t>(i)];
+        CandidateResult result;
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+          if (attempt > 1 && policy.backoff_micros > 0) {
+            BusyWaitMicros(policy.backoff_micros << (attempt - 2));
+          }
+          result = test(candidate);
+          result.attempts = attempt;
+          if (result.status.ok()) {
+            break;
+          }
+        }
+        return result;
+      });
 }
 
 }  // namespace kondo

@@ -12,6 +12,20 @@
 
 namespace kondo {
 
+/// Bounded-retry policy for transient debloat-test failures. Retries run
+/// in place on the worker that owns the candidate (never rescheduled), so
+/// they cannot perturb batch order or candidate identity — the campaign
+/// schedule stays bit-identical at every `--jobs`.
+struct RetryPolicy {
+  /// Total attempts per candidate (1 = no retries).
+  int max_attempts = 1;
+
+  /// Deterministic backoff before attempt k (1-based retry index): a busy
+  /// wait of `backoff_micros << (k - 1)` microseconds. Busy-waiting keeps
+  /// the delay off the clock APIs banned for determinism-critical code.
+  int64_t backoff_micros = 0;
+};
+
 /// Fans independent work items out across a fixed-size thread pool and
 /// hands the results back in *item order* — the execution engine behind
 /// parallel debloat-test campaigns.
@@ -65,6 +79,14 @@ class CampaignExecutor {
   /// outcomes positionally aligned with `batch`.
   std::vector<CandidateResult> RunBatch(const std::vector<TestCandidate>& batch,
                                         const CandidateTestFn& test);
+
+  /// As above, but retries each failed candidate in place per `policy`
+  /// before reporting it failed. Retries happen on the worker that owns the
+  /// item, so batch scheduling — and therefore every campaign artefact —
+  /// stays bit-identical at every `jobs` value.
+  std::vector<CandidateResult> RunBatch(const std::vector<TestCandidate>& batch,
+                                        const CandidateTestFn& test,
+                                        const RetryPolicy& policy);
 
  private:
   int jobs_ = 1;

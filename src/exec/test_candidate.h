@@ -8,6 +8,7 @@
 
 #include "array/index_set.h"
 #include "audit/event_log.h"
+#include "common/status.h"
 
 namespace kondo {
 
@@ -51,6 +52,15 @@ struct CandidateResult {
   IndexSet accessed;
   std::shared_ptr<EventLog> log;
   std::vector<IndexSet> per_file;
+
+  /// Non-OK when the debloat test itself failed (e.g. the traced program
+  /// crashed or timed out). The schedule retries per RetryPolicy and
+  /// quarantines the parameter point once attempts are exhausted; a failed
+  /// result contributes no lineage.
+  Status status;
+
+  /// Attempts consumed to produce this result (>= 1 once executed).
+  int attempts = 1;
 };
 
 /// A debloat test over scheduled candidates. Must be safe to invoke

@@ -60,6 +60,14 @@ struct FuzzConfig {
   /// bit-identical at every `--jobs` setting.
   int64_t max_evals = 0;
 
+  /// Total attempts per debloat test before its parameter point is
+  /// quarantined (1 = fail fast). Retries run in place on the owning
+  /// worker (see RetryPolicy), so schedules stay jobs-invariant.
+  int test_max_attempts = 1;
+
+  /// Base busy-wait backoff between attempts, doubling per retry.
+  int64_t test_backoff_micros = 0;
+
   /// Returns a config running the plain exploit-and-explore schedule.
   static FuzzConfig PlainExploitExplore() {
     FuzzConfig config;

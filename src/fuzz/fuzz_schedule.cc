@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/strings.h"
 
 namespace kondo {
 namespace {
@@ -140,8 +141,12 @@ FuzzResult FuzzSchedule::Run(CampaignExecutor& executor,
 
     // ---- parallel: the debloat tests. Tests are pure functions of their
     // candidate (identity-derived RNG streams, no shared campaign state),
-    // so evaluation order cannot leak into the results. ----
-    std::vector<CandidateResult> outcomes = executor.RunBatch(batch, test);
+    // so evaluation order cannot leak into the results. Transient failures
+    // are retried in place on the owning worker. ----
+    const RetryPolicy retry{config_.test_max_attempts,
+                            config_.test_backoff_micros};
+    std::vector<CandidateResult> outcomes =
+        executor.RunBatch(batch, test, retry);
 
     // ---- serial: consume outcomes in candidate order. A stopping
     // criterion firing mid-batch discards the speculative tail, exactly as
@@ -168,10 +173,36 @@ FuzzResult FuzzSchedule::Run(CampaignExecutor& executor,
 
       const TestCandidate& candidate = batch[k];
       const CandidateResult& outcome = outcomes[k];
+      result.stats.retries += outcome.attempts - 1;
+
+      if (!outcome.status.ok()) {
+        // Persistently failing parameter point: quarantine it. The
+        // decision depends only on the candidate's outcome (consumed here
+        // in candidate order), so it is identical at every jobs setting.
+        ++result.stats.quarantined;
+        result.stats.quarantined_points.push_back(candidate.value);
+        KONDO_LOG(Warning) << "quarantined parameter point after "
+                           << outcome.attempts
+                           << " attempts: " << outcome.status;
+        ++new_itr;  // No lineage from this test: stagnation advances.
+        if (config_.decay_iter > 0 && itr % config_.decay_iter == 0) {
+          epsilon_ *= config_.decay;
+        }
+        continue;
+      }
+
       if (collector != nullptr) {
         const Status status = collector->Collect(outcome);
-        KONDO_CHECK(status.ok())
-            << "campaign result collection failed: " << status;
+        if (!status.ok()) {
+          // Infrastructure failure (the lineage store could not be
+          // written): abort the campaign gracefully so the scheduler can
+          // report it and a resume can re-run the shard.
+          result.status = Status(
+              status.code(),
+              StrCat("campaign result collection failed: ", status.message()));
+          done = true;
+          break;
+        }
       }
 
       ++result.stats.evaluations;

@@ -9,6 +9,7 @@
 
 #include "array/index_set.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "exec/campaign_executor.h"
 #include "exec/result_collector.h"
 #include "exec/test_candidate.h"
@@ -41,6 +42,17 @@ struct FuzzStats {
   bool stopped_by_stagnation = false;   // stop_iter triggered.
   bool stopped_by_budget = false;       // max_seconds (wall-clock) triggered.
   bool stopped_by_eval_budget = false;  // max_evals triggered (jobs-invariant).
+
+  /// Extra debloat-test attempts consumed by the retry policy
+  /// (FuzzConfig::test_max_attempts).
+  int retries = 0;
+
+  /// Candidates whose debloat test failed every attempt. Their parameter
+  /// points are listed in `quarantined_points` so precision/recall
+  /// reporting can state what coverage was lost; they contribute no
+  /// lineage and no seeds.
+  int quarantined = 0;
+  std::vector<ParamValue> quarantined_points;
 };
 
 /// Result of a fuzz campaign: `IS = ∪ I_v` over the evaluated seeds, plus
@@ -49,6 +61,11 @@ struct FuzzResult {
   IndexSet discovered;
   std::vector<Seed> seeds;
   FuzzStats stats;
+
+  /// Non-OK when the campaign aborted early on an infrastructure failure
+  /// (e.g. the lineage persister could not write). Test failures never set
+  /// this — they are retried and quarantined instead.
+  Status status;
 };
 
 /// Optional per-iteration observer: (iteration, seed evaluated, usefulness,

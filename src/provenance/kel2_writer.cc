@@ -121,31 +121,23 @@ StatusOr<Kel2Writer> Kel2Writer::Create(const std::string& path,
         StrCat("events_per_block must be positive, got ",
                options.events_per_block));
   }
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return InternalError("cannot create KEL2 store: " + path);
+  StatusOr<AtomicFile> file = AtomicFile::Create(path, options.env);
+  if (!file.ok()) {
+    return Status(file.status().code(),
+                  StrCat("cannot create KEL2 store: ", path, ": ",
+                         file.status().message()));
   }
   char header[kKel2HeaderBytes] = {};
   std::memcpy(header, kKel2Magic, 4);
-  const size_t n = std::fwrite(header, 1, kKel2HeaderBytes, file);
-  if (n != kKel2HeaderBytes) {
-    std::fclose(file);
-    return InternalError(StrCat("KEL2 header short write: ", path,
-                                ": wrote ", n, " of ", kKel2HeaderBytes,
-                                " bytes"));
+  const Status written = file->Append(header, kKel2HeaderBytes);
+  if (!written.ok()) {
+    return Status(written.code(),
+                  StrCat("KEL2 header write: ", written.message()));
   }
-  return Kel2Writer(file, path, options);
+  return Kel2Writer(*std::move(file), options);
 }
 
-Kel2Writer::Kel2Writer(Kel2Writer&& other) noexcept
-    : file_(other.file_),
-      path_(std::move(other.path_)),
-      options_(other.options_),
-      buffer_(std::move(other.buffer_)),
-      events_written_(other.events_written_),
-      blocks_written_(other.blocks_written_) {
-  other.file_ = nullptr;
-}
+Kel2Writer::Kel2Writer(Kel2Writer&& other) noexcept = default;
 
 Kel2Writer& Kel2Writer::operator=(Kel2Writer&& other) noexcept {
   if (this != &other) {
@@ -153,27 +145,26 @@ Kel2Writer& Kel2Writer::operator=(Kel2Writer&& other) noexcept {
     // the tail durable call Close() explicitly.
     // kondo-lint: allow(R3) move-assign swallows the stale writer's status
     (void)Close();
-    file_ = other.file_;
-    path_ = std::move(other.path_);
+    file_ = std::move(other.file_);
     options_ = other.options_;
     buffer_ = std::move(other.buffer_);
     events_written_ = other.events_written_;
     blocks_written_ = other.blocks_written_;
-    other.file_ = nullptr;
   }
   return *this;
 }
 
 Kel2Writer::~Kel2Writer() {
-  // Destructors cannot propagate the status; an unsealed tail is covered
-  // by the format's torn-write guarantee.
+  // Destructors cannot propagate the status; the uncommitted tmp store is
+  // discarded if the commit fails, so no torn artifact is published.
   // kondo-lint: allow(R3) destructor swallows the close status by design
   (void)Close();
 }
 
 Status Kel2Writer::Append(const Event& event) {
-  if (file_ == nullptr) {
-    return FailedPreconditionError("KEL2 store already closed: " + path_);
+  if (!file_.open()) {
+    return FailedPreconditionError("KEL2 store already closed: " +
+                                   file_.path());
   }
   buffer_.push_back(event);
   if (static_cast<int64_t>(buffer_.size()) >= options_.events_per_block) {
@@ -192,11 +183,11 @@ Status Kel2Writer::AppendAll(const EventLog& log) {
 Status Kel2Writer::SealBlock() {
   std::string block;
   EncodeKel2Block(buffer_, &block);
-  const size_t n = std::fwrite(block.data(), 1, block.size(), file_);
-  if (n != block.size()) {
-    return InternalError(StrCat("KEL2 block short write: ", path_,
-                                ": wrote ", n, " of ", block.size(),
-                                " bytes"));
+  const Status written = file_.Append(block);
+  if (!written.ok()) {
+    return Status(written.code(),
+                  StrCat("KEL2 block write (block ", blocks_written_,
+                         "): ", written.message()));
   }
   events_written_ += static_cast<int64_t>(buffer_.size());
   ++blocks_written_;
@@ -205,33 +196,39 @@ Status Kel2Writer::SealBlock() {
 }
 
 Status Kel2Writer::Flush() {
-  if (file_ == nullptr) {
-    return FailedPreconditionError("KEL2 store already closed: " + path_);
+  if (!file_.open()) {
+    return FailedPreconditionError("KEL2 store already closed: " +
+                                   file_.path());
   }
   if (!buffer_.empty()) {
     KONDO_RETURN_IF_ERROR(SealBlock());
   }
-  if (std::fflush(file_) != 0) {
-    return InternalError("KEL2 flush failed: " + path_);
+  const Status flushed = file_.Flush();
+  if (!flushed.ok()) {
+    return Status(flushed.code(),
+                  StrCat("KEL2 flush failed: ", flushed.message()));
   }
   return OkStatus();
 }
 
 Status Kel2Writer::Close() {
-  if (file_ == nullptr) {
+  if (!file_.open()) {
     return OkStatus();
   }
   Status seal = OkStatus();
   if (!buffer_.empty()) {
     seal = SealBlock();
   }
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
   if (!seal.ok()) {
+    // Do not publish a store missing its tail block; drop the tmp file.
+    file_.Discard();
     return seal;
   }
-  if (rc != 0) {
-    return InternalError("KEL2 close failed: " + path_);
+  const Status committed = file_.Commit();
+  if (!committed.ok()) {
+    return Status(committed.code(),
+                  StrCat("KEL2 close failed: ", file_.path(), ": ",
+                         committed.message()));
   }
   return OkStatus();
 }

@@ -2,12 +2,12 @@
 #define KONDO_PROVENANCE_KEL2_WRITER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "audit/event.h"
 #include "audit/event_log.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "provenance/kel2_format.h"
@@ -18,12 +18,22 @@ struct Kel2WriterOptions {
   /// Events buffered per block before it is sealed. Larger blocks compress
   /// better; smaller blocks give the query engine finer skip granularity.
   int64_t events_per_block = 512;
+
+  /// Filesystem to write through; nullptr selects Env::Default(). Tests
+  /// thread a FaultInjectingEnv through here (it rides inside the options
+  /// so every persister factory picks it up without signature churn).
+  Env* env = nullptr;
 };
 
 /// Streaming writer for the KEL2 block-compressed lineage store. Events are
 /// buffered and sealed into checksummed columnar blocks; a crash loses at
 /// most the unsealed buffer plus a torn trailing block, which the reader
 /// drops — the same at-most-one-tail guarantee as KEL1.
+///
+/// Durability: blocks accumulate in `path + ".tmp"`; Close() (also run by
+/// the destructor) seals the tail, fsyncs, and renames the store into
+/// place, so a reader observes either the previous artifact or the new
+/// complete one (see docs/ROBUSTNESS.md).
 class Kel2Writer {
  public:
   static StatusOr<Kel2Writer> Create(const std::string& path,
@@ -40,26 +50,27 @@ class Kel2Writer {
   /// Appends every event of `log` in arrival order.
   Status AppendAll(const EventLog& log);
 
-  /// Seals the buffered partial block (if any) and flushes the stream.
+  /// Seals the buffered partial block (if any) and flushes the stream (to
+  /// the uncommitted tmp file — only Close publishes the artifact).
   Status Flush();
 
-  /// Flushes and closes; further Appends fail. Idempotent.
+  /// Seals the tail, fsyncs, and atomically publishes the store; further
+  /// Appends fail. Idempotent.
   Status Close();
 
   int64_t events_written() const { return events_written_; }
   int64_t blocks_written() const { return blocks_written_; }
 
  private:
-  Kel2Writer(std::FILE* file, std::string path, Kel2WriterOptions options)
-      : file_(file), path_(std::move(path)), options_(options) {
+  Kel2Writer(AtomicFile file, Kel2WriterOptions options)
+      : file_(std::move(file)), options_(options) {
     buffer_.reserve(static_cast<size_t>(options_.events_per_block));
   }
 
   /// Encodes and writes the buffered events as one block.
   Status SealBlock();
 
-  std::FILE* file_ = nullptr;
-  std::string path_;
+  AtomicFile file_;
   Kel2WriterOptions options_;
   std::vector<Event> buffer_;
   int64_t events_written_ = 0;

@@ -20,10 +20,10 @@ AuditPersistFn MakeKel2Persister(std::string path,
   };
 }
 
-AuditPersistFn MakeKel1Persister(std::string path) {
-  return [path = std::move(path)](const EventLog& log) -> Status {
+AuditPersistFn MakeKel1Persister(std::string path, Env* env) {
+  return [path = std::move(path), env](const EventLog& log) -> Status {
     KONDO_ASSIGN_OR_RETURN(EventStoreWriter writer,
-                           EventStoreWriter::Create(path));
+                           EventStoreWriter::Create(path, env));
     KONDO_RETURN_IF_ERROR(writer.AppendAll(log));
     return writer.Close();
   };

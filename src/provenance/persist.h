@@ -20,8 +20,9 @@ AuditPersistFn MakeKel2Persister(std::string path,
                                  Kel2WriterOptions options = {});
 
 /// KEL1-compatible persister (the original 40-byte-per-record store), for
-/// callers that want the uncompressed format.
-AuditPersistFn MakeKel1Persister(std::string path);
+/// callers that want the uncompressed format. `env == nullptr` selects the
+/// real filesystem.
+AuditPersistFn MakeKel1Persister(std::string path, Env* env = nullptr);
 
 /// Wraps `persist` so concurrent invocations serialize on an internal
 /// mutex instead of interleaving writes to the store. Use when audited

@@ -36,6 +36,11 @@ Status CheckStatsAgree(const FuzzStats& base, const FuzzStats& other,
       other.stopped_by_eval_budget != base.stopped_by_eval_budget) {
     return mismatch("stopping criterion");
   }
+  if (other.retries != base.retries) return mismatch("retries");
+  if (other.quarantined != base.quarantined) return mismatch("quarantined");
+  if (other.quarantined_points != base.quarantined_points) {
+    return mismatch("quarantined points");
+  }
   return OkStatus();
 }
 

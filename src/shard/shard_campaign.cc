@@ -10,6 +10,8 @@
 #include "common/interval_set.h"
 #include "common/strings.h"
 #include "exec/result_collector.h"
+#include "provenance/crc32.h"
+#include "shard/shard_manifest.h"
 
 namespace kondo {
 namespace {
@@ -45,12 +47,10 @@ std::shared_ptr<EventLog> CanonicalLineageLog(
 
 }  // namespace
 
-ShardCampaignResult RunShardCampaign(const MultiFileProgram& program,
-                                     const ShardPlan& plan,
-                                     const Shard& shard,
-                                     const KondoConfig& config,
-                                     CampaignExecutor& executor,
-                                     const AuditPersistFn& persist) {
+StatusOr<ShardCampaignResult> RunShardCampaign(
+    const MultiFileProgram& program, const ShardPlan& plan,
+    const Shard& shard, const KondoConfig& config, CampaignExecutor& executor,
+    const AuditPersistFn& persist) {
   const std::vector<Shape>& file_shapes = plan.file_shapes;
   const std::vector<int64_t>& offsets = plan.offsets;
   const Shape combined_shape = plan.combined_shape();
@@ -99,20 +99,32 @@ ShardCampaignResult RunShardCampaign(const MultiFileProgram& program,
   FuzzSchedule schedule(program.param_space(), combined_shape, config.fuzz,
                         config.rng_seed);
   FuzzResult fuzz = schedule.Run(executor, test, &collector);
+  if (!fuzz.status.ok()) {
+    return Status(fuzz.status.code(),
+                  StrCat("shard ", shard.id, " campaign aborted: ",
+                         fuzz.status.message()));
+  }
 
   ShardCampaignResult result;
   result.per_file = collector.TakePerFile();
   result.seeds = std::move(fuzz.seeds);
-  result.stats = fuzz.stats;
+  result.stats = std::move(fuzz.stats);
   return result;
 }
 
+StatusOr<ShardArtifactInfo> HashFileArtifact(const std::string& path) {
+  std::string content;
+  KONDO_RETURN_IF_ERROR(ReadFileToString(path, &content));
+  ShardArtifactInfo info;
+  info.lineage_bytes = static_cast<int64_t>(content.size());
+  info.lineage_crc = Crc32(content.data(), content.size());
+  return info;
+}
+
 Status SaveShardState(const std::string& path, int shard,
-                      const ShardCampaignResult& result) {
-  std::ofstream out(path);
-  if (!out) {
-    return InternalError("cannot open shard state for write: " + path);
-  }
+                      const ShardCampaignResult& result,
+                      const ShardArtifactInfo& info, Env* env) {
+  std::ostringstream out;
   out << "KSS1 " << shard << " " << result.per_file.size() << "\n";
   const FuzzStats& stats = result.stats;
   char buf[64];
@@ -123,10 +135,19 @@ Status SaveShardState(const std::string& path, int shard,
   std::snprintf(buf, sizeof(buf), " %.17g", stats.elapsed_seconds);
   out << buf << " " << (stats.stopped_by_stagnation ? 1 : 0) << " "
       << (stats.stopped_by_budget ? 1 : 0) << " "
-      << (stats.stopped_by_eval_budget ? 1 : 0) << "\n";
+      << (stats.stopped_by_eval_budget ? 1 : 0) << " " << stats.retries
+      << " " << stats.quarantined << "\n";
   for (const Seed& seed : result.seeds) {
     out << "S " << (seed.useful ? 1 : 0);
     for (double v : seed.value) {
+      std::snprintf(buf, sizeof(buf), " %.17g", v);
+      out << buf;
+    }
+    out << "\n";
+  }
+  for (const ParamValue& point : stats.quarantined_points) {
+    out << "Q";
+    for (double v : point) {
       std::snprintf(buf, sizeof(buf), " %.17g", v);
       out << buf;
     }
@@ -137,19 +158,38 @@ Status SaveShardState(const std::string& path, int shard,
       out << "I " << f << " " << id << "\n";
     }
   }
-  if (!out.good()) {
-    return InternalError("shard state write failed: " + path);
+  if (info.lineage_bytes >= 0) {
+    out << "A " << info.lineage_bytes << " " << info.lineage_crc << "\n";
   }
-  return OkStatus();
+  std::string body = out.str();
+  AppendChecksumTrailer(&body);
+
+  StatusOr<AtomicFile> file = AtomicFile::Create(path, env);
+  if (!file.ok()) {
+    return Status(file.status().code(),
+                  StrCat("cannot open shard state for write: ", path, ": ",
+                         file.status().message()));
+  }
+  KONDO_RETURN_IF_ERROR(file->Append(body));
+  return file->Commit();
 }
 
 StatusOr<ShardCampaignResult> LoadShardState(
     const std::string& path, int shard,
-    const std::vector<Shape>& file_shapes) {
-  std::ifstream in(path);
-  if (!in) {
-    return NotFoundError("cannot open shard state: " + path);
+    const std::vector<Shape>& file_shapes, ShardArtifactInfo* info_out) {
+  std::string content;
+  const Status read = ReadFileToString(path, &content);
+  if (!read.ok()) {
+    return Status(read.code(), "cannot open shard state: " + path);
   }
+  {
+    const Status verified = StripChecksumTrailer(path, &content);
+    if (!verified.ok()) {
+      return Status(verified.code(),
+                    StrCat("shard state ", verified.message()));
+    }
+  }
+  std::istringstream in(content);
   std::string line;
   if (!std::getline(in, line)) {
     return DataLossError("empty shard state: " + path);
@@ -182,7 +222,8 @@ StatusOr<ShardCampaignResult> LoadShardState(
       int stagnation = 0, budget = 0, eval_budget = 0;
       fields >> stats.iterations >> stats.evaluations >>
           stats.useful_evaluations >> stats.restarts >> stats.final_epsilon >>
-          stats.elapsed_seconds >> stagnation >> budget >> eval_budget;
+          stats.elapsed_seconds >> stagnation >> budget >> eval_budget >>
+          stats.retries >> stats.quarantined;
       if (fields.fail()) {
         return DataLossError("bad stats line in shard state: " + line);
       }
@@ -199,6 +240,22 @@ StatusOr<ShardCampaignResult> LoadShardState(
         seed.value.push_back(v);
       }
       result.seeds.push_back(std::move(seed));
+    } else if (tag == 'Q') {
+      ParamValue point;
+      double v = 0.0;
+      while (fields >> v) {
+        point.push_back(v);
+      }
+      result.stats.quarantined_points.push_back(std::move(point));
+    } else if (tag == 'A') {
+      ShardArtifactInfo info;
+      fields >> info.lineage_bytes >> info.lineage_crc;
+      if (fields.fail() || info.lineage_bytes < 0) {
+        return DataLossError("bad artefact line in shard state: " + line);
+      }
+      if (info_out != nullptr) {
+        *info_out = info;
+      }
     } else if (tag == 'I') {
       size_t file = 0;
       int64_t id = -1;

@@ -1,11 +1,13 @@
 #ifndef KONDO_SHARD_SHARD_CAMPAIGN_H_
 #define KONDO_SHARD_SHARD_CAMPAIGN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "array/index_set.h"
 #include "audit/auditor.h"
+#include "common/env.h"
 #include "common/statusor.h"
 #include "core/kondo.h"
 #include "exec/campaign_executor.h"
@@ -45,12 +47,27 @@ struct ShardCampaignResult {
 /// unsharded result exactly, at the cost of re-running the (cheap) tests
 /// per shard — which is what lets shards proceed with no cross-shard
 /// communication until the merge.
-ShardCampaignResult RunShardCampaign(const MultiFileProgram& program,
-                                     const ShardPlan& plan,
-                                     const Shard& shard,
-                                     const KondoConfig& config,
-                                     CampaignExecutor& executor,
-                                     const AuditPersistFn& persist = {});
+///
+/// Returns non-OK only on infrastructure failure (the lineage persister
+/// could not write); persistent debloat-test failures are quarantined in
+/// the returned stats instead.
+StatusOr<ShardCampaignResult> RunShardCampaign(
+    const MultiFileProgram& program, const ShardPlan& plan,
+    const Shard& shard, const KondoConfig& config, CampaignExecutor& executor,
+    const AuditPersistFn& persist = {});
+
+/// Whole-file fingerprint of a sealed shard artefact (its KEL2 lineage
+/// store), recorded in the shard's KSS so a resume can detect a
+/// truncated or corrupted artefact — Kel2Reader alone silently drops a
+/// torn tail, which is exactly the corruption a crash leaves behind.
+struct ShardArtifactInfo {
+  int64_t lineage_bytes = -1;  // -1 = no lineage store recorded.
+  uint32_t lineage_crc = 0;
+};
+
+/// Reads `path` fully and returns its byte count + CRC32 (kNotFound when
+/// missing).
+StatusOr<ShardArtifactInfo> HashFileArtifact(const std::string& path);
 
 /// Saves / loads a shard's campaign outcome (`shard-NNN.kss`) so a later
 /// invocation can merge without re-fuzzing. Text format (docs/FORMATS.md):
@@ -58,14 +75,22 @@ ShardCampaignResult RunShardCampaign(const MultiFileProgram& program,
 ///   KSS1 <shard> <num_files>
 ///   T <iterations> <evaluations> <useful> <restarts> <epsilon> <elapsed>
 ///     <stopped_by_stagnation> <stopped_by_budget> <stopped_by_eval_budget>
+///     <retries> <quarantined>
 ///   S <useful> <v...>        seeds, full double precision, consumption order
+///   Q <v...>                 quarantined parameter points, in order
 ///   I <file> <linear>        discovered ids, per file, ascending
+///   A <bytes> <crc32>        sealed lineage-store fingerprint (optional)
+///   C <crc32>                checksum over every preceding byte
+///
+/// The state is committed atomically (tmp + fsync + rename) through `env`
+/// and the checksum trailer is verified on load.
 Status SaveShardState(const std::string& path, int shard,
-                      const ShardCampaignResult& result);
-StatusOr<ShardCampaignResult> LoadShardState(const std::string& path,
-                                             int shard,
-                                             const std::vector<Shape>&
-                                                 file_shapes);
+                      const ShardCampaignResult& result,
+                      const ShardArtifactInfo& info = {}, Env* env = nullptr);
+StatusOr<ShardCampaignResult> LoadShardState(
+    const std::string& path, int shard,
+    const std::vector<Shape>& file_shapes,
+    ShardArtifactInfo* info_out = nullptr);
 
 }  // namespace kondo
 

@@ -5,8 +5,60 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "provenance/crc32.h"
 
 namespace kondo {
+
+/// Appends the `C <crc32>` trailer over everything already in `body`.
+void AppendChecksumTrailer(std::string* body) {
+  const uint32_t crc = Crc32(body->data(), body->size());
+  body->append(StrCat("C ", crc, "\n"));
+}
+
+/// Splits `content` into body + verified trailer. The trailer must be the
+/// final line; its checksum must match every preceding byte.
+Status StripChecksumTrailer(const std::string& path, std::string* content) {
+  const size_t pos = content->rfind("\nC ");
+  const bool leading_trailer =
+      content->rfind("C ", 0) == 0 && pos == std::string::npos;
+  size_t body_end = 0;
+  size_t trailer_begin = 0;
+  if (pos != std::string::npos) {
+    body_end = pos + 1;  // Keep the body's trailing newline.
+    trailer_begin = pos + 1;
+  } else if (leading_trailer) {
+    body_end = 0;
+    trailer_begin = 0;
+  } else {
+    return DataLossError("missing checksum trailer: " + path);
+  }
+  std::istringstream fields(content->substr(trailer_begin));
+  char tag = 0;
+  uint32_t expected = 0;
+  fields >> tag >> expected;
+  if (tag != 'C' || fields.fail()) {
+    return DataLossError("bad checksum trailer: " + path);
+  }
+  const uint32_t actual = Crc32(content->data(), body_end);
+  if (actual != expected) {
+    return DataLossError(StrCat("checksum mismatch (stored ", expected,
+                                ", computed ", actual, "): ", path));
+  }
+  content->resize(body_end);
+  return OkStatus();
+}
+
+/// Reads `path` fully (binary) into `out`.
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return OkStatus();
+}
 
 bool ShardManifest::AllFuzzed() const {
   for (ShardStatus status : statuses) {
@@ -39,11 +91,8 @@ ShardManifest MakeShardManifest(const ShardPlan& plan, uint64_t rng_seed) {
 }
 
 Status SaveShardManifest(const std::string& path,
-                         const ShardManifest& manifest) {
-  std::ofstream out(path);
-  if (!out) {
-    return InternalError("cannot open shard manifest for write: " + path);
-  }
+                         const ShardManifest& manifest, Env* env) {
+  std::ostringstream out;
   out << "KSM1 " << manifest.num_shards() << " " << manifest.rng_seed << " "
       << manifest.file_shapes.size() << " " << (manifest.merged ? 1 : 0)
       << "\n";
@@ -65,17 +114,33 @@ Status SaveShardManifest(const std::string& path,
           << " " << slice.end << "\n";
     }
   }
-  if (!out.good()) {
-    return InternalError("shard manifest write failed: " + path);
+  std::string body = out.str();
+  AppendChecksumTrailer(&body);
+
+  StatusOr<AtomicFile> file = AtomicFile::Create(path, env);
+  if (!file.ok()) {
+    return Status(file.status().code(),
+                  StrCat("cannot open shard manifest for write: ", path,
+                         ": ", file.status().message()));
   }
-  return OkStatus();
+  KONDO_RETURN_IF_ERROR(file->Append(body));
+  return file->Commit();
 }
 
 StatusOr<ShardManifest> LoadShardManifest(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return NotFoundError("cannot open shard manifest: " + path);
+  std::string content;
+  const Status read = ReadFileToString(path, &content);
+  if (!read.ok()) {
+    return Status(read.code(), "cannot open shard manifest: " + path);
   }
+  {
+    const Status verified = StripChecksumTrailer(path, &content);
+    if (!verified.ok()) {
+      return Status(verified.code(),
+                    StrCat("shard manifest ", verified.message()));
+    }
+  }
+  std::istringstream in(content);
   std::string line;
   if (!std::getline(in, line)) {
     return DataLossError("empty shard manifest: " + path);

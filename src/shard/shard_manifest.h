@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/statusor.h"
 #include "shard/shard_plan.h"
 
@@ -25,6 +26,11 @@ enum class ShardStatus {
 ///   F <rank> <dim...>                 one line per file, in ordinal order
 ///   H <shard> <status>                one line per shard (0=pending 1=fuzzed)
 ///   L <shard> <file> <begin> <end>    one line per slice, in shard order
+///   C <crc32>                         checksum over every preceding byte
+///
+/// The manifest is committed atomically (tmp + fsync + rename) and the
+/// trailer is re-verified on load, so a torn or corrupted manifest is
+/// detected instead of silently steering a resume.
 struct ShardManifest {
   uint64_t rng_seed = 0;
   std::vector<Shape> file_shapes;
@@ -49,8 +55,13 @@ std::string ShardStateFileName(int shard);
 /// Builds a fresh (all-pending) manifest from a plan and campaign seed.
 ShardManifest MakeShardManifest(const ShardPlan& plan, uint64_t rng_seed);
 
+/// Commits the manifest atomically through `env` (nullptr = real
+/// filesystem): a crash mid-save leaves the previous manifest intact.
 Status SaveShardManifest(const std::string& path,
-                         const ShardManifest& manifest);
+                         const ShardManifest& manifest, Env* env = nullptr);
+
+/// Loads and CRC-verifies a manifest; a missing or mismatching checksum
+/// trailer is kDataLoss.
 StatusOr<ShardManifest> LoadShardManifest(const std::string& path);
 
 /// Verifies a loaded manifest describes exactly `plan` under `rng_seed` —
@@ -58,6 +69,15 @@ StatusOr<ShardManifest> LoadShardManifest(const std::string& path);
 /// of a different campaign into this one.
 Status CheckManifestMatchesPlan(const ShardManifest& manifest,
                                 const ShardPlan& plan, uint64_t rng_seed);
+
+/// Checksum-trailer plumbing shared by the KSM and KSS text formats.
+/// AppendChecksumTrailer appends a `C <crc32>` line covering every byte
+/// already in `body`; StripChecksumTrailer verifies and removes it
+/// (kDataLoss when missing or mismatching, `path` names the artefact in
+/// the message). ReadFileToString reads `path` fully in binary mode.
+void AppendChecksumTrailer(std::string* body);
+Status StripChecksumTrailer(const std::string& path, std::string* content);
+Status ReadFileToString(const std::string& path, std::string* out);
 
 }  // namespace kondo
 

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/strings.h"
 #include "exec/thread_pool.h"
 #include "provenance/persist.h"
@@ -65,6 +66,58 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
     }
   }
 
+  std::vector<ShardCampaignResult> results(
+      static_cast<size_t>(plan.num_shards()));
+  std::vector<char> have(static_cast<size_t>(plan.num_shards()), 0);
+
+  // Resume verification: a manifest may claim a shard is fuzzed while the
+  // artefacts on disk are damaged (a crash after the state commit cannot
+  // tear them — commits are atomic — but operators truncate disks and flip
+  // bits). Re-verify every fuzzed shard's KSS checksum and its KEL2
+  // fingerprint before trusting it; damaged shards are demoted to pending
+  // and re-run instead of poisoning the merge.
+  if (persistent) {
+    bool demoted = false;
+    for (int s = 0; s < manifest.num_shards(); ++s) {
+      if (manifest.statuses[static_cast<size_t>(s)] != ShardStatus::kFuzzed) {
+        continue;
+      }
+      ShardArtifactInfo expected;
+      StatusOr<ShardCampaignResult> loaded = LoadShardState(
+          JoinPath(options.output_dir, ShardStateFileName(s)), s,
+          plan.file_shapes, &expected);
+      Status verdict = loaded.status();
+      if (verdict.ok() && expected.lineage_bytes >= 0) {
+        StatusOr<ShardArtifactInfo> actual = HashFileArtifact(
+            JoinPath(options.output_dir, ShardLineageFileName(s)));
+        if (!actual.ok()) {
+          verdict = actual.status();
+        } else if (actual->lineage_bytes != expected.lineage_bytes ||
+                   actual->lineage_crc != expected.lineage_crc) {
+          verdict = DataLossError(
+              StrCat("shard ", s,
+                     " lineage store does not match the fingerprint "
+                     "recorded in its state file"));
+        }
+      }
+      if (!verdict.ok()) {
+        KONDO_LOG(Warning) << "shard " << s
+                           << " failed resume verification, re-running: "
+                           << verdict;
+        manifest.statuses[static_cast<size_t>(s)] = ShardStatus::kPending;
+        manifest.merged = false;
+        demoted = true;
+        continue;
+      }
+      results[static_cast<size_t>(s)] = std::move(*loaded);
+      have[static_cast<size_t>(s)] = 1;
+    }
+    if (demoted) {
+      KONDO_RETURN_IF_ERROR(
+          SaveShardManifest(manifest_path, manifest, options.env));
+    }
+  }
+
   std::vector<int> pending;
   for (int s = 0; s < manifest.num_shards(); ++s) {
     if (manifest.statuses[static_cast<size_t>(s)] == ShardStatus::kPending) {
@@ -80,36 +133,49 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
   }
 
   const int jobs = ClampJobs(config.jobs);
-  std::vector<ShardCampaignResult> results(
-      static_cast<size_t>(plan.num_shards()));
-  std::vector<char> have(static_cast<size_t>(plan.num_shards()), 0);
   std::vector<Status> run_statuses(to_run.size(), OkStatus());
 
   const auto run_one = [&](size_t slot, CampaignExecutor& executor) {
     const int s = to_run[slot];
     const Shard& shard = plan.shards[static_cast<size_t>(s)];
     if (persistent) {
-      StatusOr<CampaignLineageSink> sink = CampaignLineageSink::Create(
-          JoinPath(options.output_dir, ShardLineageFileName(s)));
+      const std::string lineage_path =
+          JoinPath(options.output_dir, ShardLineageFileName(s));
+      Kel2WriterOptions sink_options;
+      sink_options.env = options.env;
+      StatusOr<CampaignLineageSink> sink =
+          CampaignLineageSink::Create(lineage_path, sink_options);
       if (!sink.ok()) {
         run_statuses[slot] = sink.status();
         return;
       }
-      results[static_cast<size_t>(s)] = RunShardCampaign(
+      StatusOr<ShardCampaignResult> run = RunShardCampaign(
           program, plan, shard, config, executor, sink->persister());
-      Status status = sink->Close();
+      Status status = run.ok() ? sink->Close() : run.status();
       if (status.ok()) {
-        status = SaveShardState(
-            JoinPath(options.output_dir, ShardStateFileName(s)), s,
-            results[static_cast<size_t>(s)]);
+        // Fingerprint the sealed store and commit the shard's state last:
+        // the KSS (with its embedded fingerprint) only exists once every
+        // artefact it vouches for is durable.
+        StatusOr<ShardArtifactInfo> info = HashFileArtifact(lineage_path);
+        status = info.ok()
+                     ? SaveShardState(JoinPath(options.output_dir,
+                                               ShardStateFileName(s)),
+                                      s, *run, *info, options.env)
+                     : info.status();
       }
       if (!status.ok()) {
         run_statuses[slot] = status;
         return;
       }
+      results[static_cast<size_t>(s)] = std::move(*run);
     } else {
-      results[static_cast<size_t>(s)] =
+      StatusOr<ShardCampaignResult> run =
           RunShardCampaign(program, plan, shard, config, executor);
+      if (!run.ok()) {
+        run_statuses[slot] = run.status();
+        return;
+      }
+      results[static_cast<size_t>(s)] = std::move(*run);
     }
     have[static_cast<size_t>(s)] = 1;
   };
@@ -152,7 +218,8 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
     manifest.statuses[static_cast<size_t>(s)] = ShardStatus::kFuzzed;
   }
   if (persistent && !to_run.empty()) {
-    KONDO_RETURN_IF_ERROR(SaveShardManifest(manifest_path, manifest));
+    KONDO_RETURN_IF_ERROR(
+        SaveShardManifest(manifest_path, manifest, options.env));
   }
 
   ShardedRunResult out;
@@ -185,10 +252,13 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
     }
     out.merged_lineage_path =
         JoinPath(options.output_dir, kMergedLineageFileName);
-    KONDO_RETURN_IF_ERROR(
-        MergeShardLineageStores(shard_paths, out.merged_lineage_path));
+    Kel2WriterOptions merge_options;
+    merge_options.env = options.env;
+    KONDO_RETURN_IF_ERROR(MergeShardLineageStores(
+        shard_paths, out.merged_lineage_path, merge_options));
     manifest.merged = true;
-    KONDO_RETURN_IF_ERROR(SaveShardManifest(manifest_path, manifest));
+    KONDO_RETURN_IF_ERROR(
+        SaveShardManifest(manifest_path, manifest, options.env));
   }
   out.complete = true;
   return out;

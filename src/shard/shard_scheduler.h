@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/statusor.h"
 #include "core/kondo.h"
 #include "shard/merge_stage.h"
@@ -27,6 +28,14 @@ struct ShardOptions {
   /// With a campaign directory, a later invocation picks up the pending
   /// shards from the manifest and merges once every shard is fuzzed.
   int max_shards_this_run = 0;
+
+  /// Filesystem used for every artefact the scheduler commits (manifest,
+  /// per-shard KEL2 + KSS, merged store). nullptr = the real filesystem;
+  /// tests inject a FaultInjectingEnv here to simulate crashes and ENOSPC
+  /// at any write. All artefacts commit via tmp + fsync + rename, so a
+  /// crash at any point leaves either the previous file or nothing — never
+  /// a torn artefact — and a later invocation resumes from the manifest.
+  Env* env = nullptr;
 };
 
 /// Outcome of one scheduler invocation.

@@ -316,7 +316,13 @@ class TracedFileTest : public ::testing::Test {
     array.FillWith([](const Index& index) {
       return static_cast<double>(index[0] * 8 + index[1]);
     });
-    path_ = TempPath("traced.kdf");
+    // Unique per test case: ctest runs the cases as separate processes, so
+    // a shared fixture file would race under a parallel test driver.
+    path_ = TempPath(std::string("traced-") +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name() +
+                     ".kdf");
     ASSERT_TRUE(WriteKdfFile(path_, array).ok());
   }
 

@@ -11,6 +11,7 @@
 //                 [--seed N] [--max-iter N] [--max-evals N]
 //                 [--jobs N] [--shards N] [--shard-dir DIR]
 //   kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]
+//       [--fetch-retries <n>] [--fetch-backoff-ms <ms>]
 //   kondo evaluate <program> [--seed N] [--map] [--jobs N] [--shards N]
 //                 [--max-evals N]
 //   kondo fuzz <program> --out <state.kcs> [--seed N] [--max-iter N]
@@ -77,7 +78,8 @@ constexpr CommandHelp kCommandHelp[] = {
      "                [--seed N] [--max-iter N] [--max-evals N] [--jobs N]\n"
      "                [--shards N] [--shard-dir DIR]\n"},
     {"replay",
-     "  kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]\n"},
+     "  kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]\n"
+     "      [--fetch-retries <n>] [--fetch-backoff-ms <ms>]\n"},
     {"evaluate",
      "  kondo evaluate <program> [--seed N] [--map] [--jobs N]\n"
      "                 [--shards N] [--max-evals N]\n"},
@@ -538,6 +540,14 @@ int CmdDebloat(std::vector<std::string> args) {
 
 int CmdReplay(std::vector<std::string> args) {
   const std::string remote_path = TakeFlagValue(&args, "--remote");
+  int64_t fetch_retries = 0;
+  int64_t fetch_backoff_ms = 0;
+  if (TakePositiveInt(&args, "--fetch-retries", &fetch_retries) ==
+          FlagParse::kBad ||
+      TakePositiveInt(&args, "--fetch-backoff-ms", &fetch_backoff_ms) ==
+          FlagParse::kBad) {
+    return UsageFor("replay");
+  }
   if (args.size() < 3) {
     return UsageFor("replay");
   }
@@ -568,14 +578,19 @@ int CmdReplay(std::vector<std::string> args) {
       std::fprintf(stderr, "%s\n", remote.status().ToString().c_str());
       return 1;
     }
-    FetchingRuntime runtime(*std::move(array), *std::move(remote));
+    FetchPolicy policy;
+    policy.max_attempts = 1 + static_cast<int>(fetch_retries);
+    policy.backoff_micros = fetch_backoff_ms * 1000;
+    FetchingRuntime runtime(*std::move(array), *std::move(remote), policy);
     const Status status = runtime.ReplayRun(*program, v);
     std::printf("replay: %s (%lld local hits, %lld remote fetches, %lld "
-                "bytes pulled)\n",
+                "bytes pulled, %lld retries, %lld fetch failures)\n",
                 status.ToString().c_str(),
                 static_cast<long long>(runtime.stats().local_hits),
                 static_cast<long long>(runtime.stats().remote_fetches),
-                static_cast<long long>(runtime.stats().bytes_fetched));
+                static_cast<long long>(runtime.stats().bytes_fetched),
+                static_cast<long long>(runtime.stats().fetch_retries),
+                static_cast<long long>(runtime.stats().fetch_failures));
     return status.ok() ? 0 : 1;
   }
 
