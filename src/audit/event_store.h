@@ -53,6 +53,10 @@ class EventStoreWriter {
 
   int64_t events_written() const { return events_written_; }
 
+  /// Bytes appended to the store so far (header included). Valid after
+  /// Close() too, so callers can report artifact sizes without stat().
+  int64_t bytes_written() const { return file_.bytes_appended(); }
+
  private:
   explicit EventStoreWriter(AtomicFile file) : file_(std::move(file)) {}
 

@@ -202,7 +202,8 @@ AtomicFile::AtomicFile(AtomicFile&& other) noexcept
       path_(std::move(other.path_)),
       write_path_(std::move(other.write_path_)),
       direct_(other.direct_),
-      failed_(other.failed_) {
+      failed_(other.failed_),
+      bytes_appended_(other.bytes_appended_) {
   other.file_ = nullptr;
 }
 
@@ -215,6 +216,7 @@ AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
     write_path_ = std::move(other.write_path_);
     direct_ = other.direct_;
     failed_ = other.failed_;
+    bytes_appended_ = other.bytes_appended_;
     other.file_ = nullptr;
   }
   return *this;
@@ -233,6 +235,8 @@ Status AtomicFile::Append(const void* data, size_t size) {
   const Status status = file_->Append(data, size);
   if (!status.ok()) {
     failed_ = true;
+  } else {
+    bytes_appended_ += static_cast<int64_t>(size);
   }
   return status;
 }

@@ -124,6 +124,11 @@ class AtomicFile {
   /// True until Commit() or Discard().
   bool open() const { return file_ != nullptr; }
 
+  /// Bytes successfully appended so far (header and payload alike). Still
+  /// readable after Commit()/Discard(), so writers can report artifact
+  /// sizes without stat()-ing the published file.
+  int64_t bytes_appended() const { return bytes_appended_; }
+
   /// The final artifact path.
   const std::string& path() const { return path_; }
 
@@ -142,6 +147,7 @@ class AtomicFile {
   std::string write_path_;
   bool direct_ = false;
   bool failed_ = false;
+  int64_t bytes_appended_ = 0;
 };
 
 /// Deterministic fault schedule for a FaultInjectingEnv. Operation indices

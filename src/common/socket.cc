@@ -1,0 +1,239 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace kondo {
+namespace {
+
+Status ErrnoError(StatusCode code, const std::string& what) {
+  return Status(code, StrCat(what, ": ", std::strerror(errno)));
+}
+
+}  // namespace
+
+std::string SocketAddress::ToString() const {
+  if (is_unix()) {
+    return StrCat("unix:", unix_path);
+  }
+  return StrCat("tcp:127.0.0.1:", port);
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+
+Connection::~Connection() { ::close(fd_); }
+
+Status Connection::WriteFully(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd_, p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError(StatusCode::kDataLoss, "socket write");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status Connection::ReadFully(void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, p + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError(StatusCode::kDataLoss, "socket read");
+    }
+    if (n == 0) {
+      if (done == 0) {
+        return OutOfRangeError("connection closed");
+      }
+      return DataLossError(StrCat("connection closed mid-read: got ", done,
+                                  " of ", size, " bytes"));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+void Connection::ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
+
+void Connection::ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+// ---------------------------------------------------------------------------
+// ListenSocket
+
+ListenSocket::~ListenSocket() {
+  ::close(fd_);
+  if (address_.is_unix()) {
+    // Remove the socket file so the next server can bind cleanly even
+    // without the Listen-side unlink (e.g. under a different umask).
+    std::remove(address_.unix_path.c_str());
+  }
+}
+
+StatusOr<std::unique_ptr<Connection>> ListenSocket::Accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      return std::make_unique<Connection>(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    // After Shutdown() accept fails (EINVAL on Linux); report it as an
+    // orderly close rather than an IO error so accept loops can exit.
+    return FailedPreconditionError("listener closed");
+  }
+}
+
+void ListenSocket::Shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+// ---------------------------------------------------------------------------
+// NetEnv
+
+namespace {
+
+StatusOr<std::unique_ptr<ListenSocket>> ListenUnix(
+    const SocketAddress& address) {
+  sockaddr_un sun;
+  std::memset(&sun, 0, sizeof(sun));
+  sun.sun_family = AF_UNIX;
+  if (address.unix_path.size() >= sizeof(sun.sun_path)) {
+    return InvalidArgumentError(
+        StrCat("unix socket path too long: ", address.unix_path));
+  }
+  std::memcpy(sun.sun_path, address.unix_path.c_str(),
+              address.unix_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError(StatusCode::kInternal, "socket");
+  }
+  std::remove(address.unix_path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) != 0) {
+    const Status status =
+        ErrnoError(StatusCode::kFailedPrecondition,
+                   StrCat("bind ", address.unix_path));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status = ErrnoError(StatusCode::kInternal, "listen");
+    ::close(fd);
+    return status;
+  }
+  return std::make_unique<ListenSocket>(fd, address);
+}
+
+StatusOr<std::unique_ptr<ListenSocket>> ListenTcp(
+    const SocketAddress& address) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError(StatusCode::kInternal, "socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin;
+  std::memset(&sin, 0, sizeof(sin));
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sin.sin_port = htons(static_cast<uint16_t>(address.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    const Status status = ErrnoError(StatusCode::kFailedPrecondition,
+                                     StrCat("bind port ", address.port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status = ErrnoError(StatusCode::kInternal, "listen");
+    ::close(fd);
+    return status;
+  }
+  // Read back the kernel-assigned port for port 0 binds.
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  SocketAddress resolved = address;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    resolved.port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  return std::make_unique<ListenSocket>(fd, resolved);
+}
+
+class RealNetEnv : public NetEnv {
+ public:
+  StatusOr<std::unique_ptr<ListenSocket>> Listen(
+      const SocketAddress& address) override {
+    return address.is_unix() ? ListenUnix(address) : ListenTcp(address);
+  }
+
+  StatusOr<std::unique_ptr<Connection>> Connect(
+      const SocketAddress& address) override {
+    if (address.is_unix()) {
+      sockaddr_un sun;
+      std::memset(&sun, 0, sizeof(sun));
+      sun.sun_family = AF_UNIX;
+      if (address.unix_path.size() >= sizeof(sun.sun_path)) {
+        return InvalidArgumentError(
+            StrCat("unix socket path too long: ", address.unix_path));
+      }
+      std::memcpy(sun.sun_path, address.unix_path.c_str(),
+                  address.unix_path.size() + 1);
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) {
+        return ErrnoError(StatusCode::kInternal, "socket");
+      }
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) !=
+          0) {
+        const Status status =
+            ErrnoError(StatusCode::kNotFound,
+                       StrCat("connect ", address.unix_path));
+        ::close(fd);
+        return status;
+      }
+      return std::make_unique<Connection>(fd);
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return ErrnoError(StatusCode::kInternal, "socket");
+    }
+    sockaddr_in sin;
+    std::memset(&sin, 0, sizeof(sin));
+    sin.sin_family = AF_INET;
+    sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    sin.sin_port = htons(static_cast<uint16_t>(address.port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+      const Status status = ErrnoError(
+          StatusCode::kNotFound, StrCat("connect 127.0.0.1:", address.port));
+      ::close(fd);
+      return status;
+    }
+    return std::make_unique<Connection>(fd);
+  }
+};
+
+}  // namespace
+
+NetEnv* NetEnv::Default() {
+  static RealNetEnv* real = new RealNetEnv;
+  return real;
+}
+
+}  // namespace kondo

@@ -32,6 +32,42 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.NotifyOne();
 }
 
+JobHandle ThreadPool::SubmitJob(std::function<void()> task) {
+  auto state = std::make_shared<JobHandle::State>();
+  Submit([state, task = std::move(task)] {
+    task();
+    {
+      MutexLock lock(state->mu);
+      state->done = true;
+    }
+    state->cv.NotifyAll();
+  });
+  return JobHandle(std::move(state));
+}
+
+int64_t ThreadPool::QueuedTasks() const {
+  MutexLock lock(mu_);
+  return static_cast<int64_t>(tasks_.size());
+}
+
+bool JobHandle::done() const {
+  if (state_ == nullptr) {
+    return true;
+  }
+  MutexLock lock(state_->mu);
+  return state_->done;
+}
+
+void JobHandle::Wait() const {
+  if (state_ == nullptr) {
+    return;
+  }
+  MutexLock lock(state_->mu);
+  while (!state_->done) {
+    state_->cv.Wait(state_->mu);
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

@@ -3,12 +3,48 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/thread_annotations.h"
 
 namespace kondo {
+
+/// Completion handle for a task submitted with ThreadPool::SubmitJob. A
+/// handle is a shared reference to the task's completion flag: copies
+/// observe the same job, and the handle stays valid after the pool has run
+/// (or is draining) the task. Used by the serve layer to track async
+/// campaign submissions — admission control counts a client's outstanding
+/// handles, and server shutdown Wait()s every handle so no job leaks past
+/// Stop().
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  /// True once the task has finished running (or when the handle is empty).
+  bool done() const;
+
+  /// Blocks until the task has finished running.
+  void Wait() const;
+
+  /// False for a default-constructed handle.
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class ThreadPool;
+
+  struct State {
+    Mutex mu;
+    CondVar cv;
+    bool done KONDO_GUARDED_BY(mu) = false;
+  };
+
+  explicit JobHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
 
 /// A fixed-size pool of worker threads draining a FIFO task queue. Workers
 /// are spawned once at construction and joined at destruction; campaigns
@@ -36,11 +72,20 @@ class ThreadPool {
   /// side (CampaignExecutor does).
   void Submit(std::function<void()> task) KONDO_EXCLUDES(mu_);
 
+  /// Enqueues `task` and returns a handle that reports (and can wait for)
+  /// its completion. The handle outlives the pool's interest in the task.
+  JobHandle SubmitJob(std::function<void()> task) KONDO_EXCLUDES(mu_);
+
+  /// Tasks enqueued but not yet picked up by a worker. A point-in-time
+  /// reading for admission control and stats; it can be stale by the time
+  /// the caller acts on it.
+  int64_t QueuedTasks() const KONDO_EXCLUDES(mu_);
+
  private:
   void WorkerLoop() KONDO_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar task_ready_;
   std::deque<std::function<void()>> tasks_ KONDO_GUARDED_BY(mu_);
   bool stopping_ KONDO_GUARDED_BY(mu_) = false;

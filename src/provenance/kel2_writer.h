@@ -61,6 +61,12 @@ class Kel2Writer {
   int64_t events_written() const { return events_written_; }
   int64_t blocks_written() const { return blocks_written_; }
 
+  /// Bytes appended to the store so far (file header, descriptors, and
+  /// payloads). Valid after Close() too — the serve stats verb and
+  /// bench_serve report artifact sizes from here instead of stat()-ing
+  /// files mid-serve.
+  int64_t bytes_written() const { return file_.bytes_appended(); }
+
  private:
   Kel2Writer(AtomicFile file, Kel2WriterOptions options)
       : file_(std::move(file)), options_(options) {

@@ -1,0 +1,133 @@
+#include "serve/artifact_pool.h"
+
+#include <utility>
+#include <vector>
+
+#include "array/debloated_array.h"
+#include "shard/shard_campaign.h"
+
+namespace kondo {
+namespace {
+
+/// True if `name` contains a ".." path component.
+bool HasDotDotComponent(const std::string& name) {
+  size_t start = 0;
+  while (start <= name.size()) {
+    size_t slash = name.find('/', start);
+    if (slash == std::string::npos) slash = name.size();
+    if (slash - start == 2 && name[start] == '.' && name[start + 1] == '.') {
+      return true;
+    }
+    start = slash + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+ArtifactPool::ArtifactPool(std::string root, int64_t cache_bytes)
+    : root_(std::move(root)), cache_(cache_bytes) {}
+
+StatusOr<std::string> ArtifactPool::ResolvePath(
+    const std::string& name) const {
+  if (name.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty artifact name");
+  }
+  if (name.front() == '/') {
+    return Status(StatusCode::kInvalidArgument,
+                  "artifact name must be pool-relative: " + name);
+  }
+  if (HasDotDotComponent(name)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "artifact name must not contain '..': " + name);
+  }
+  return root_ + "/" + name;
+}
+
+StatusOr<std::shared_ptr<const std::string>> ArtifactPool::FetchSubsetPayload(
+    const FetchSubsetRequest& request) {
+  if (request.begin < 0 || request.end < request.begin) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad element range: want 0 <= begin <= end");
+  }
+  KONDO_ASSIGN_OR_RETURN(const std::string path, ResolvePath(request.artifact));
+  KONDO_ASSIGN_OR_RETURN(const ShardArtifactInfo info, HashFileArtifact(path));
+
+  const SubsetKey key{request.artifact, info.lineage_bytes, info.lineage_crc,
+                      request.begin, request.end};
+  if (std::shared_ptr<const std::string> cached = cache_.Get(key)) {
+    return cached;
+  }
+
+  // Miss: anything cached under an older fingerprint of this artifact is
+  // dead weight now — sweep it rather than waiting for LRU pressure.
+  cache_.EvictStale(request.artifact, info.lineage_bytes, info.lineage_crc);
+
+  KONDO_ASSIGN_OR_RETURN(const DebloatedArray array,
+                         DebloatedArray::ReadFile(path));
+  const int64_t total = array.shape().NumElements();
+  if (request.end > total) {
+    return Status(StatusCode::kOutOfRange,
+                  "range end " + std::to_string(request.end) +
+                      " exceeds element count " + std::to_string(total));
+  }
+
+  FetchSubsetResponse response;
+  response.fingerprint_bytes = info.lineage_bytes;
+  response.fingerprint_crc = info.lineage_crc;
+  response.begin = request.begin;
+  response.end = request.end;
+  response.present.reserve(static_cast<size_t>(request.end - request.begin));
+  for (int64_t linear = request.begin; linear < request.end; ++linear) {
+    StatusOr<double> value = array.At(array.shape().Delinearize(linear));
+    if (value.ok()) {
+      response.present.push_back(1);
+      response.values.push_back(*value);
+    } else if (value.status().code() == StatusCode::kDataMissing) {
+      response.present.push_back(0);
+    } else {
+      return value.status();
+    }
+  }
+  return cache_.Put(key, response.Encode());
+}
+
+StatusOr<std::shared_ptr<ProvenanceStore>> ArtifactPool::OpenStore(
+    const std::string& name) {
+  KONDO_ASSIGN_OR_RETURN(const std::string path, ResolvePath(name));
+  KONDO_ASSIGN_OR_RETURN(const ShardArtifactInfo info, HashFileArtifact(path));
+
+  MutexLock lock(stores_mu_);
+  auto it = stores_.find(name);
+  if (it != stores_.end()) {
+    if (it->second.fingerprint_bytes == info.lineage_bytes &&
+        it->second.fingerprint_crc == info.lineage_crc) {
+      return it->second.handle;
+    }
+    // The pool file changed underneath the open handle: its decode memo
+    // and cached descriptors describe bytes that no longer exist.
+    stores_.erase(it);
+    ++stores_reopened_;
+  }
+  KONDO_ASSIGN_OR_RETURN(std::unique_ptr<ProvenanceStore> opened,
+                         ProvenanceStore::Open(path));
+  OpenStoreEntry entry;
+  entry.fingerprint_bytes = info.lineage_bytes;
+  entry.fingerprint_crc = info.lineage_crc;
+  entry.handle = std::shared_ptr<ProvenanceStore>(std::move(opened));
+  auto handle = entry.handle;
+  stores_[name] = std::move(entry);
+  return handle;
+}
+
+int64_t ArtifactPool::stores_open() const {
+  MutexLock lock(stores_mu_);
+  return static_cast<int64_t>(stores_.size());
+}
+
+int64_t ArtifactPool::stores_reopened() const {
+  MutexLock lock(stores_mu_);
+  return stores_reopened_;
+}
+
+}  // namespace kondo

@@ -1,0 +1,68 @@
+#ifndef KONDO_SERVE_ARTIFACT_POOL_H_
+#define KONDO_SERVE_ARTIFACT_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "common/thread_annotations.h"
+#include "provenance/provenance_store.h"
+#include "serve/kpc.h"
+#include "serve/subset_cache.h"
+
+namespace kondo {
+
+/// The artefacts a kondo daemon serves from: a flat pool directory of
+/// `.kdd` debloated arrays (fetch-subset) and `.kel2` lineage stores
+/// (query-provenance), fronted by the fingerprint-keyed subset cache and a
+/// pool of open ProvenanceStore handles.
+///
+/// Every fetch re-fingerprints the artifact file (the same byte-count +
+/// CRC32 a shard KSS `A` line records), so a pool file rewritten between
+/// requests misses the cache naturally and its older entries are swept as
+/// stale. The open-store pool does the analogous check for KEL2 stores,
+/// reopening a store whose file changed underneath it.
+class ArtifactPool {
+ public:
+  ArtifactPool(std::string root, int64_t cache_bytes);
+
+  /// Resolves a client-supplied pool-relative name. kInvalidArgument for
+  /// empty names, absolute paths, or any ".." component — clients name
+  /// pool members, they do not address the filesystem.
+  StatusOr<std::string> ResolvePath(const std::string& name) const;
+
+  /// Builds (or serves from cache) the encoded FetchSubsetResponse payload
+  /// for the request. The returned bytes are shared with the cache: a hit
+  /// returns the identical string a miss inserted.
+  StatusOr<std::shared_ptr<const std::string>> FetchSubsetPayload(
+      const FetchSubsetRequest& request) KONDO_EXCLUDES(stores_mu_);
+
+  /// Returns the open ProvenanceStore for a pooled `.kel2` name, opening
+  /// or (on fingerprint change) reopening it.
+  StatusOr<std::shared_ptr<ProvenanceStore>> OpenStore(
+      const std::string& name) KONDO_EXCLUDES(stores_mu_);
+
+  SubsetCacheStats cache_stats() const { return cache_.stats(); }
+  int64_t stores_open() const KONDO_EXCLUDES(stores_mu_);
+  int64_t stores_reopened() const KONDO_EXCLUDES(stores_mu_);
+  const std::string& root() const { return root_; }
+
+ private:
+  struct OpenStoreEntry {
+    int64_t fingerprint_bytes = 0;
+    uint32_t fingerprint_crc = 0;
+    std::shared_ptr<ProvenanceStore> handle;
+  };
+
+  const std::string root_;
+  SubsetCache cache_;
+  mutable Mutex stores_mu_;
+  std::map<std::string, OpenStoreEntry> stores_ KONDO_GUARDED_BY(stores_mu_);
+  int64_t stores_reopened_ KONDO_GUARDED_BY(stores_mu_) = 0;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_SERVE_ARTIFACT_POOL_H_

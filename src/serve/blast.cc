@@ -1,0 +1,111 @@
+#include "serve/blast.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "serve/client.h"
+#include "serve/kpc.h"
+
+namespace kondo {
+namespace {
+
+struct ClientTally {
+  int64_t ok = 0;
+  int64_t failed = 0;
+  int64_t bytes = 0;
+  std::vector<int64_t> latencies_micros;
+  std::string first_response;  // Raw frame of the first success.
+  bool responses_identical = true;
+};
+
+void ClientLoop(const BlastOptions& options, ClientTally* tally) {
+  StatusOr<std::unique_ptr<KpcClient>> client =
+      KpcClient::Connect(options.address);
+  if (!client.ok()) {
+    tally->failed = options.requests;
+    return;
+  }
+  FetchSubsetRequest request;
+  request.artifact = options.artifact;
+  request.begin = options.begin;
+  request.end = options.end;
+  tally->latencies_micros.reserve(static_cast<size_t>(options.requests));
+  for (int i = 0; i < options.requests; ++i) {
+    Stopwatch stopwatch;
+    StatusOr<std::string> raw = (*client)->FetchSubsetRaw(request);
+    if (!raw.ok()) {
+      ++tally->failed;
+      continue;
+    }
+    tally->latencies_micros.push_back(stopwatch.ElapsedMicros());
+    ++tally->ok;
+    tally->bytes += static_cast<int64_t>(raw->size());
+    if (tally->first_response.empty()) {
+      tally->first_response = std::move(*raw);
+    } else if (*raw != tally->first_response) {
+      tally->responses_identical = false;
+    }
+  }
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+}  // namespace
+
+StatusOr<BlastReport> RunBlast(const BlastOptions& options) {
+  if (options.clients < 1 || options.requests < 1) {
+    return InvalidArgumentError("blast needs clients >= 1 and requests >= 1");
+  }
+  std::vector<ClientTally> tallies(static_cast<size_t>(options.clients));
+  std::vector<std::thread> threads;
+  threads.reserve(tallies.size());
+  Stopwatch stopwatch;
+  for (ClientTally& tally : tallies) {
+    threads.emplace_back(
+        [&options, &tally] { ClientLoop(options, &tally); });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double elapsed = stopwatch.ElapsedSeconds();
+
+  BlastReport report;
+  report.elapsed_seconds = elapsed;
+  std::vector<int64_t> latencies;
+  const std::string* reference = nullptr;
+  for (const ClientTally& tally : tallies) {
+    report.ok_requests += tally.ok;
+    report.failed_requests += tally.failed;
+    report.bytes_received += tally.bytes;
+    report.responses_identical =
+        report.responses_identical && tally.responses_identical;
+    latencies.insert(latencies.end(), tally.latencies_micros.begin(),
+                     tally.latencies_micros.end());
+    if (tally.first_response.empty()) continue;
+    if (reference == nullptr) {
+      reference = &tally.first_response;
+    } else if (tally.first_response != *reference) {
+      // Cross-client mismatch: two clients saw different bytes for the
+      // same slice.
+      report.responses_identical = false;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_micros = Percentile(latencies, 0.50);
+  report.p90_micros = Percentile(latencies, 0.90);
+  report.p99_micros = Percentile(latencies, 0.99);
+  report.max_micros = latencies.empty() ? 0 : latencies.back();
+  report.throughput_rps =
+      elapsed > 0.0 ? static_cast<double>(report.ok_requests) / elapsed : 0.0;
+  return report;
+}
+
+}  // namespace kondo

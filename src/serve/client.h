@@ -1,0 +1,57 @@
+#ifndef KONDO_SERVE_CLIENT_H_
+#define KONDO_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/statusor.h"
+#include "serve/kpc.h"
+
+namespace kondo {
+
+/// A query's full server response: the streamed events (empty when
+/// runs_only was set) and the terminating totals frame.
+struct QueryResult {
+  std::vector<Event> events;
+  QueryDone done;
+};
+
+/// One KPC connection to a kondo daemon. Not thread-safe — requests on a
+/// connection are strictly serial (the protocol has no request ids);
+/// concurrent load uses one client per thread, which is exactly what
+/// `kondo blast` does.
+class KpcClient {
+ public:
+  static StatusOr<std::unique_ptr<KpcClient>> Connect(
+      const SocketAddress& address);
+
+  StatusOr<FetchSubsetResponse> FetchSubset(const FetchSubsetRequest& request);
+
+  /// Like FetchSubset but returns the response re-framed exactly as it
+  /// crossed the wire (header, payload, CRC trailer) — the bytes the
+  /// hit/miss identity contract is asserted on.
+  StatusOr<std::string> FetchSubsetRaw(const FetchSubsetRequest& request);
+
+  StatusOr<QueryResult> QueryProvenance(const QueryRequest& request);
+
+  StatusOr<SubmitResponse> SubmitCampaign(const SubmitRequest& request);
+
+  StatusOr<ServeStatsSnapshot> Stats();
+
+ private:
+  explicit KpcClient(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  /// Writes the request and reads one frame, turning a kError response
+  /// into its carried Status and any other kind than `want` into an error.
+  StatusOr<KpcFrame> RoundTrip(KpcKind kind, std::string_view payload,
+                               KpcKind want);
+
+  std::unique_ptr<Connection> conn_;
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_SERVE_CLIENT_H_

@@ -1,0 +1,91 @@
+#include "serve/subset_cache.h"
+
+#include <utility>
+#include <vector>
+
+namespace kondo {
+
+SubsetCache::SubsetCache(int64_t capacity_bytes)
+    : capacity_(capacity_bytes > 0 ? capacity_bytes : 0) {}
+
+std::shared_ptr<const std::string> SubsetCache::Get(const SubsetKey& key) {
+  MutexLock lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  // Refresh recency: splice the entry to the front of the LRU list.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->payload;
+}
+
+void SubsetCache::EvictForLocked(int64_t need) {
+  while (stats_.bytes + need > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= static_cast<int64_t>(victim.payload->size());
+    --stats_.entries;
+    ++stats_.evictions;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+std::shared_ptr<const std::string> SubsetCache::Put(const SubsetKey& key,
+                                                    std::string payload) {
+  MutexLock lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Raced with another session loading the same slice: keep the first
+    // insertion (byte-identical by construction) and refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->payload;
+  }
+  auto value = std::make_shared<const std::string>(std::move(payload));
+  const int64_t size = static_cast<int64_t>(value->size());
+  if (size > capacity_) {
+    // Larger than the whole cache: serve it, never cache it.
+    return value;
+  }
+  EvictForLocked(size);
+  lru_.push_front(Entry{key, value});
+  index_[key] = lru_.begin();
+  stats_.bytes += size;
+  ++stats_.entries;
+  ++stats_.insertions;
+  return value;
+}
+
+int64_t SubsetCache::EvictStale(const std::string& artifact,
+                                int64_t fingerprint_bytes,
+                                uint32_t fingerprint_crc) {
+  MutexLock lock(mu_);
+  int64_t dropped = 0;
+  // The index is ordered by artifact first, so the artifact's entries form
+  // one contiguous key range.
+  auto it = index_.lower_bound(SubsetKey{artifact, INT64_MIN, 0, INT64_MIN,
+                                         INT64_MIN});
+  while (it != index_.end() && it->first.artifact == artifact) {
+    if (it->first.fingerprint_bytes == fingerprint_bytes &&
+        it->first.fingerprint_crc == fingerprint_crc) {
+      ++it;
+      continue;
+    }
+    stats_.bytes -= static_cast<int64_t>(it->second->payload->size());
+    --stats_.entries;
+    ++stats_.stale_evictions;
+    ++dropped;
+    lru_.erase(it->second);
+    it = index_.erase(it);
+  }
+  return dropped;
+}
+
+SubsetCacheStats SubsetCache::stats() const {
+  MutexLock lock(mu_);
+  SubsetCacheStats out = stats_;
+  out.capacity_bytes = capacity_;
+  return out;
+}
+
+}  // namespace kondo

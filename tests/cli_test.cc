@@ -271,6 +271,54 @@ TEST(CliTest, ProvenanceCompactQueryStatsFlow) {
   EXPECT_NE(stats1.output.find("KEL1 store: 3 events"), std::string::npos);
 }
 
+TEST(CliTest, GlobalUsageListsServeClientBlast) {
+  const CommandResult result = RunCli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("serve"), std::string::npos);
+  EXPECT_NE(result.output.find("blast"), std::string::npos);
+  EXPECT_NE(result.output.find("client fetch"), std::string::npos);
+}
+
+TEST(CliTest, ServeRejectsGarbageIntFlags) {
+  // Strict positive-integer parsing: garbage, negatives, zero, and
+  // trailing junk all exit 2 with the command's own usage, before any
+  // socket is bound.
+  for (const std::string args :
+       {"serve --port banana", "serve --port -1", "serve --port 0x50",
+        "serve --socket /tmp/kondo_cli_none.sock --cache-mb many",
+        "serve --socket /tmp/kondo_cli_none.sock --max-inflight 0"}) {
+    const CommandResult result = RunCli(args);
+    EXPECT_EQ(result.exit_code, 2) << args << "\n" << result.output;
+    EXPECT_NE(result.output.find("kondo serve"), std::string::npos) << args;
+    EXPECT_EQ(result.output.find("kondo blast"), std::string::npos) << args;
+  }
+  // Out-of-range ports are positive integers but still not listenable.
+  const CommandResult high = RunCli("serve --port 65536");
+  EXPECT_EQ(high.exit_code, 2) << high.output;
+}
+
+TEST(CliTest, BlastRejectsGarbageIntFlags) {
+  for (const std::string args :
+       {"blast --socket /tmp/kondo_cli_none.sock --artifact a.kdd"
+        " --clients 1.5",
+        "blast --socket /tmp/kondo_cli_none.sock --artifact a.kdd"
+        " --requests zero",
+        "blast --socket /tmp/kondo_cli_none.sock --artifact a.kdd"
+        " --clients -4"}) {
+    const CommandResult result = RunCli(args);
+    EXPECT_EQ(result.exit_code, 2) << args << "\n" << result.output;
+    EXPECT_NE(result.output.find("invalid"), std::string::npos) << args;
+    EXPECT_NE(result.output.find("kondo blast"), std::string::npos) << args;
+  }
+}
+
+TEST(CliTest, ServeRequiresExactlyOneListenAddress) {
+  EXPECT_EQ(RunCli("serve").exit_code, 2);
+  EXPECT_EQ(
+      RunCli("serve --socket /tmp/kondo_cli_none.sock --port 7777").exit_code,
+      2);
+}
+
 TEST(CliTest, ProvenanceQueryRejectsBadRange) {
   const std::string kel1 = TempPath("cli_prov_bad.kel");
   WriteKel1Fixture(kel1);

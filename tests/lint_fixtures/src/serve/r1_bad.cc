@@ -1,0 +1,17 @@
+// Fixture: R1 violations — nondeterminism APIs inside the serve daemon
+// (src/serve mirror). Session stamps and identities must come from the
+// daemon's own counters, never the host. Line numbers are asserted by
+// lint_test.cc; append only.
+#include <chrono>
+
+namespace kondo_fixture {
+
+long SessionStamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 10: R1
+}
+
+int SessionOwnerPid() {
+  return getpid();  // line 14: R1 (process identity as data)
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,24 @@
+// Fixture: the clean counterpart of serve/r1_bad.cc — session identity is
+// a monotonic counter minted by the daemon, and elapsed time comes from
+// steady_clock, which R1 allows (it measures duration, not wall time).
+#include <chrono>
+#include <cstdint>
+
+namespace kondo_fixture {
+
+struct SessionCounter {
+  int64_t next = 1;
+  int64_t Mint() { return next++; }
+};
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - start)
+      .count();
+}
+
+// "system_clock" in a comment — or "getpid" in a string literal — must
+// never trigger R1.
+const char* kDoc = "never read system_clock or getpid() in serve code";
+
+}  // namespace kondo_fixture

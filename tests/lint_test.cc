@@ -4,7 +4,7 @@
 //   1. Unit tests over the lexer, directive parser, and include graph.
 //   2. Rule tests on inline sources via CheckR1..CheckR4 directly.
 //   3. End-to-end tests over tests/lint_fixtures/ — a miniature repo tree
-//      whose src/{fuzz,exec,shard,carve,provenance} mirror the real
+//      whose src/{fuzz,exec,shard,carve,provenance,serve} mirror the real
 //      determinism-critical modules, with one seeded violation per rule
 //      and a clean counterpart next to each. These assert exact rule ids,
 //      file:line anchors, suppression counts, and LintMain exit codes.
@@ -318,6 +318,24 @@ TEST(LintFixtureTest, R1CleanCounterpartIsClean) {
   EXPECT_TRUE(LintFixture({"src/fuzz/r1_clean.cc"}).findings.empty());
 }
 
+TEST(LintFixtureTest, ServeModuleIsInTheCriticalClosure) {
+  // The daemon code joined critical_modules with the serve subsystem; a
+  // seeded wall-clock read and a getpid() in the serve mirror must anchor
+  // as R1, proving the closure covers src/serve/.
+  const LintReport report = LintFixture({"src/serve/r1_bad.cc"});
+  EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
+                                   {"R1", 10}, {"R1", 14}}));
+  for (const Finding& finding : report.findings) {
+    EXPECT_EQ(finding.file, "src/serve/r1_bad.cc");
+  }
+}
+
+TEST(LintFixtureTest, ServeCleanCounterpartIsClean) {
+  // steady_clock and a daemon-minted session counter are the allowed
+  // spellings of what r1_bad.cc does wrong.
+  EXPECT_TRUE(LintFixture({"src/serve/r1_clean.cc"}).findings.empty());
+}
+
 TEST(LintFixtureTest, R2BadAnchorsPointerKeyAndIteration) {
   const LintReport report = LintFixture({"src/exec/r2_bad.cc"});
   EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
@@ -367,18 +385,18 @@ TEST(LintFixtureTest, NoncriticalModuleEscapesR1AndR2Iteration) {
 
 TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
   const LintReport report = LintFixture({"src"});
-  EXPECT_EQ(report.files_scanned, 11);
+  EXPECT_EQ(report.files_scanned, 13);
   EXPECT_EQ(report.suppressed, 2);
   std::map<std::string, int> by_rule;
   for (const Finding& finding : report.findings) {
     ++by_rule[finding.rule];
   }
-  EXPECT_EQ(by_rule["R1"], 3);
+  EXPECT_EQ(by_rule["R1"], 5);
   EXPECT_EQ(by_rule["R2"], 2);
   EXPECT_EQ(by_rule["R3"], 3);
   EXPECT_EQ(by_rule["R4"], 2);
   EXPECT_EQ(by_rule["LINT"], 1);
-  EXPECT_EQ(report.findings.size(), 11u);
+  EXPECT_EQ(report.findings.size(), 13u);
 }
 
 // ---------------------------------------------------------------------------
@@ -397,9 +415,10 @@ TEST(LintMainTest, ExitsOneAndPrintsAnchorsOnFindings) {
   EXPECT_NE(text.find("src/provenance/r3_bad.cc:16: [R3]"),
             std::string::npos);
   EXPECT_NE(text.find("src/shard/r4_bad.cc:16: [R4]"), std::string::npos);
+  EXPECT_NE(text.find("src/serve/r1_bad.cc:14: [R1]"), std::string::npos);
   EXPECT_NE(text.find("src/carve/malformed.cc:5: [LINT]"),
             std::string::npos);
-  EXPECT_NE(text.find("11 finding(s) across 11 file(s) (2 suppressed)"),
+  EXPECT_NE(text.find("13 finding(s) across 13 file(s) (2 suppressed)"),
             std::string::npos);
 }
 

@@ -21,8 +21,15 @@
 //   kondo provenance compact <in.kel> <out.kel2> [--block N]
 //   kondo provenance query <store> --range A:B [--file F] [--runs]
 //   kondo provenance stats <store>
+//   kondo serve (--socket PATH | --port N) [--pool DIR] [--jobs N]
+//               [--cache-mb N] [--max-inflight N] [--queue N]
+//   kondo client fetch|query|submit|stats ... (--socket PATH | --port N)
+//   kondo blast --artifact A (--socket PATH | --port N) [--clients N]
+//               [--requests N] [--range A:B]
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +37,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "array/data_array.h"
@@ -51,6 +59,9 @@
 #include "provenance/kel2_writer.h"
 #include "provenance/persist.h"
 #include "provenance/provenance_query.h"
+#include "serve/blast.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "shard/shard_scheduler.h"
 #include "workloads/registry.h"
 
@@ -94,6 +105,19 @@ constexpr CommandHelp kCommandHelp[] = {
      "  kondo provenance compact <in.kel> <out.kel2> [--block N]\n"
      "  kondo provenance query <store> --range A:B [--file F] [--runs]\n"
      "  kondo provenance stats <store>\n"},
+    {"serve",
+     "  kondo serve (--socket PATH | --port N) [--pool DIR] [--jobs N]\n"
+     "              [--cache-mb N] [--max-inflight N] [--queue N]\n"},
+    {"client",
+     "  kondo client fetch <artifact> --range A:B (--socket P | --port N)\n"
+     "  kondo client query <store> --range A:B [--file F] [--runs]\n"
+     "               (--socket PATH | --port N)\n"
+     "  kondo client submit <program> [--seed N] [--max-evals N]\n"
+     "               [--max-iter N] (--socket PATH | --port N)\n"
+     "  kondo client stats (--socket PATH | --port N)\n"},
+    {"blast",
+     "  kondo blast --artifact A (--socket PATH | --port N) [--clients N]\n"
+     "              [--requests N] [--range A:B]\n"},
 };
 
 int Usage() {
@@ -1025,6 +1049,343 @@ int CmdProvenance(std::vector<std::string> args) {
   return UsageFor("provenance");
 }
 
+/// Outcome of pulling `--socket PATH` / `--port N` out of an argument
+/// list. Exactly one must be given; a malformed port is a usage error.
+bool AddressFrom(std::vector<std::string>* args, SocketAddress* address) {
+  const std::string socket_path = TakeFlagValue(args, "--socket");
+  int64_t port = 0;
+  if (TakePositiveInt(args, "--port", &port) == FlagParse::kBad) {
+    return false;
+  }
+  if (socket_path.empty() == (port == 0)) {
+    std::fprintf(stderr, "want exactly one of --socket PATH or --port N\n");
+    return false;
+  }
+  if (!socket_path.empty()) {
+    address->unix_path = socket_path;
+  } else {
+    if (port > 65535) {
+      std::fprintf(stderr, "invalid --port value (want 1..65535): %lld\n",
+                   static_cast<long long>(port));
+      return false;
+    }
+    address->port = static_cast<int>(port);
+  }
+  return true;
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void ServeSignalHandler(int /*signum*/) { g_serve_stop = 1; }
+
+int CmdServe(std::vector<std::string> args) {
+  ServeOptions options;
+  if (!AddressFrom(&args, &options.address)) {
+    return UsageFor("serve");
+  }
+  const std::string pool = TakeFlagValue(&args, "--pool");
+  if (!pool.empty()) {
+    options.pool_root = pool;
+  }
+  int jobs = 0;
+  if (!JobsFrom(&args, &jobs)) {
+    return UsageFor("serve");
+  }
+  options.jobs = jobs;
+  int64_t cache_mb = 0, max_inflight = 0, queue = 0;
+  if (TakePositiveInt(&args, "--cache-mb", &cache_mb) == FlagParse::kBad ||
+      TakePositiveInt(&args, "--max-inflight", &max_inflight) ==
+          FlagParse::kBad ||
+      TakePositiveInt(&args, "--queue", &queue) == FlagParse::kBad) {
+    return UsageFor("serve");
+  }
+  if (cache_mb > 0) options.cache_bytes = cache_mb << 20;
+  if (max_inflight > 0) {
+    options.max_inflight = static_cast<int>(max_inflight);
+  }
+  if (queue > 0) options.queue_capacity = static_cast<int>(queue);
+  if (!args.empty()) {
+    return UsageFor("serve");
+  }
+
+  KondoServer server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s (pool %s, %d jobs)\n",
+              server.bound_address().ToString().c_str(),
+              options.pool_root.c_str(), options.jobs);
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const ServeStatsSnapshot stats = server.Stats();
+  std::printf("shutdown: %lld sessions, %lld requests, cache %lld/%lld "
+              "hit/miss, campaigns %lld completed %lld failed %lld "
+              "rejected\n",
+              static_cast<long long>(stats.sessions_accepted),
+              static_cast<long long>(stats.requests_total),
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.cache_misses),
+              static_cast<long long>(stats.campaigns_completed),
+              static_cast<long long>(stats.campaigns_failed),
+              static_cast<long long>(stats.campaigns_rejected));
+  return 0;
+}
+
+int CmdClientFetch(std::vector<std::string> args) {
+  SocketAddress address;
+  const std::string range = TakeFlagValue(&args, "--range");
+  if (!AddressFrom(&args, &address) || args.size() != 1 || range.empty()) {
+    return UsageFor("client");
+  }
+  FetchSubsetRequest request;
+  request.artifact = args[0];
+  if (!ParseRange(range, &request.begin, &request.end)) {
+    std::fprintf(stderr, "invalid --range (want A:B with A < B): %s\n",
+                 range.c_str());
+    return 1;
+  }
+  StatusOr<std::unique_ptr<KpcClient>> client = KpcClient::Connect(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<FetchSubsetResponse> response = (*client)->FetchSubset(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  size_t value_pos = 0;
+  for (size_t i = 0; i < response->present.size(); ++i) {
+    const long long linear = static_cast<long long>(request.begin) +
+                             static_cast<long long>(i);
+    if (response->present[i] != 0) {
+      std::printf("%lld: %.17g\n", linear, response->values[value_pos++]);
+    } else {
+      std::printf("%lld: (null)\n", linear);
+    }
+  }
+  std::printf("fetched [%lld,%lld) of %s: %zu present of %zu "
+              "(fingerprint %lld bytes crc %08x)\n",
+              static_cast<long long>(request.begin),
+              static_cast<long long>(request.end), request.artifact.c_str(),
+              response->values.size(), response->present.size(),
+              static_cast<long long>(response->fingerprint_bytes),
+              response->fingerprint_crc);
+  return 0;
+}
+
+int CmdClientQuery(std::vector<std::string> args) {
+  SocketAddress address;
+  const std::string range = TakeFlagValue(&args, "--range");
+  const std::string file = TakeFlagValue(&args, "--file");
+  const bool runs_only = TakeFlag(&args, "--runs");
+  if (!AddressFrom(&args, &address) || args.size() != 1 || range.empty()) {
+    return UsageFor("client");
+  }
+  QueryRequest request;
+  request.store = args[0];
+  request.runs_only = runs_only ? 1 : 0;
+  if (!ParseRange(range, &request.begin, &request.end)) {
+    std::fprintf(stderr, "invalid --range (want A:B with A < B): %s\n",
+                 range.c_str());
+    return 1;
+  }
+  if (!file.empty() && !ParseInt64(file, &request.file_id)) {
+    std::fprintf(stderr, "invalid --file value: %s\n", file.c_str());
+    return 1;
+  }
+  StatusOr<std::unique_ptr<KpcClient>> client = KpcClient::Connect(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<QueryResult> result = (*client)->QueryProvenance(request);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const Event& event : result->events) {
+    std::printf("%s\n", event.ToString().c_str());
+  }
+  if (runs_only) {
+    for (int64_t pid : result->done.runs) {
+      std::printf("%lld\n", static_cast<long long>(pid));
+    }
+  }
+  std::printf("%lld events, %zu runs in [%lld,%lld) — decoded %lld of %lld "
+              "blocks (%lld skipped in-situ)\n",
+              static_cast<long long>(result->done.events_total),
+              result->done.runs.size(),
+              static_cast<long long>(request.begin),
+              static_cast<long long>(request.end),
+              static_cast<long long>(result->done.blocks_decoded),
+              static_cast<long long>(result->done.blocks_considered),
+              static_cast<long long>(result->done.blocks_skipped));
+  return 0;
+}
+
+int CmdClientSubmit(std::vector<std::string> args) {
+  SocketAddress address;
+  SubmitRequest request;
+  request.seed = static_cast<int64_t>(SeedFrom(&args));
+  if (!MaxEvalsFrom(&args, &request.max_evals) ||
+      !MaxIterFrom(&args, &request.max_iter) ||
+      !AddressFrom(&args, &address) || args.size() != 1) {
+    return UsageFor("client");
+  }
+  request.program = args[0];
+  StatusOr<std::unique_ptr<KpcClient>> client = KpcClient::Connect(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<SubmitResponse> response = (*client)->SubmitCampaign(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  if (response->accepted == 0) {
+    std::fprintf(stderr, "rejected: %s (queue depth %lld)\n",
+                 response->message.c_str(),
+                 static_cast<long long>(response->queue_depth));
+    return 1;
+  }
+  std::printf("accepted job %lld (queue depth %lld)\n",
+              static_cast<long long>(response->job_id),
+              static_cast<long long>(response->queue_depth));
+  return 0;
+}
+
+int CmdClientStats(std::vector<std::string> args) {
+  SocketAddress address;
+  if (!AddressFrom(&args, &address) || !args.empty()) {
+    return UsageFor("client");
+  }
+  StatusOr<std::unique_ptr<KpcClient>> client = KpcClient::Connect(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<ServeStatsSnapshot> stats = (*client)->Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cache: %lld hits, %lld misses, %lld evictions (%lld stale), "
+              "%lld entries, %lld of %lld bytes\n",
+              static_cast<long long>(stats->cache_hits),
+              static_cast<long long>(stats->cache_misses),
+              static_cast<long long>(stats->cache_evictions),
+              static_cast<long long>(stats->cache_stale_evictions),
+              static_cast<long long>(stats->cache_entries),
+              static_cast<long long>(stats->cache_bytes),
+              static_cast<long long>(stats->cache_capacity_bytes));
+  std::printf("sessions: %lld accepted, %lld active, %lld requests, "
+              "%lld protocol errors\n",
+              static_cast<long long>(stats->sessions_accepted),
+              static_cast<long long>(stats->sessions_active),
+              static_cast<long long>(stats->requests_total),
+              static_cast<long long>(stats->protocol_errors));
+  std::printf("campaigns: %lld submitted, %lld rejected, %lld completed, "
+              "%lld failed, queue %lld, in-flight %lld, %lld lineage "
+              "bytes\n",
+              static_cast<long long>(stats->campaigns_submitted),
+              static_cast<long long>(stats->campaigns_rejected),
+              static_cast<long long>(stats->campaigns_completed),
+              static_cast<long long>(stats->campaigns_failed),
+              static_cast<long long>(stats->campaign_queue_depth),
+              static_cast<long long>(stats->campaign_inflight),
+              static_cast<long long>(stats->lineage_bytes_written));
+  std::printf("stores: %lld open, %lld reopened\n",
+              static_cast<long long>(stats->stores_open),
+              static_cast<long long>(stats->stores_reopened));
+  for (int verb = 0; verb < kKpcVerbCount; ++verb) {
+    const VerbLatency& latency = stats->verbs[verb];
+    if (latency.count == 0) continue;
+    std::printf("%s: %lld requests, mean %.1f us, max %lld us\n",
+                KpcVerbName(verb), static_cast<long long>(latency.count),
+                static_cast<double>(latency.total_micros) /
+                    static_cast<double>(latency.count),
+                static_cast<long long>(latency.max_micros));
+  }
+  return 0;
+}
+
+int CmdClient(std::vector<std::string> args) {
+  if (args.empty()) {
+    return UsageFor("client");
+  }
+  const std::string sub = args[0];
+  args.erase(args.begin());
+  if (sub == "fetch") {
+    return CmdClientFetch(std::move(args));
+  }
+  if (sub == "query") {
+    return CmdClientQuery(std::move(args));
+  }
+  if (sub == "submit") {
+    return CmdClientSubmit(std::move(args));
+  }
+  if (sub == "stats") {
+    return CmdClientStats(std::move(args));
+  }
+  return UsageFor("client");
+}
+
+int CmdBlast(std::vector<std::string> args) {
+  BlastOptions options;
+  const std::string artifact = TakeFlagValue(&args, "--artifact");
+  const std::string range = TakeFlagValue(&args, "--range");
+  int64_t clients = 0, requests = 0;
+  if (!AddressFrom(&args, &options.address) || artifact.empty() ||
+      TakePositiveInt(&args, "--clients", &clients) == FlagParse::kBad ||
+      TakePositiveInt(&args, "--requests", &requests) == FlagParse::kBad ||
+      !args.empty()) {
+    return UsageFor("blast");
+  }
+  options.artifact = artifact;
+  if (clients > 0) options.clients = static_cast<int>(clients);
+  if (requests > 0) options.requests = static_cast<int>(requests);
+  if (!range.empty() &&
+      !ParseRange(range, &options.begin, &options.end)) {
+    std::fprintf(stderr, "invalid --range (want A:B with A < B): %s\n",
+                 range.c_str());
+    return 1;
+  }
+  StatusOr<BlastReport> report = RunBlast(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%d clients x %d requests against %s [%lld,%lld)\n",
+              options.clients, options.requests, options.artifact.c_str(),
+              static_cast<long long>(options.begin),
+              static_cast<long long>(options.end));
+  std::printf("%lld ok, %lld failed in %.3fs — %.0f req/s, %lld bytes, "
+              "latency p50/p90/p99/max %lld/%lld/%lld/%lld us, "
+              "responses %s\n",
+              static_cast<long long>(report->ok_requests),
+              static_cast<long long>(report->failed_requests),
+              report->elapsed_seconds, report->throughput_rps,
+              static_cast<long long>(report->bytes_received),
+              static_cast<long long>(report->p50_micros),
+              static_cast<long long>(report->p90_micros),
+              static_cast<long long>(report->p99_micros),
+              static_cast<long long>(report->max_micros),
+              report->responses_identical ? "identical" : "DIVERGENT");
+  return report->failed_requests == 0 && report->responses_identical ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -1060,6 +1421,15 @@ int Main(int argc, char** argv) {
   }
   if (command == "provenance") {
     return CmdProvenance(std::move(args));
+  }
+  if (command == "serve") {
+    return CmdServe(std::move(args));
+  }
+  if (command == "client") {
+    return CmdClient(std::move(args));
+  }
+  if (command == "blast") {
+    return CmdBlast(std::move(args));
   }
   return Usage();
 }
