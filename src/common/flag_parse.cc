@@ -1,0 +1,60 @@
+#include "common/flag_parse.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace kondo {
+
+std::string TakeFlagValue(std::vector<std::string>* args,
+                          const std::string& flag) {
+  for (size_t i = 0; i + 1 < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      std::string value = (*args)[i + 1];
+      args->erase(args->begin() + static_cast<int64_t>(i),
+                  args->begin() + static_cast<int64_t>(i) + 2);
+      return value;
+    }
+  }
+  return "";
+}
+
+bool TakeFlag(std::vector<std::string>* args, const std::string& flag) {
+  for (size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] == flag) {
+      args->erase(args->begin() + static_cast<int64_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t SeedFrom(std::vector<std::string>* args) {
+  const std::string value = TakeFlagValue(args, "--seed");
+  return value.empty() ? 1 : std::strtoull(value.c_str(), nullptr, 10);
+}
+
+FlagParse TakePositiveInt(std::vector<std::string>* args,
+                          const std::string& flag, int64_t* value) {
+  const std::string text = TakeFlagValue(args, flag);
+  if (text.empty()) {
+    return FlagParse::kAbsent;
+  }
+  int64_t parsed = 0;
+  if (!ParseInt64(text, &parsed) || parsed <= 0) {
+    std::fprintf(stderr, "invalid %s value (want a positive integer): %s\n",
+                 flag.c_str(), text.c_str());
+    return FlagParse::kBad;
+  }
+  *value = parsed;
+  return FlagParse::kOk;
+}
+
+bool ParseRange(const std::string& text, int64_t* begin, int64_t* end) {
+  const std::vector<std::string> parts = StrSplit(text, ':');
+  return parts.size() == 2 && ParseInt64(parts[0], begin) &&
+         ParseInt64(parts[1], end) && *begin < *end;
+}
+
+}  // namespace kondo

@@ -1,0 +1,43 @@
+#ifndef KONDO_COMMON_FLAG_PARSE_H_
+#define KONDO_COMMON_FLAG_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kondo {
+
+/// Shared command-line flag parsing for the `tools/` binaries. Flags are
+/// consumed destructively out of an argument vector so a command can demand
+/// `args` be empty (or exactly its positionals) afterwards — unknown flags
+/// then surface as usage errors instead of being silently ignored.
+
+/// Pulls the value following `flag` out of `args` (erasing both); returns
+/// empty when absent.
+std::string TakeFlagValue(std::vector<std::string>* args,
+                          const std::string& flag);
+
+/// Removes a boolean flag from `args`; returns whether it was present.
+bool TakeFlag(std::vector<std::string>* args, const std::string& flag);
+
+/// `--seed N` with a default of 1 (campaign seeds are never zero).
+uint64_t SeedFrom(std::vector<std::string>* args);
+
+/// Outcome of pulling an integer-valued flag out of the argument list.
+enum class FlagParse {
+  kAbsent,  // Flag not present; caller keeps its default.
+  kOk,      // Parsed a positive integer.
+  kBad,     // Present but non-numeric or non-positive (error printed).
+};
+
+/// Strictly parses `--flag N` with N a positive integer. Garbage, zero,
+/// and negatives are usage errors, not silently-clamped defaults.
+FlagParse TakePositiveInt(std::vector<std::string>* args,
+                          const std::string& flag, int64_t* value);
+
+/// Parses "A:B" into a half-open byte range (requires A < B).
+bool ParseRange(const std::string& text, int64_t* begin, int64_t* end);
+
+}  // namespace kondo
+
+#endif  // KONDO_COMMON_FLAG_PARSE_H_

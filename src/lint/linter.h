@@ -30,7 +30,7 @@ struct LintOptions {
   /// modules whose artefacts must be bit-identical under replay.
   std::vector<std::string> critical_modules = {
       "src/fuzz/", "src/exec/", "src/shard/", "src/carve/",
-      "src/provenance/", "src/serve/"};
+      "src/provenance/", "src/serve/", "src/pack/"};
 };
 
 /// Outcome of one lint run.

@@ -1,0 +1,285 @@
+#include "pack/kdp_format.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/status.h"
+#include "provenance/crc32.h"
+
+namespace kondo {
+namespace {
+
+void AppendI64(std::string* out, int64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  out->append(buf, 8);
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  out->append(buf, 4);
+}
+
+int64_t ReadI64(const char* buf) {
+  int64_t value = 0;
+  std::memcpy(&value, buf, 8);
+  return value;
+}
+
+uint32_t ReadU32(const char* buf) {
+  uint32_t value = 0;
+  std::memcpy(&value, buf, 4);
+  return value;
+}
+
+}  // namespace
+
+bool IsValidKdpCodec(uint8_t value) {
+  return value <= static_cast<uint8_t>(KdpCodec::kBytePlane);
+}
+
+const char* KdpCodecName(KdpCodec codec) {
+  switch (codec) {
+    case KdpCodec::kHole:
+      return "hole";
+    case KdpCodec::kRaw:
+      return "raw";
+    case KdpCodec::kDeltaVarint:
+      return "delta-varint";
+    case KdpCodec::kBytePlane:
+      return "byte-plane";
+  }
+  return "unknown";
+}
+
+KdpChunkGrid::KdpChunkGrid(Shape shape, std::vector<int64_t> chunk_dims)
+    : shape_(std::move(shape)), chunk_dims_(std::move(chunk_dims)) {
+  grid_dims_.resize(chunk_dims_.size());
+  for (size_t d = 0; d < chunk_dims_.size(); ++d) {
+    const int64_t dim = shape_.dim(static_cast<int>(d));
+    grid_dims_[d] = (dim + chunk_dims_[d] - 1) / chunk_dims_[d];
+    num_chunks_ *= grid_dims_[d];
+  }
+}
+
+int64_t KdpChunkGrid::ChunkOfIndex(const Index& index) const {
+  int64_t chunk = 0;
+  for (int d = 0; d < shape_.rank(); ++d) {
+    chunk = chunk * grid_dims_[static_cast<size_t>(d)] +
+            index[d] / chunk_dims_[static_cast<size_t>(d)];
+  }
+  return chunk;
+}
+
+int64_t KdpChunkGrid::ChunkOfLinear(int64_t linear) const {
+  return ChunkOfIndex(shape_.Delinearize(linear));
+}
+
+Index KdpChunkGrid::ChunkOrigin(int64_t chunk) const {
+  Index origin(shape_.rank());
+  for (int d = shape_.rank() - 1; d >= 0; --d) {
+    const int64_t grid = grid_dims_[static_cast<size_t>(d)];
+    origin[d] = (chunk % grid) * chunk_dims_[static_cast<size_t>(d)];
+    chunk /= grid;
+  }
+  return origin;
+}
+
+std::vector<int64_t> KdpChunkGrid::ChunkExtents(int64_t chunk) const {
+  const Index origin = ChunkOrigin(chunk);
+  std::vector<int64_t> extents(static_cast<size_t>(shape_.rank()));
+  for (int d = 0; d < shape_.rank(); ++d) {
+    extents[static_cast<size_t>(d)] =
+        std::min(chunk_dims_[static_cast<size_t>(d)],
+                 shape_.dim(d) - origin[d]);
+  }
+  return extents;
+}
+
+int64_t KdpChunkGrid::ChunkElements(int64_t chunk) const {
+  int64_t elements = 1;
+  for (int64_t extent : ChunkExtents(chunk)) {
+    elements *= extent;
+  }
+  return elements;
+}
+
+int64_t KdpChunkGrid::LocalPosition(const Index& index) const {
+  const int64_t chunk = ChunkOfIndex(index);
+  const Index origin = ChunkOrigin(chunk);
+  const std::vector<int64_t> extents = ChunkExtents(chunk);
+  int64_t pos = 0;
+  for (int d = 0; d < shape_.rank(); ++d) {
+    pos = pos * extents[static_cast<size_t>(d)] + (index[d] - origin[d]);
+  }
+  return pos;
+}
+
+std::string EncodeKdpHeader(const KdpManifest& manifest) {
+  std::string bytes;
+  bytes.append(kKdpMagic, 4);
+  bytes.push_back(static_cast<char>(kKdpVersion));
+  bytes.push_back(static_cast<char>(manifest.dtype));
+  bytes.push_back(static_cast<char>(manifest.shape.rank()));
+  bytes.push_back(0);  // reserved
+  for (int d = 0; d < manifest.shape.rank(); ++d) {
+    AppendI64(&bytes, manifest.shape.dim(d));
+  }
+  for (int d = 0; d < manifest.shape.rank(); ++d) {
+    AppendI64(&bytes, manifest.chunk_dims[static_cast<size_t>(d)]);
+  }
+  return bytes;
+}
+
+std::string EncodeKdpManifest(const KdpManifest& manifest) {
+  std::string bytes;
+  bytes.reserve(static_cast<size_t>(manifest.ManifestBytes()));
+  for (const KdpChunkInfo& info : manifest.chunks) {
+    bytes.push_back(static_cast<char>(info.codec));
+    AppendI64(&bytes, info.offset);
+    AppendI64(&bytes, info.encoded_bytes);
+    AppendI64(&bytes, info.decoded_bytes);
+    AppendU32(&bytes, info.crc32);
+  }
+  return bytes;
+}
+
+std::string EncodeKdpTrailer(int64_t manifest_offset, int64_t num_chunks,
+                             uint32_t file_crc) {
+  std::string bytes;
+  AppendI64(&bytes, manifest_offset);
+  AppendI64(&bytes, num_chunks);
+  AppendU32(&bytes, file_crc);
+  bytes.append(kKdpTrailerMagic, 4);
+  return bytes;
+}
+
+StatusOr<KdpTrailer> DecodeKdpTrailer(const std::string& tail,
+                                      int64_t file_bytes) {
+  if (static_cast<int64_t>(tail.size()) != kKdpTrailerBytes) {
+    return DataLossError("KDP trailer: short read");
+  }
+  if (std::memcmp(tail.data() + 20, kKdpTrailerMagic, 4) != 0) {
+    return DataLossError("KDP trailer: bad magic (truncated or not a KDP "
+                         "file)");
+  }
+  KdpTrailer trailer;
+  trailer.manifest_offset = ReadI64(tail.data());
+  trailer.num_chunks = ReadI64(tail.data() + 8);
+  trailer.file_crc = ReadU32(tail.data() + 16);
+  if (trailer.num_chunks < 0 || trailer.manifest_offset < 0 ||
+      trailer.manifest_offset + trailer.num_chunks * kKdpManifestEntryBytes +
+          kKdpTrailerBytes != file_bytes) {
+    return DataLossError("KDP trailer: manifest location inconsistent with "
+                         "file size");
+  }
+  return trailer;
+}
+
+StatusOr<KdpManifest> DecodeKdpManifest(const std::string& header,
+                                        const std::string& manifest,
+                                        const KdpTrailer& trailer) {
+  if (header.size() < 8 || std::memcmp(header.data(), kKdpMagic, 4) != 0) {
+    return DataLossError("KDP header: bad magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(header[4]);
+  if (version != kKdpVersion) {
+    return DataLossError("KDP header: unsupported version " +
+                         std::to_string(version));
+  }
+  const uint8_t dtype_raw = static_cast<uint8_t>(header[5]);
+  const int rank = static_cast<uint8_t>(header[6]);
+  if (!IsValidDType(dtype_raw) || rank < 1 || rank > kMaxRank) {
+    return DataLossError("KDP header: bad dtype or rank");
+  }
+  KdpManifest result;
+  result.dtype = static_cast<DType>(dtype_raw);
+  if (static_cast<int64_t>(header.size()) < 8 + 16 * rank) {
+    return DataLossError("KDP header: truncated dims");
+  }
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  result.chunk_dims.resize(static_cast<size_t>(rank));
+  for (int d = 0; d < rank; ++d) {
+    dims[static_cast<size_t>(d)] = ReadI64(header.data() + 8 + 8 * d);
+    result.chunk_dims[static_cast<size_t>(d)] =
+        ReadI64(header.data() + 8 + 8 * (rank + d));
+    if (dims[static_cast<size_t>(d)] <= 0 ||
+        result.chunk_dims[static_cast<size_t>(d)] <= 0) {
+      return DataLossError("KDP header: non-positive dim or chunk dim");
+    }
+  }
+  result.shape = Shape(dims);
+
+  const int64_t header_bytes = result.HeaderBytes();
+  if (trailer.manifest_offset < header_bytes) {
+    return DataLossError("KDP manifest: overlaps the header");
+  }
+  const KdpChunkGrid grid = result.MakeGrid();
+  if (trailer.num_chunks != grid.num_chunks()) {
+    return DataLossError("KDP manifest: chunk count " +
+                         std::to_string(trailer.num_chunks) +
+                         " does not match the chunk grid (" +
+                         std::to_string(grid.num_chunks()) + ")");
+  }
+  if (static_cast<int64_t>(manifest.size()) !=
+      trailer.num_chunks * kKdpManifestEntryBytes) {
+    return DataLossError("KDP manifest: short read");
+  }
+
+  uint32_t crc = Crc32(header.data(), header.size());
+  crc = Crc32Update(crc, manifest.data(), manifest.size());
+  if (crc != trailer.file_crc) {
+    return DataLossError("KDP manifest: file CRC mismatch (corrupt header "
+                         "or chunk table)");
+  }
+
+  const int64_t payload_bytes = trailer.manifest_offset - header_bytes;
+  int64_t next_offset = 0;
+  result.chunks.resize(static_cast<size_t>(trailer.num_chunks));
+  for (int64_t c = 0; c < trailer.num_chunks; ++c) {
+    const char* entry = manifest.data() + c * kKdpManifestEntryBytes;
+    KdpChunkInfo& info = result.chunks[static_cast<size_t>(c)];
+    const uint8_t codec_raw = static_cast<uint8_t>(entry[0]);
+    if (!IsValidKdpCodec(codec_raw)) {
+      return DataLossError("KDP manifest: chunk " + std::to_string(c) +
+                           ": unknown codec " + std::to_string(codec_raw));
+    }
+    info.codec = static_cast<KdpCodec>(codec_raw);
+    info.offset = ReadI64(entry + 1);
+    info.encoded_bytes = ReadI64(entry + 9);
+    info.decoded_bytes = ReadI64(entry + 17);
+    info.crc32 = ReadU32(entry + 25);
+    if (info.codec == KdpCodec::kHole) {
+      if (info.encoded_bytes != 0 || info.decoded_bytes != 0) {
+        return DataLossError("KDP manifest: chunk " + std::to_string(c) +
+                             ": hole with payload bytes");
+      }
+      continue;
+    }
+    if (info.encoded_bytes <= 0 || info.decoded_bytes <= 0 ||
+        info.offset != next_offset ||
+        info.offset + info.encoded_bytes > payload_bytes) {
+      return DataLossError("KDP manifest: chunk " + std::to_string(c) +
+                           ": payload bounds out of order or past the "
+                           "manifest");
+    }
+    next_offset = info.offset + info.encoded_bytes;
+  }
+  if (next_offset != payload_bytes) {
+    return DataLossError("KDP manifest: payload bytes unaccounted for");
+  }
+  result.file_crc = trailer.file_crc;
+  return result;
+}
+
+std::vector<int64_t> DefaultKdpChunkDims(const Shape& shape) {
+  std::vector<int64_t> chunk_dims(static_cast<size_t>(shape.rank()));
+  for (int d = 0; d < shape.rank(); ++d) {
+    chunk_dims[static_cast<size_t>(d)] = std::max<int64_t>(2, shape.dim(d) / 16);
+  }
+  return chunk_dims;
+}
+
+}  // namespace kondo

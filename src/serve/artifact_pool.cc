@@ -23,6 +23,14 @@ bool HasDotDotComponent(const std::string& name) {
   return false;
 }
 
+/// True when the pool name addresses a KDP package.
+bool IsPackName(const std::string& name) {
+  const std::string suffix = ".kdp";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
 }  // namespace
 
 ArtifactPool::ArtifactPool(std::string root, int64_t cache_bytes)
@@ -52,6 +60,38 @@ StatusOr<std::shared_ptr<const std::string>> ArtifactPool::FetchSubsetPayload(
   }
   KONDO_ASSIGN_OR_RETURN(const std::string path, ResolvePath(request.artifact));
   KONDO_ASSIGN_OR_RETURN(const ShardArtifactInfo info, HashFileArtifact(path));
+
+  if (IsPackName(request.artifact)) {
+    // Packed artifact: serve straight from the chunked package, decoding
+    // only the chunks the range touches. The key carries the pack
+    // fingerprint (manifest CRC) on top of the whole-file hash, so a
+    // repacked package can never resolve to slices of its predecessor.
+    KONDO_ASSIGN_OR_RETURN(std::shared_ptr<PackReader> reader,
+                           OpenPack(request.artifact));
+    const SubsetKey key{request.artifact,  info.lineage_bytes,
+                        info.lineage_crc,  request.begin,
+                        request.end,       reader->pack_fingerprint()};
+    if (std::shared_ptr<const std::string> cached = cache_.Get(key)) {
+      return cached;
+    }
+    cache_.EvictStale(request.artifact, info.lineage_bytes, info.lineage_crc);
+
+    if (request.end > reader->shape().NumElements()) {
+      return Status(StatusCode::kOutOfRange,
+                    "range end " + std::to_string(request.end) +
+                        " exceeds element count " +
+                        std::to_string(reader->shape().NumElements()));
+    }
+    FetchSubsetResponse response;
+    response.fingerprint_bytes = info.lineage_bytes;
+    response.fingerprint_crc = info.lineage_crc;
+    response.begin = request.begin;
+    response.end = request.end;
+    KONDO_RETURN_IF_ERROR(reader->ReadRange(request.begin, request.end,
+                                            &response.present,
+                                            &response.values));
+    return cache_.Put(key, response.Encode());
+  }
 
   const SubsetKey key{request.artifact, info.lineage_bytes, info.lineage_crc,
                       request.begin, request.end};
@@ -120,6 +160,34 @@ StatusOr<std::shared_ptr<ProvenanceStore>> ArtifactPool::OpenStore(
   return handle;
 }
 
+StatusOr<std::shared_ptr<PackReader>> ArtifactPool::OpenPack(
+    const std::string& name) {
+  KONDO_ASSIGN_OR_RETURN(const std::string path, ResolvePath(name));
+  KONDO_ASSIGN_OR_RETURN(const ShardArtifactInfo info, HashFileArtifact(path));
+
+  MutexLock lock(packs_mu_);
+  auto it = packs_.find(name);
+  if (it != packs_.end()) {
+    if (it->second.fingerprint_bytes == info.lineage_bytes &&
+        it->second.fingerprint_crc == info.lineage_crc) {
+      return it->second.handle;
+    }
+    // Repacked (or rewritten) underneath the open handle: its manifest and
+    // decoded-chunk cache describe bytes that no longer exist.
+    packs_.erase(it);
+    ++packs_reopened_;
+  }
+  KONDO_ASSIGN_OR_RETURN(std::unique_ptr<PackReader> opened,
+                         PackReader::Open(path));
+  OpenPackEntry entry;
+  entry.fingerprint_bytes = info.lineage_bytes;
+  entry.fingerprint_crc = info.lineage_crc;
+  entry.handle = std::shared_ptr<PackReader>(std::move(opened));
+  auto handle = entry.handle;
+  packs_[name] = std::move(entry);
+  return handle;
+}
+
 int64_t ArtifactPool::stores_open() const {
   MutexLock lock(stores_mu_);
   return static_cast<int64_t>(stores_.size());
@@ -128,6 +196,16 @@ int64_t ArtifactPool::stores_open() const {
 int64_t ArtifactPool::stores_reopened() const {
   MutexLock lock(stores_mu_);
   return stores_reopened_;
+}
+
+int64_t ArtifactPool::packs_open() const {
+  MutexLock lock(packs_mu_);
+  return static_cast<int64_t>(packs_.size());
+}
+
+int64_t ArtifactPool::packs_reopened() const {
+  MutexLock lock(packs_mu_);
+  return packs_reopened_;
 }
 
 }  // namespace kondo

@@ -8,6 +8,7 @@
 
 #include "common/statusor.h"
 #include "common/thread_annotations.h"
+#include "pack/pack_reader.h"
 #include "provenance/provenance_store.h"
 #include "serve/kpc.h"
 #include "serve/subset_cache.h"
@@ -15,15 +16,17 @@
 namespace kondo {
 
 /// The artefacts a kondo daemon serves from: a flat pool directory of
-/// `.kdd` debloated arrays (fetch-subset) and `.kel2` lineage stores
-/// (query-provenance), fronted by the fingerprint-keyed subset cache and a
-/// pool of open ProvenanceStore handles.
+/// `.kdd` debloated arrays and `.kdp` packages (fetch-subset) and `.kel2`
+/// lineage stores (query-provenance), fronted by the fingerprint-keyed
+/// subset cache and pools of open ProvenanceStore / PackReader handles.
 ///
 /// Every fetch re-fingerprints the artifact file (the same byte-count +
 /// CRC32 a shard KSS `A` line records), so a pool file rewritten between
 /// requests misses the cache naturally and its older entries are swept as
-/// stale. The open-store pool does the analogous check for KEL2 stores,
-/// reopening a store whose file changed underneath it.
+/// stale. The open-handle pools do the analogous check for KEL2 stores and
+/// KDP packages, reopening a handle whose file changed underneath it — for
+/// packages the subset-cache key additionally embeds the pack fingerprint
+/// (manifest CRC), so a repack can never serve stale cached slices.
 class ArtifactPool {
  public:
   ArtifactPool(std::string root, int64_t cache_bytes);
@@ -44,9 +47,16 @@ class ArtifactPool {
   StatusOr<std::shared_ptr<ProvenanceStore>> OpenStore(
       const std::string& name) KONDO_EXCLUDES(stores_mu_);
 
+  /// Returns the open PackReader for a pooled `.kdp` name, opening or (on
+  /// fingerprint change, e.g. after a repack) reopening it.
+  StatusOr<std::shared_ptr<PackReader>> OpenPack(const std::string& name)
+      KONDO_EXCLUDES(packs_mu_);
+
   SubsetCacheStats cache_stats() const { return cache_.stats(); }
   int64_t stores_open() const KONDO_EXCLUDES(stores_mu_);
   int64_t stores_reopened() const KONDO_EXCLUDES(stores_mu_);
+  int64_t packs_open() const KONDO_EXCLUDES(packs_mu_);
+  int64_t packs_reopened() const KONDO_EXCLUDES(packs_mu_);
   const std::string& root() const { return root_; }
 
  private:
@@ -55,12 +65,20 @@ class ArtifactPool {
     uint32_t fingerprint_crc = 0;
     std::shared_ptr<ProvenanceStore> handle;
   };
+  struct OpenPackEntry {
+    int64_t fingerprint_bytes = 0;
+    uint32_t fingerprint_crc = 0;
+    std::shared_ptr<PackReader> handle;
+  };
 
   const std::string root_;
   SubsetCache cache_;
   mutable Mutex stores_mu_;
   std::map<std::string, OpenStoreEntry> stores_ KONDO_GUARDED_BY(stores_mu_);
   int64_t stores_reopened_ KONDO_GUARDED_BY(stores_mu_) = 0;
+  mutable Mutex packs_mu_;
+  std::map<std::string, OpenPackEntry> packs_ KONDO_GUARDED_BY(packs_mu_);
+  int64_t packs_reopened_ KONDO_GUARDED_BY(packs_mu_) = 0;
 };
 
 }  // namespace kondo

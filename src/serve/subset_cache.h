@@ -13,16 +13,19 @@ namespace kondo {
 
 /// Cache key for one served D_Θ slice: the artifact's pool name, its
 /// whole-file fingerprint (byte count + CRC32 — exactly what the shard KSS
-/// `A` line records for sealed lineage stores), and the requested linear
-/// element range. Keying on the fingerprint makes coherence structural: an
-/// artifact rewritten on disk hashes to a different key, so stale bytes
-/// are unreachable rather than specially invalidated.
+/// `A` line records for sealed lineage stores), the requested linear
+/// element range, and — for `.kdp` packages — the pack fingerprint (the
+/// KDP manifest CRC). Keying on the fingerprints makes coherence
+/// structural: an artifact rewritten or repacked on disk hashes to a
+/// different key, so stale bytes are unreachable rather than specially
+/// invalidated.
 struct SubsetKey {
   std::string artifact;
   int64_t fingerprint_bytes = 0;
   uint32_t fingerprint_crc = 0;
   int64_t begin = 0;
   int64_t end = 0;
+  uint32_t pack_crc = 0;  // KDP manifest CRC; 0 for plain `.kdd` artifacts.
 
   friend bool operator<(const SubsetKey& a, const SubsetKey& b) {
     if (a.artifact != b.artifact) return a.artifact < b.artifact;
@@ -31,13 +34,14 @@ struct SubsetKey {
     if (a.fingerprint_crc != b.fingerprint_crc)
       return a.fingerprint_crc < b.fingerprint_crc;
     if (a.begin != b.begin) return a.begin < b.begin;
-    return a.end < b.end;
+    if (a.end != b.end) return a.end < b.end;
+    return a.pack_crc < b.pack_crc;
   }
   friend bool operator==(const SubsetKey& a, const SubsetKey& b) {
     return a.artifact == b.artifact &&
            a.fingerprint_bytes == b.fingerprint_bytes &&
            a.fingerprint_crc == b.fingerprint_crc && a.begin == b.begin &&
-           a.end == b.end;
+           a.end == b.end && a.pack_crc == b.pack_crc;
   }
 };
 

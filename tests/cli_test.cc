@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace kondo {
 namespace {
@@ -39,6 +40,21 @@ CommandResult RunCli(const std::string& args) {
 
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAllBytes(const std::string& path) {
+  std::string bytes;
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return bytes;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = std::fread(buffer.data(), 1, buffer.size(), in)) > 0) {
+    bytes.append(buffer.data(), n);
+  }
+  std::fclose(in);
+  return bytes;
 }
 
 TEST(CliTest, NoArgsPrintsUsage) {
@@ -317,6 +333,86 @@ TEST(CliTest, ServeRequiresExactlyOneListenAddress) {
   EXPECT_EQ(
       RunCli("serve --socket /tmp/kondo_cli_none.sock --port 7777").exit_code,
       2);
+}
+
+TEST(CliTest, PackUnpackRepackFlow) {
+  const std::string kdf = TempPath("cli_pack.kdf");
+  const std::string kdd = TempPath("cli_pack.kdd");
+  ASSERT_EQ(RunCli("make-data LDC " + kdf).exit_code, 0);
+  const CommandResult debloat =
+      RunCli("debloat LDC --data " + kdf + " --out " + kdd);
+  ASSERT_EQ(debloat.exit_code, 0) << debloat.output;
+  // Debloat emits the packaged companion alongside the .kdd.
+  EXPECT_NE(debloat.output.find("packed"), std::string::npos)
+      << debloat.output;
+  const std::string companion = TempPath("cli_pack.kdp");
+
+  // An explicit pack of the same .kdd is byte-identical to the companion.
+  const std::string kdp = TempPath("cli_pack_explicit.kdp");
+  const CommandResult pack = RunCli("pack " + kdd + " " + kdp);
+  ASSERT_EQ(pack.exit_code, 0) << pack.output;
+  EXPECT_NE(pack.output.find("packed"), std::string::npos);
+  EXPECT_EQ(ReadAllBytes(companion), ReadAllBytes(kdp));
+
+  const CommandResult stats = RunCli("pack-stats " + kdp);
+  ASSERT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("chunks"), std::string::npos) << stats.output;
+  EXPECT_NE(stats.output.find("fingerprint"), std::string::npos)
+      << stats.output;
+
+  // Unpack reproduces the original .kdd byte for byte.
+  const std::string back = TempPath("cli_pack_back.kdd");
+  const CommandResult unpack = RunCli("unpack " + kdp + " " + back);
+  ASSERT_EQ(unpack.exit_code, 0) << unpack.output;
+  EXPECT_EQ(ReadAllBytes(kdd), ReadAllBytes(back));
+
+  // Repack against unchanged data reuses every chunk and changes nothing.
+  const CommandResult repack = RunCli("repack " + kdp + " --data " + kdd);
+  ASSERT_EQ(repack.exit_code, 0) << repack.output;
+  EXPECT_NE(repack.output.find("reused"), std::string::npos)
+      << repack.output;
+  EXPECT_EQ(ReadAllBytes(companion), ReadAllBytes(kdp));
+}
+
+TEST(CliTest, PackRejectsGarbageIntFlags) {
+  const std::string kdd = TempPath("cli_pack_flags.kdd");
+  for (const std::string args : std::vector<std::string>{
+           "pack " + kdd + " out.kdp --chunk banana",
+           "pack " + kdd + " out.kdp --chunk -2",
+           "pack " + kdd + " out.kdp --jobs 1.5",
+           "unpack in.kdp out.kdd --jobs zero",
+           "repack in.kdp --data " + kdd + " --jobs 0"}) {
+    const CommandResult result = RunCli(args);
+    EXPECT_EQ(result.exit_code, 2) << args << "\n" << result.output;
+    EXPECT_NE(result.output.find("invalid"), std::string::npos) << args;
+  }
+}
+
+TEST(CliTest, UnpackSurfacesCorruptionNamingTheChunk) {
+  const std::string kdf = TempPath("cli_corrupt.kdf");
+  const std::string kdd = TempPath("cli_corrupt.kdd");
+  const std::string kdp = TempPath("cli_corrupt.kdp");
+  ASSERT_EQ(RunCli("make-data LDC " + kdf).exit_code, 0);
+  ASSERT_EQ(RunCli("debloat LDC --data " + kdf + " --out " + kdd).exit_code,
+            0);
+  ASSERT_EQ(RunCli("pack " + kdd + " " + kdp).exit_code, 0);
+
+  // Flip one payload byte (past the rank-2 header) and unpack: the failure
+  // must name the damaged chunk.
+  std::string bytes = ReadAllBytes(kdp);
+  ASSERT_GT(bytes.size(), 60u);
+  bytes[45] = static_cast<char>(bytes[45] ^ 0x5a);
+  {
+    std::FILE* out = std::fopen(kdp.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), out);
+    std::fclose(out);
+  }
+  const CommandResult unpack =
+      RunCli("unpack " + kdp + " " + TempPath("cli_corrupt_back.kdd"));
+  EXPECT_EQ(unpack.exit_code, 1) << unpack.output;
+  EXPECT_NE(unpack.output.find("KDP chunk"), std::string::npos)
+      << unpack.output;
 }
 
 TEST(CliTest, ProvenanceQueryRejectsBadRange) {

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <tuple>
 
@@ -45,11 +47,98 @@ TEST(ElementCodecTest, IntegerTruncation) {
   EXPECT_DOUBLE_EQ(DecodeElement(buf, DType::kInt32), 3.0);
 }
 
+TEST(ElementCodecTest, DoubleWidthSpecialValuesRoundTripExactly) {
+  // float64 and float128 store the full double bit pattern, so every
+  // special value — infinities, signed zero, denormals, extremes — must
+  // come back bit-exact, sign bit included.
+  char buf[16];
+  const double specials[] = {
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::epsilon(),
+  };
+  for (DType dtype : {DType::kFloat64, DType::kFloat128}) {
+    for (double value : specials) {
+      EncodeElement(value, dtype, buf);
+      const double back = DecodeElement(buf, dtype);
+      EXPECT_EQ(back, value) << DTypeName(dtype) << " " << value;
+      EXPECT_EQ(std::signbit(back), std::signbit(value))
+          << DTypeName(dtype) << " " << value;
+    }
+    EncodeElement(std::nan(""), dtype, buf);
+    EXPECT_TRUE(std::isnan(DecodeElement(buf, dtype))) << DTypeName(dtype);
+  }
+}
+
+TEST(ElementCodecTest, Float32SpecialValuesRoundTripAtFloatWidth) {
+  char buf[16];
+  const float specials[] = {
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      0.0f,
+      -0.0f,
+      std::numeric_limits<float>::denorm_min(),  // ~1.4e-45, denormal.
+      -std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::min(),
+      std::numeric_limits<float>::max(),
+      std::numeric_limits<float>::lowest(),
+  };
+  for (float value : specials) {
+    EncodeElement(static_cast<double>(value), DType::kFloat32, buf);
+    const double back = DecodeElement(buf, DType::kFloat32);
+    EXPECT_EQ(back, static_cast<double>(value)) << value;
+    EXPECT_EQ(std::signbit(back), std::signbit(static_cast<double>(value)))
+        << value;
+  }
+  EncodeElement(std::nan(""), DType::kFloat32, buf);
+  EXPECT_TRUE(std::isnan(DecodeElement(buf, DType::kFloat32)));
+  // A double denormal below float range rounds to (positive) zero at the
+  // 4-byte width rather than producing garbage.
+  EncodeElement(std::numeric_limits<double>::denorm_min(), DType::kFloat32,
+                buf);
+  EXPECT_EQ(DecodeElement(buf, DType::kFloat32), 0.0);
+}
+
+TEST(ElementCodecTest, IntegerExtremesRoundTrip) {
+  char buf[16];
+  const double int32_extremes[] = {2147483647.0, -2147483648.0, -1.0, 0.0};
+  for (double value : int32_extremes) {
+    EncodeElement(value, DType::kInt32, buf);
+    EXPECT_EQ(DecodeElement(buf, DType::kInt32), value) << value;
+  }
+  // +/- 2^53: the widest integers a double carries exactly.
+  const double int64_extremes[] = {9007199254740992.0, -9007199254740992.0,
+                                   -1.0, 0.0};
+  for (double value : int64_extremes) {
+    EncodeElement(value, DType::kInt64, buf);
+    EXPECT_EQ(DecodeElement(buf, DType::kInt64), value) << value;
+  }
+  // Negative truncation is toward zero, matching static_cast.
+  EncodeElement(-3.9, DType::kInt64, buf);
+  EXPECT_EQ(DecodeElement(buf, DType::kInt64), -3.0);
+}
+
 // ------------------------------------------------------------- KDF files --
 
 using KdfParam = std::tuple<DType, LayoutKind>;
 
-class KdfRoundTripTest : public ::testing::TestWithParam<KdfParam> {};
+class KdfRoundTripTest : public ::testing::TestWithParam<KdfParam> {
+ protected:
+  /// Per-instance temp path: ctest runs each parameterized instance as its
+  /// own test process, so a shared name would race under `ctest -j`.
+  std::string ParamPath(const std::string& stem) const {
+    const auto& [dtype, layout_kind] = GetParam();
+    return TempPath(stem + "_" + std::string(DTypeName(dtype)) + "_" +
+                    std::to_string(static_cast<int>(layout_kind)) + ".kdf");
+  }
+};
 
 TEST_P(KdfRoundTripTest, WriteReadAllRoundTrips) {
   const auto& [dtype, layout_kind] = GetParam();
@@ -57,7 +146,7 @@ TEST_P(KdfRoundTripTest, WriteReadAllRoundTrips) {
   array.FillWith([](const Index& index) {
     return static_cast<double>(index[0] * 100 + index[1]);
   });
-  const std::string path = TempPath("roundtrip.kdf");
+  const std::string path = ParamPath("roundtrip");
   ASSERT_TRUE(WriteKdfFile(path, array, layout_kind, {3, 4}).ok());
 
   StatusOr<KdfReader> reader = KdfReader::Open(path);
@@ -79,7 +168,7 @@ TEST_P(KdfRoundTripTest, ReadElementMatchesArray) {
   array.FillWith([](const Index& index) {
     return static_cast<double>(index[0] + 10 * index[1]);
   });
-  const std::string path = TempPath("element.kdf");
+  const std::string path = ParamPath("element");
   ASSERT_TRUE(WriteKdfFile(path, array, layout_kind, {2, 2}).ok());
   StatusOr<KdfReader> reader = KdfReader::Open(path);
   ASSERT_TRUE(reader.ok());

@@ -1,0 +1,18 @@
+// Fixture: R3 violations — pack writer chunk statuses dropped. Line
+// numbers are asserted by lint_test.cc; append only.
+#include <tuple>
+
+namespace kondo_fixture {
+
+struct Chunk {};
+struct PackWriter {
+  int Append(const Chunk&) { return 0; }
+  int Flush() { return 0; }
+};
+
+void DropChunkStatuses(PackWriter& writer, const Chunk& chunk) {
+  writer.Append(chunk);  // line 14: R3 (bare discard on writer receiver)
+  (void)writer.Flush();  // line 15: R3 ((void) cast)
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,25 @@
+// Fixture: the clean counterpart of r3_bad.cc — every pack writer status
+// is propagated or branched on, so a dropped chunk can never vanish
+// silently from the package.
+namespace kondo_fixture {
+
+struct Status {
+  bool ok() const { return code == 0; }
+  int code = 0;
+};
+
+struct Chunk {};
+struct PackWriter {
+  Status Append(const Chunk&) { return {}; }
+  Status Flush() { return {}; }
+};
+
+Status WriteChunk(PackWriter& writer, const Chunk& chunk) {
+  Status append_status = writer.Append(chunk);
+  if (!append_status.ok()) {
+    return append_status;
+  }
+  return writer.Flush();
+}
+
+}  // namespace kondo_fixture

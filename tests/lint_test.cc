@@ -4,7 +4,8 @@
 //   1. Unit tests over the lexer, directive parser, and include graph.
 //   2. Rule tests on inline sources via CheckR1..CheckR4 directly.
 //   3. End-to-end tests over tests/lint_fixtures/ — a miniature repo tree
-//      whose src/{fuzz,exec,shard,carve,provenance,serve} mirror the real
+//      whose src/{fuzz,exec,shard,carve,provenance,serve,pack} mirror the
+//      real
 //      determinism-critical modules, with one seeded violation per rule
 //      and a clean counterpart next to each. These assert exact rule ids,
 //      file:line anchors, suppression counts, and LintMain exit codes.
@@ -357,6 +358,24 @@ TEST(LintFixtureTest, R3CleanCounterpartIsClean) {
   EXPECT_TRUE(LintFixture({"src/provenance/r3_clean.cc"}).findings.empty());
 }
 
+TEST(LintFixtureTest, PackModuleIsInTheCriticalClosure) {
+  // The KDP packaging code joined critical_modules; a bare chunk append and
+  // a (void)-cast flush in the pack mirror must anchor as R3, proving the
+  // closure covers src/pack/.
+  const LintReport report = LintFixture({"src/pack/r3_bad.cc"});
+  EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
+                                   {"R3", 14}, {"R3", 15}}));
+  for (const Finding& finding : report.findings) {
+    EXPECT_EQ(finding.file, "src/pack/r3_bad.cc");
+  }
+}
+
+TEST(LintFixtureTest, PackCleanCounterpartIsClean) {
+  // Propagating every writer Status is the allowed spelling of what
+  // r3_bad.cc does wrong.
+  EXPECT_TRUE(LintFixture({"src/pack/r3_clean.cc"}).findings.empty());
+}
+
 TEST(LintFixtureTest, R4BadAnchorsEachUnannotatedMutexMember) {
   const LintReport report = LintFixture({"src/shard/r4_bad.cc"});
   EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
@@ -385,7 +404,7 @@ TEST(LintFixtureTest, NoncriticalModuleEscapesR1AndR2Iteration) {
 
 TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
   const LintReport report = LintFixture({"src"});
-  EXPECT_EQ(report.files_scanned, 13);
+  EXPECT_EQ(report.files_scanned, 15);
   EXPECT_EQ(report.suppressed, 2);
   std::map<std::string, int> by_rule;
   for (const Finding& finding : report.findings) {
@@ -393,10 +412,10 @@ TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
   }
   EXPECT_EQ(by_rule["R1"], 5);
   EXPECT_EQ(by_rule["R2"], 2);
-  EXPECT_EQ(by_rule["R3"], 3);
+  EXPECT_EQ(by_rule["R3"], 5);
   EXPECT_EQ(by_rule["R4"], 2);
   EXPECT_EQ(by_rule["LINT"], 1);
-  EXPECT_EQ(report.findings.size(), 13u);
+  EXPECT_EQ(report.findings.size(), 15u);
 }
 
 // ---------------------------------------------------------------------------
@@ -416,9 +435,10 @@ TEST(LintMainTest, ExitsOneAndPrintsAnchorsOnFindings) {
             std::string::npos);
   EXPECT_NE(text.find("src/shard/r4_bad.cc:16: [R4]"), std::string::npos);
   EXPECT_NE(text.find("src/serve/r1_bad.cc:14: [R1]"), std::string::npos);
+  EXPECT_NE(text.find("src/pack/r3_bad.cc:14: [R3]"), std::string::npos);
   EXPECT_NE(text.find("src/carve/malformed.cc:5: [LINT]"),
             std::string::npos);
-  EXPECT_NE(text.find("13 finding(s) across 13 file(s) (2 suppressed)"),
+  EXPECT_NE(text.find("15 finding(s) across 15 file(s) (2 suppressed)"),
             std::string::npos);
 }
 

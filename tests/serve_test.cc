@@ -19,6 +19,7 @@
 #include "common/socket.h"
 #include "exec/thread_pool.h"
 #include "gtest/gtest.h"
+#include "pack/pack_writer.h"
 #include "provenance/kel2_writer.h"
 #include "serve/artifact_pool.h"
 #include "serve/blast.h"
@@ -346,17 +347,27 @@ TEST(ArtifactPoolTest, RejectsFilesystemAddressing) {
 // ---------------------------------------------------------------------------
 // End-to-end daemon tests.
 
-/// Writes an 8x8 debloated array with every fourth element retained.
-void WritePoolArtifact(const std::string& path, uint64_t seed) {
+/// The 8x8 debloated array the pool fixtures serve: FillPattern(seed) with
+/// every fourth element retained.
+DebloatedArray MakePoolArray(uint64_t seed) {
   DataArray data(Shape({8, 8}));
   data.FillPattern(seed);
   IndexSet retained(data.shape());
   for (int64_t linear = 0; linear < 64; linear += 4) {
     retained.InsertLinear(linear);
   }
-  const DebloatedArray debloated =
-      DebloatedArray::FromDataArray(data, retained);
-  ASSERT_TRUE(debloated.WriteFile(path).ok());
+  return DebloatedArray::FromDataArray(data, retained);
+}
+
+/// Writes an 8x8 debloated array with every fourth element retained.
+void WritePoolArtifact(const std::string& path, uint64_t seed) {
+  ASSERT_TRUE(MakePoolArray(seed).WriteFile(path).ok());
+}
+
+/// Packs the same array as a `.kdp` package.
+void WritePoolPack(const std::string& path, uint64_t seed) {
+  const StatusOr<PackStats> stats = WriteKdpFile(path, MakePoolArray(seed));
+  ASSERT_TRUE(stats.ok()) << stats.status();
 }
 
 /// Writes a KEL2 store with `events` positioned reads, 4 events per block,
@@ -463,6 +474,109 @@ TEST_F(ServeTest, RewrittenArtifactInvalidatesCache) {
   EXPECT_EQ(stats.cache_hits, 0);
   EXPECT_EQ(stats.cache_misses, 2);
   EXPECT_EQ(stats.cache_stale_evictions, 1);
+  server_->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Packed (.kdp) artifacts through the pool and the daemon.
+
+TEST(ArtifactPoolPackTest, PackHitReturnsIdenticalBytesToMiss) {
+  const std::string root = ::testing::TempDir() + "/pack_pool_hit";
+  mkdir(root.c_str(), 0755);
+  WritePoolPack(root + "/main.kdp", /*seed=*/7);
+  ArtifactPool pool(root, 1 << 20);
+  FetchSubsetRequest request;
+  request.artifact = "main.kdp";
+  request.begin = 0;
+  request.end = 64;
+  auto miss = pool.FetchSubsetPayload(request);
+  ASSERT_TRUE(miss.ok()) << miss.status();
+  auto hit = pool.FetchSubsetPayload(request);
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  EXPECT_EQ(**miss, **hit);
+  EXPECT_EQ(miss->get(), hit->get());  // The very same cached string.
+  EXPECT_EQ(pool.cache_stats().misses, 1);
+  EXPECT_EQ(pool.cache_stats().hits, 1);
+  EXPECT_EQ(pool.packs_open(), 1);
+
+  // Decoded content matches the array that was packed: every fourth
+  // element present.
+  auto decoded = FetchSubsetResponse::Decode(**hit);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->present.size(), 64u);
+  EXPECT_EQ(decoded->values.size(), 16u);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(decoded->present[i] != 0, i % 4 == 0) << "element " << i;
+  }
+}
+
+TEST(ArtifactPoolPackTest, RepackEvictsStaleCachedSlices) {
+  const std::string root = ::testing::TempDir() + "/pack_pool_repack";
+  mkdir(root.c_str(), 0755);
+  const std::string path = root + "/main.kdp";
+  WritePoolPack(path, /*seed=*/7);
+  ArtifactPool pool(root, 1 << 20);
+  FetchSubsetRequest request;
+  request.artifact = "main.kdp";
+  request.begin = 0;
+  request.end = 64;
+  auto before = pool.FetchSubsetPayload(request);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  // Repack in place with different content: both the whole-file
+  // fingerprint and the pack fingerprint (manifest CRC) change, so the
+  // cached slice must be unreachable AND swept as stale, and the pooled
+  // PackReader must be reopened.
+  const StatusOr<PackStats> repacked =
+      RepackKdpFile(path, path, MakePoolArray(/*seed=*/99));
+  ASSERT_TRUE(repacked.ok()) << repacked.status();
+
+  auto after = pool.FetchSubsetPayload(request);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NE(**before, **after);
+  EXPECT_EQ(pool.cache_stats().hits, 0);
+  EXPECT_EQ(pool.cache_stats().misses, 2);
+  EXPECT_EQ(pool.cache_stats().stale_evictions, 1);
+  EXPECT_EQ(pool.packs_reopened(), 1);
+
+  auto decoded_before = FetchSubsetResponse::Decode(**before);
+  auto decoded_after = FetchSubsetResponse::Decode(**after);
+  ASSERT_TRUE(decoded_before.ok() && decoded_after.ok());
+  EXPECT_NE(decoded_before->values, decoded_after->values);
+
+  // Post-repack hits are byte-identical to the post-repack miss.
+  auto again = pool.FetchSubsetPayload(request);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(after->get(), again->get());
+  EXPECT_EQ(pool.cache_stats().hits, 1);
+}
+
+TEST_F(ServeTest, PackedArtifactServesOverTheWire) {
+  StartServer(ServeOptions{});
+  WritePoolPack(pool_root_ + "/main.kdp", /*seed=*/7);
+  auto client = Client();
+  ASSERT_NE(client, nullptr);
+
+  // The packed and the dense artifact carry the same D_Θ, so their decoded
+  // subsets must agree element for element.
+  FetchSubsetRequest packed_request;
+  packed_request.artifact = "main.kdp";
+  packed_request.begin = 0;
+  packed_request.end = 64;
+  auto packed = client->FetchSubset(packed_request);
+  ASSERT_TRUE(packed.ok()) << packed.status();
+  FetchSubsetRequest dense_request = packed_request;
+  dense_request.artifact = "main.kdd";
+  auto dense = client->FetchSubset(dense_request);
+  ASSERT_TRUE(dense.ok()) << dense.status();
+  EXPECT_EQ(packed->present, dense->present);
+  EXPECT_EQ(packed->values, dense->values);
+
+  // And raw hit/miss byte-identity holds for the packed path too.
+  auto raw_miss = client->FetchSubsetRaw(packed_request);
+  auto raw_hit = client->FetchSubsetRaw(packed_request);
+  ASSERT_TRUE(raw_miss.ok() && raw_hit.ok());
+  EXPECT_EQ(*raw_miss, *raw_hit);
   server_->Stop();
 }
 

@@ -18,6 +18,10 @@
 //               [--max-evals N] [--resume <state.kcs>] [--jobs N]
 //               [--shards N]
 //   kondo carve <program> --state <state.kcs> [--center X] [--boundary X]
+//   kondo pack <in.kdd> <out.kdp> [--chunk N] [--jobs N]
+//   kondo unpack <in.kdp> <out.kdd> [--jobs N]
+//   kondo repack <pkg.kdp> --data <updated.kdd> [--out <out.kdp>] [--jobs N]
+//   kondo pack-stats <pkg.kdp>
 //   kondo provenance compact <in.kel> <out.kel2> [--block N]
 //   kondo provenance query <store> --range A:B [--file F] [--runs]
 //   kondo provenance stats <store>
@@ -51,10 +55,14 @@
 #include "core/remote_fetch.h"
 #include "core/report.h"
 #include "core/runtime.h"
+#include "common/flag_parse.h"
 #include "common/strings.h"
 #include "exec/campaign_executor.h"
 #include "exec/thread_pool.h"
 #include "fuzz/campaign_state.h"
+#include "pack/kdp_format.h"
+#include "pack/pack_reader.h"
+#include "pack/pack_writer.h"
 #include "provenance/kel2_reader.h"
 #include "provenance/kel2_writer.h"
 #include "provenance/persist.h"
@@ -101,6 +109,13 @@ constexpr CommandHelp kCommandHelp[] = {
     {"carve",
      "  kondo carve <program> --state <state.kcs> [--center X]\n"
      "              [--boundary X]\n"},
+    {"pack",
+     "  kondo pack <in.kdd> <out.kdp> [--chunk N] [--jobs N]\n"},
+    {"unpack", "  kondo unpack <in.kdp> <out.kdd> [--jobs N]\n"},
+    {"repack",
+     "  kondo repack <pkg.kdp> --data <updated.kdd> [--out <out.kdp>]\n"
+     "               [--jobs N]\n"},
+    {"pack-stats", "  kondo pack-stats <pkg.kdp>\n"},
     {"provenance",
      "  kondo provenance compact <in.kel> <out.kel2> [--block N]\n"
      "  kondo provenance query <store> --range A:B [--file F] [--runs]\n"
@@ -138,62 +153,6 @@ int UsageFor(const char* name) {
     }
   }
   return Usage();
-}
-
-/// Pulls the value following `flag` out of `args` (erasing both); returns
-/// empty when absent.
-std::string TakeFlagValue(std::vector<std::string>* args,
-                          const std::string& flag) {
-  for (size_t i = 0; i + 1 < args->size(); ++i) {
-    if ((*args)[i] == flag) {
-      std::string value = (*args)[i + 1];
-      args->erase(args->begin() + static_cast<int64_t>(i),
-                  args->begin() + static_cast<int64_t>(i) + 2);
-      return value;
-    }
-  }
-  return "";
-}
-
-/// Removes a boolean flag from `args`; returns whether it was present.
-bool TakeFlag(std::vector<std::string>* args, const std::string& flag) {
-  for (size_t i = 0; i < args->size(); ++i) {
-    if ((*args)[i] == flag) {
-      args->erase(args->begin() + static_cast<int64_t>(i));
-      return true;
-    }
-  }
-  return false;
-}
-
-uint64_t SeedFrom(std::vector<std::string>* args) {
-  const std::string value = TakeFlagValue(args, "--seed");
-  return value.empty() ? 1 : std::strtoull(value.c_str(), nullptr, 10);
-}
-
-/// Outcome of pulling an integer-valued flag out of the argument list.
-enum class FlagParse {
-  kAbsent,  // Flag not present; caller keeps its default.
-  kOk,      // Parsed a positive integer.
-  kBad,     // Present but non-numeric or non-positive (error printed).
-};
-
-/// Strictly parses `--flag N` with N a positive integer. Garbage, zero,
-/// and negatives are usage errors, not silently-clamped defaults.
-FlagParse TakePositiveInt(std::vector<std::string>* args,
-                          const std::string& flag, int64_t* value) {
-  const std::string text = TakeFlagValue(args, flag);
-  if (text.empty()) {
-    return FlagParse::kAbsent;
-  }
-  int64_t parsed = 0;
-  if (!ParseInt64(text, &parsed) || parsed <= 0) {
-    std::fprintf(stderr, "invalid %s value (want a positive integer): %s\n",
-                 flag.c_str(), text.c_str());
-    return FlagParse::kBad;
-  }
-  *value = parsed;
-  return FlagParse::kOk;
 }
 
 /// `--jobs N` (campaign worker threads). Defaults to the hardware
@@ -250,6 +209,38 @@ const char* StopReason(const FuzzStats& stats) {
     return "stagnation";
   }
   return "max iterations";
+}
+
+/// Derives the `.kdp` package path companion to a `.kdd` container path.
+std::string KdpPathFor(const std::string& kdd_path) {
+  const std::string suffix = ".kdd";
+  if (kdd_path.size() > suffix.size() &&
+      kdd_path.compare(kdd_path.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+    return kdd_path.substr(0, kdd_path.size() - suffix.size()) + ".kdp";
+  }
+  return kdd_path + ".kdp";
+}
+
+/// Packs `array` to `path` and prints the one-line summary the pack
+/// commands and the debloat pipeline share.
+int WritePackage(const std::string& path, const DebloatedArray& array,
+                 const PackOptions& options) {
+  StatusOr<PackStats> stats = WriteKdpFile(path, array, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("packed %s: %lld chunks (%lld holes, %lld coded, %lld raw), "
+              "%lld -> %lld payload bytes, %lld on disk\n",
+              path.c_str(), static_cast<long long>(stats->total_chunks),
+              static_cast<long long>(stats->hole_chunks),
+              static_cast<long long>(stats->coded_chunks),
+              static_cast<long long>(stats->raw_chunks),
+              static_cast<long long>(stats->decoded_bytes),
+              static_cast<long long>(stats->encoded_bytes),
+              static_cast<long long>(stats->file_bytes));
+  return 0;
 }
 
 int CmdPrograms() {
@@ -444,6 +435,12 @@ int CmdDebloatMultiFile(std::unique_ptr<MultiFileProgram> program,
                 100.0 * debloated.SizeReductionFraction(),
                 result.per_file_carve_stats[static_cast<size_t>(f)]
                     .final_hulls);
+    PackOptions pack_options;
+    pack_options.jobs = jobs;
+    if (int rc = WritePackage(KdpPathFor(path), debloated, pack_options);
+        rc != 0) {
+      return rc;
+    }
   }
   return 0;
 }
@@ -559,6 +556,141 @@ int CmdDebloat(std::vector<std::string> args) {
               static_cast<long long>(debloated.OriginalPayloadBytes()),
               static_cast<long long>(debloated.DebloatedPayloadBytes()),
               100.0 * debloated.SizeReductionFraction());
+  PackOptions pack_options;
+  pack_options.jobs = jobs;
+  return WritePackage(KdpPathFor(out_path), debloated, pack_options);
+}
+
+int CmdPack(std::vector<std::string> args) {
+  int jobs = 0;
+  int64_t chunk = 0;
+  if (!JobsFrom(&args, &jobs) ||
+      TakePositiveInt(&args, "--chunk", &chunk) == FlagParse::kBad ||
+      args.size() != 2) {
+    return UsageFor("pack");
+  }
+  StatusOr<DebloatedArray> array = DebloatedArray::ReadFile(args[0]);
+  if (!array.ok()) {
+    std::fprintf(stderr, "%s\n", array.status().ToString().c_str());
+    return 1;
+  }
+  PackOptions options;
+  options.jobs = jobs;
+  if (chunk > 0) {
+    options.chunk_dims.assign(
+        static_cast<size_t>(array->shape().rank()), chunk);
+  }
+  return WritePackage(args[1], *array, options);
+}
+
+int CmdUnpack(std::vector<std::string> args) {
+  int jobs = 0;
+  if (!JobsFrom(&args, &jobs) || args.size() != 2) {
+    return UsageFor("unpack");
+  }
+  StatusOr<std::unique_ptr<PackReader>> reader = PackReader::Open(args[0]);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  StatusOr<DebloatedArray> array = (*reader)->Unpack(nullptr, jobs);
+  if (!array.ok()) {
+    std::fprintf(stderr, "%s\n", array.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = array->WriteFile(args[1]); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("unpacked %s -> %s: shape %s, %lld retained elements\n",
+              args[0].c_str(), args[1].c_str(),
+              array->shape().ToString().c_str(),
+              static_cast<long long>(array->retained_count()));
+  return 0;
+}
+
+int CmdRepack(std::vector<std::string> args) {
+  const std::string data_path = TakeFlagValue(&args, "--data");
+  std::string out_path = TakeFlagValue(&args, "--out");
+  int jobs = 0;
+  if (!JobsFrom(&args, &jobs) || args.size() != 1 || data_path.empty()) {
+    return UsageFor("repack");
+  }
+  if (out_path.empty()) {
+    out_path = args[0];  // In-place repack (atomic tmp+rename commit).
+  }
+  StatusOr<DebloatedArray> updated = DebloatedArray::ReadFile(data_path);
+  if (!updated.ok()) {
+    std::fprintf(stderr, "%s\n", updated.status().ToString().c_str());
+    return 1;
+  }
+  PackOptions options;
+  options.jobs = jobs;
+  StatusOr<PackStats> stats =
+      RepackKdpFile(args[0], out_path, *updated, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("repacked %s -> %s: %lld of %lld chunks reused, %lld "
+              "re-encoded, %lld bytes on disk\n",
+              args[0].c_str(), out_path.c_str(),
+              static_cast<long long>(stats->chunks_reused),
+              static_cast<long long>(stats->total_chunks),
+              static_cast<long long>(stats->chunks_reencoded),
+              static_cast<long long>(stats->file_bytes));
+  return 0;
+}
+
+int CmdPackStats(std::vector<std::string> args) {
+  if (args.size() != 1) {
+    return UsageFor("pack-stats");
+  }
+  StatusOr<std::unique_ptr<PackReader>> reader = PackReader::Open(args[0]);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  const KdpManifest& manifest = (*reader)->manifest();
+  int64_t holes = 0, raw = 0, coded = 0;
+  int64_t encoded = 0, decoded = 0;
+  for (const KdpChunkInfo& info : manifest.chunks) {
+    switch (info.codec) {
+      case KdpCodec::kHole:
+        ++holes;
+        break;
+      case KdpCodec::kRaw:
+        ++raw;
+        break;
+      default:
+        ++coded;
+        break;
+    }
+    encoded += info.encoded_bytes;
+    decoded += info.decoded_bytes;
+  }
+  std::string chunk_dims;
+  for (size_t d = 0; d < manifest.chunk_dims.size(); ++d) {
+    if (d > 0) {
+      chunk_dims += "x";
+    }
+    chunk_dims += std::to_string(manifest.chunk_dims[d]);
+  }
+  std::printf("%s: KDP v%d, dtype %s, shape %s, chunk grid %s\n",
+              args[0].c_str(), kKdpVersion,
+              std::string(DTypeName(manifest.dtype)).c_str(),
+              manifest.shape.ToString().c_str(), chunk_dims.c_str());
+  std::printf("chunks: %lld total, %lld holes, %lld coded, %lld raw\n",
+              static_cast<long long>(manifest.chunks.size()),
+              static_cast<long long>(holes), static_cast<long long>(coded),
+              static_cast<long long>(raw));
+  std::printf("bytes:  %lld decoded -> %lld encoded, %lld on disk\n",
+              static_cast<long long>(decoded),
+              static_cast<long long>(encoded),
+              static_cast<long long>((*reader)->FileBytes()));
+  std::printf("retained: %lld elements; fingerprint %08x\n",
+              static_cast<long long>((*reader)->retained_count()),
+              (*reader)->pack_fingerprint());
   return 0;
 }
 
@@ -869,13 +1001,6 @@ int CmdProvenanceCompact(std::vector<std::string> args) {
               static_cast<long long>(stats->input_bytes),
               static_cast<long long>(stats->output_bytes), stats->Ratio());
   return 0;
-}
-
-/// Parses "A:B" into a half-open byte range.
-bool ParseRange(const std::string& text, int64_t* begin, int64_t* end) {
-  const std::vector<std::string> parts = StrSplit(text, ':');
-  return parts.size() == 2 && ParseInt64(parts[0], begin) &&
-         ParseInt64(parts[1], end) && *begin < *end;
 }
 
 int CmdProvenanceQuery(std::vector<std::string> args) {
@@ -1418,6 +1543,18 @@ int Main(int argc, char** argv) {
   }
   if (command == "carve") {
     return CmdCarve(std::move(args));
+  }
+  if (command == "pack") {
+    return CmdPack(std::move(args));
+  }
+  if (command == "unpack") {
+    return CmdUnpack(std::move(args));
+  }
+  if (command == "repack") {
+    return CmdRepack(std::move(args));
+  }
+  if (command == "pack-stats") {
+    return CmdPackStats(std::move(args));
   }
   if (command == "provenance") {
     return CmdProvenance(std::move(args));
