@@ -1,6 +1,8 @@
 #include "carve/carver.h"
 
+#include <atomic>
 #include <cstdint>
+#include <utility>
 
 #include "common/logging.h"
 #include "geom/vec.h"
@@ -22,6 +24,67 @@ struct CellCoord {
   }
 };
 
+/// Below this many hulls a parallel scan's latch + atomic traffic costs
+/// more than the O(n^2) CLOSE evaluations it spreads out.
+constexpr int64_t kParallelScanMinHulls = 8;
+
+struct ClosePair {
+  int64_t i = -1;
+  int64_t j = -1;
+};
+
+/// Lexicographically smallest CLOSE pair — smallest i, then smallest j —
+/// or {-1, -1}. The parallel path gives each row i its own ascending scan
+/// for the first matching j (rows are independent), prunes rows already
+/// beaten by a smaller matched row through an atomic lower bound, and
+/// reduces to the smallest matched row. The winning pair is a pure
+/// function of the hulls, not of worker scheduling, so both paths return
+/// the identical pair.
+ClosePair FindFirstClosePair(const Carver& carver,
+                             const std::vector<Hull>& hulls,
+                             CampaignExecutor* executor) {
+  const int64_t n = static_cast<int64_t>(hulls.size());
+  if (executor == nullptr || executor->jobs() <= 1 ||
+      n < kParallelScanMinHulls) {
+    for (int64_t i = 0; i + 1 < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        if (carver.Close(hulls[static_cast<size_t>(i)],
+                         hulls[static_cast<size_t>(j)])) {
+          return {i, j};
+        }
+      }
+    }
+    return {};
+  }
+
+  std::atomic<int64_t> best{n};
+  std::vector<int64_t> row_match(static_cast<size_t>(n), -1);
+  executor->ParallelFor(n - 1, [&carver, &hulls, &best, &row_match,
+                                n](int64_t i) {
+    if (i >= best.load(std::memory_order_relaxed)) {
+      return;  // A smaller row already matched; this row cannot win.
+    }
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (!carver.Close(hulls[static_cast<size_t>(i)],
+                        hulls[static_cast<size_t>(j)])) {
+        continue;
+      }
+      row_match[static_cast<size_t>(i)] = j;
+      int64_t current = best.load(std::memory_order_relaxed);
+      while (i < current &&
+             !best.compare_exchange_weak(current, i,
+                                         std::memory_order_relaxed)) {
+      }
+      break;
+    }
+  });
+  const int64_t i = best.load(std::memory_order_relaxed);
+  if (i >= n) {
+    return {};
+  }
+  return {i, row_match[static_cast<size_t>(i)]};
+}
+
 }  // namespace
 
 bool Carver::Close(const Hull& a, const Hull& b) const {
@@ -38,6 +101,17 @@ bool Carver::Close(const Hull& a, const Hull& b) const {
 }
 
 CarvedSubset Carver::Carve(const IndexSet& points, CarveStats* stats) const {
+  return CarveImpl(points, nullptr, stats);
+}
+
+CarvedSubset Carver::Carve(const IndexSet& points, CampaignExecutor& executor,
+                           CarveStats* stats) const {
+  return CarveImpl(points, &executor, stats);
+}
+
+CarvedSubset Carver::CarveImpl(const IndexSet& points,
+                               CampaignExecutor* executor,
+                               CarveStats* stats) const {
   const Shape& shape = points.shape();
   const int rank = shape.rank();
   KONDO_CHECK(rank >= 1 && rank <= 3);
@@ -67,28 +141,25 @@ CarvedSubset Carver::Carve(const IndexSet& points, CarveStats* stats) const {
 
   // Iterated pairwise merging until no two hulls are CLOSE. Each merge
   // strictly decreases the hull count, so at most initial_hulls - 1 merges
-  // happen; the rounds bound is a config safety net.
+  // happen; the rounds bound is a config safety net. Every round merges
+  // the lexicographically smallest CLOSE pair, whichever scan found it.
   int rounds = 0;
-  bool merged_any = true;
-  while (merged_any && rounds++ < config_.max_merge_rounds) {
-    merged_any = false;
-    for (size_t i = 0; i < hulls.size() && !merged_any; ++i) {
-      for (size_t j = i + 1; j < hulls.size() && !merged_any; ++j) {
-        if (!Close(hulls[i], hulls[j])) {
-          continue;
-        }
-        std::vector<Vec3> union_vertices = hulls[i].vertices();
-        union_vertices.insert(union_vertices.end(),
-                              hulls[j].vertices().begin(),
-                              hulls[j].vertices().end());
-        Hull merged = Hull::Build(union_vertices, rank);
-        hulls.erase(hulls.begin() + static_cast<int64_t>(j));
-        hulls[i] = std::move(merged);
-        merged_any = true;
-        if (stats != nullptr) {
-          ++stats->merge_operations;
-        }
-      }
+  while (rounds++ < config_.max_merge_rounds) {
+    const ClosePair pair = FindFirstClosePair(*this, hulls, executor);
+    if (pair.i < 0) {
+      break;
+    }
+    std::vector<Vec3> union_vertices =
+        hulls[static_cast<size_t>(pair.i)].vertices();
+    union_vertices.insert(
+        union_vertices.end(),
+        hulls[static_cast<size_t>(pair.j)].vertices().begin(),
+        hulls[static_cast<size_t>(pair.j)].vertices().end());
+    Hull merged = Hull::Build(union_vertices, rank);
+    hulls.erase(hulls.begin() + pair.j);
+    hulls[static_cast<size_t>(pair.i)] = std::move(merged);
+    if (stats != nullptr) {
+      ++stats->merge_operations;
     }
   }
 

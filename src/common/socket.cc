@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -32,7 +33,11 @@ std::string SocketAddress::ToString() const {
 // ---------------------------------------------------------------------------
 // Connection
 
-Connection::~Connection() { ::close(fd_); }
+Connection::~Connection() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
 
 Status Connection::WriteFully(const void* data, size_t size) {
   const char* p = static_cast<const char*>(data);
@@ -60,6 +65,12 @@ Status Connection::ReadFully(void* data, size_t size) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. Distinct from kDataLoss: the stream is not
+        // torn, the peer just went silent — the coordinator's straggler
+        // signal.
+        return ResourceExhaustedError("socket read timed out");
+      }
       return ErrnoError(StatusCode::kDataLoss, "socket read");
     }
     if (n == 0) {
@@ -74,6 +85,16 @@ Status Connection::ReadFully(void* data, size_t size) {
   return OkStatus();
 }
 
+Status Connection::SetRecvTimeout(int64_t micros) {
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(micros / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(micros % 1000000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoError(StatusCode::kInternal, "setsockopt SO_RCVTIMEO");
+  }
+  return OkStatus();
+}
+
 void Connection::ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
 
 void Connection::ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
@@ -82,6 +103,9 @@ void Connection::ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
 // ListenSocket
 
 ListenSocket::~ListenSocket() {
+  if (fd_ < 0) {
+    return;  // A decorator; the wrapped listener owns the descriptor.
+  }
   ::close(fd_);
   if (address_.is_unix()) {
     // Remove the socket file so the next server can bind cleanly even

@@ -30,61 +30,85 @@ struct SocketAddress {
 /// ShutdownRead() to wake a blocked ReadFully (the server uses this to
 /// drain sessions on shutdown). The descriptor itself is immutable after
 /// construction and closed only by the destructor.
+///
+/// The IO methods are virtual so a fault-injecting NetEnv can decorate a
+/// real connection with deterministic drops and short frames (see
+/// common/net_fault.h); decorators construct through the protected default
+/// constructor and own no descriptor of their own.
 class Connection {
  public:
   explicit Connection(int fd) : fd_(fd) {}
-  ~Connection();
+  virtual ~Connection();
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
   /// Writes exactly `size` bytes (kDataLoss on a broken pipe).
-  Status WriteFully(const void* data, size_t size);
+  virtual Status WriteFully(const void* data, size_t size);
   Status WriteFully(const std::string& data) {
     return WriteFully(data.data(), data.size());
   }
 
   /// Reads exactly `size` bytes. A clean EOF before the first byte returns
   /// kOutOfRange ("connection closed") so frame loops can distinguish an
-  /// orderly disconnect from a torn frame (kDataLoss).
-  Status ReadFully(void* data, size_t size);
+  /// orderly disconnect from a torn frame (kDataLoss). With a receive
+  /// timeout armed, an idle wire returns kResourceExhausted ("socket read
+  /// timed out") — the straggler signal fleet coordinators key on.
+  virtual Status ReadFully(void* data, size_t size);
+
+  /// Arms (micros > 0) or clears (micros == 0) a receive timeout on the
+  /// socket. Timeouts surface from ReadFully as kResourceExhausted.
+  virtual Status SetRecvTimeout(int64_t micros);
 
   /// Half-closes the read side, waking any blocked ReadFully with EOF.
-  void ShutdownRead();
+  virtual void ShutdownRead();
 
   /// Half-closes the write side (the peer's reader sees EOF).
-  void ShutdownWrite();
+  virtual void ShutdownWrite();
 
   int fd() const { return fd_; }
 
+ protected:
+  /// For decorators that forward to a wrapped Connection (fd_ = -1; the
+  /// destructor skips the close).
+  Connection() = default;
+
  private:
-  const int fd_;
+  const int fd_ = -1;
 };
 
-/// A bound, listening socket accepting Connections.
+/// A bound, listening socket accepting Connections. Accept/Shutdown are
+/// virtual for the same decoration seam as Connection: a fault-injecting
+/// listener wraps every accepted connection.
 class ListenSocket {
  public:
   ListenSocket(int fd, SocketAddress address)
       : fd_(fd), address_(std::move(address)) {}
-  ~ListenSocket();
+  virtual ~ListenSocket();
 
   ListenSocket(const ListenSocket&) = delete;
   ListenSocket& operator=(const ListenSocket&) = delete;
 
   /// Blocks for the next connection. After Shutdown() every pending and
   /// future Accept returns kFailedPrecondition ("listener closed").
-  StatusOr<std::unique_ptr<Connection>> Accept();
+  virtual StatusOr<std::unique_ptr<Connection>> Accept();
 
   /// Wakes blocked Accept calls; idempotent. (The accept loop calls this
   /// from the server's Stop thread.)
-  void Shutdown();
+  virtual void Shutdown();
 
   /// The bound address; for TCP with port 0 this carries the kernel-chosen
   /// port.
   const SocketAddress& address() const { return address_; }
 
+ protected:
+  /// For decorators forwarding to a wrapped listener (fd_ = -1; the
+  /// destructor skips the close and the socket-file removal).
+  explicit ListenSocket(SocketAddress address)
+      : address_(std::move(address)) {}
+
  private:
-  const int fd_;
+  const int fd_ = -1;
   SocketAddress address_;
 };
 

@@ -1,0 +1,206 @@
+#include "fleet/fleet_protocol.h"
+
+#include <limits>
+
+#include "common/strings.h"
+#include "serve/kpc.h"
+
+namespace kondo {
+namespace {
+
+/// Ceiling on counted collections in fleet payloads (slices, files). A
+/// header claiming more is corruption: even a degenerate plan never slices
+/// one shard a million ways.
+constexpr uint32_t kMaxWireCount = 1u << 20;
+
+Status ReadCount(KpcCursor& cursor, const char* what, uint32_t* count) {
+  KONDO_RETURN_IF_ERROR(cursor.ReadU32(count));
+  if (*count > kMaxWireCount) {
+    return DataLossError(StrCat("implausible ", what, " count: ", *count));
+  }
+  return OkStatus();
+}
+
+Status ReadShardId(KpcCursor& cursor, int* shard) {
+  int64_t value = 0;
+  KONDO_RETURN_IF_ERROR(cursor.ReadI64(&value));
+  if (value < 0 || value > std::numeric_limits<int>::max()) {
+    return DataLossError(StrCat("bad shard id on the wire: ", value));
+  }
+  *shard = static_cast<int>(value);
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string WorkerHello::Encode() const {
+  std::string out;
+  KpcAppendString(program, &out);
+  KpcAppendI64(extent, &out);
+  KpcAppendI64(static_cast<int64_t>(rng_seed), &out);
+  KpcAppendI64(fuzz.stop_iter, &out);
+  KpcAppendI64(fuzz.max_iter, &out);
+  KpcAppendF64(fuzz.diameter, &out);
+  KpcAppendI64(fuzz.u_reps, &out);
+  KpcAppendI64(fuzz.n_reps, &out);
+  KpcAppendF64(fuzz.u_dist.lo, &out);
+  KpcAppendF64(fuzz.u_dist.hi, &out);
+  KpcAppendF64(fuzz.n_dist.lo, &out);
+  KpcAppendF64(fuzz.n_dist.hi, &out);
+  KpcAppendI64(fuzz.restart, &out);
+  KpcAppendI64(fuzz.decay_iter, &out);
+  KpcAppendF64(fuzz.decay, &out);
+  KpcAppendF64(fuzz.epsilon0, &out);
+  KpcAppendI64(fuzz.init_seeds, &out);
+  KpcAppendF64(fuzz.max_seconds, &out);
+  KpcAppendI64(fuzz.max_evals, &out);
+  KpcAppendI64(fuzz.test_max_attempts, &out);
+  KpcAppendI64(fuzz.test_backoff_micros, &out);
+  return out;
+}
+
+StatusOr<WorkerHello> WorkerHello::Decode(std::string_view payload) {
+  KpcCursor cursor(payload);
+  WorkerHello hello;
+  KONDO_RETURN_IF_ERROR(cursor.ReadString(&hello.program));
+  KONDO_RETURN_IF_ERROR(cursor.ReadI64(&hello.extent));
+  int64_t seed = 0;
+  KONDO_RETURN_IF_ERROR(cursor.ReadI64(&seed));
+  hello.rng_seed = static_cast<uint64_t>(seed);
+  const auto read_int = [&cursor](int* v) {
+    int64_t wide = 0;
+    KONDO_RETURN_IF_ERROR(cursor.ReadI64(&wide));
+    *v = static_cast<int>(wide);
+    return OkStatus();
+  };
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.stop_iter));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.max_iter));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.diameter));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.u_reps));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.n_reps));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.u_dist.lo));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.u_dist.hi));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.n_dist.lo));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.n_dist.hi));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.restart));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.decay_iter));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.decay));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.epsilon0));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.init_seeds));
+  KONDO_RETURN_IF_ERROR(cursor.ReadF64(&hello.fuzz.max_seconds));
+  KONDO_RETURN_IF_ERROR(cursor.ReadI64(&hello.fuzz.max_evals));
+  KONDO_RETURN_IF_ERROR(read_int(&hello.fuzz.test_max_attempts));
+  KONDO_RETURN_IF_ERROR(cursor.ReadI64(&hello.fuzz.test_backoff_micros));
+  KONDO_RETURN_IF_ERROR(cursor.Done());
+  return hello;
+}
+
+std::string WorkerHelloAck::Encode() const {
+  std::string out;
+  KpcAppendString(program, &out);
+  KpcAppendU32(static_cast<uint32_t>(file_shapes.size()), &out);
+  for (const Shape& shape : file_shapes) {
+    KpcAppendU32(static_cast<uint32_t>(shape.rank()), &out);
+    for (int d = 0; d < shape.rank(); ++d) {
+      KpcAppendI64(shape.dim(d), &out);
+    }
+  }
+  return out;
+}
+
+StatusOr<WorkerHelloAck> WorkerHelloAck::Decode(std::string_view payload) {
+  KpcCursor cursor(payload);
+  WorkerHelloAck ack;
+  KONDO_RETURN_IF_ERROR(cursor.ReadString(&ack.program));
+  uint32_t files = 0;
+  KONDO_RETURN_IF_ERROR(ReadCount(cursor, "file", &files));
+  ack.file_shapes.reserve(files);
+  for (uint32_t f = 0; f < files; ++f) {
+    uint32_t rank = 0;
+    KONDO_RETURN_IF_ERROR(cursor.ReadU32(&rank));
+    if (rank == 0 || rank > 3) {
+      return DataLossError(StrCat("bad file rank on the wire: ", rank));
+    }
+    std::vector<int64_t> dims(rank);
+    for (int64_t& dim : dims) {
+      KONDO_RETURN_IF_ERROR(cursor.ReadI64(&dim));
+      if (dim <= 0) {
+        return DataLossError(StrCat("bad file dim on the wire: ", dim));
+      }
+    }
+    ack.file_shapes.emplace_back(dims);
+  }
+  KONDO_RETURN_IF_ERROR(cursor.Done());
+  return ack;
+}
+
+std::string RunShardRequest::Encode() const {
+  std::string out;
+  KpcAppendI64(shard, &out);
+  KpcAppendU32(static_cast<uint32_t>(slices.size()), &out);
+  for (const ShardSlice& slice : slices) {
+    KpcAppendI64(slice.file, &out);
+    KpcAppendI64(slice.begin, &out);
+    KpcAppendI64(slice.end, &out);
+  }
+  return out;
+}
+
+StatusOr<RunShardRequest> RunShardRequest::Decode(std::string_view payload) {
+  KpcCursor cursor(payload);
+  RunShardRequest request;
+  KONDO_RETURN_IF_ERROR(ReadShardId(cursor, &request.shard));
+  uint32_t slices = 0;
+  KONDO_RETURN_IF_ERROR(ReadCount(cursor, "slice", &slices));
+  request.slices.reserve(slices);
+  for (uint32_t i = 0; i < slices; ++i) {
+    ShardSlice slice;
+    int64_t file = 0;
+    KONDO_RETURN_IF_ERROR(cursor.ReadI64(&file));
+    KONDO_RETURN_IF_ERROR(cursor.ReadI64(&slice.begin));
+    KONDO_RETURN_IF_ERROR(cursor.ReadI64(&slice.end));
+    if (file < 0 || slice.begin < 0 || slice.end <= slice.begin) {
+      return DataLossError("bad shard slice on the wire");
+    }
+    slice.file = static_cast<int>(file);
+    request.slices.push_back(slice);
+  }
+  KONDO_RETURN_IF_ERROR(cursor.Done());
+  return request;
+}
+
+std::string HeartbeatMsg::Encode() const {
+  std::string out;
+  KpcAppendI64(shard, &out);
+  KpcAppendI64(sequence, &out);
+  return out;
+}
+
+StatusOr<HeartbeatMsg> HeartbeatMsg::Decode(std::string_view payload) {
+  KpcCursor cursor(payload);
+  HeartbeatMsg heartbeat;
+  KONDO_RETURN_IF_ERROR(ReadShardId(cursor, &heartbeat.shard));
+  KONDO_RETURN_IF_ERROR(cursor.ReadI64(&heartbeat.sequence));
+  KONDO_RETURN_IF_ERROR(cursor.Done());
+  return heartbeat;
+}
+
+std::string ShardResultMsg::Encode() const {
+  std::string out;
+  KpcAppendI64(shard, &out);
+  KpcAppendString(kss, &out);
+  KpcAppendString(kel2, &out);
+  return out;
+}
+
+StatusOr<ShardResultMsg> ShardResultMsg::Decode(std::string_view payload) {
+  KpcCursor cursor(payload);
+  ShardResultMsg result;
+  KONDO_RETURN_IF_ERROR(ReadShardId(cursor, &result.shard));
+  KONDO_RETURN_IF_ERROR(cursor.ReadString(&result.kss));
+  KONDO_RETURN_IF_ERROR(cursor.ReadString(&result.kel2));
+  KONDO_RETURN_IF_ERROR(cursor.Done());
+  return result;
+}
+
+}  // namespace kondo

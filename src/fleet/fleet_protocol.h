@@ -1,0 +1,100 @@
+#ifndef KONDO_FLEET_FLEET_PROTOCOL_H_
+#define KONDO_FLEET_FLEET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "array/shape.h"
+#include "common/statusor.h"
+#include "fuzz/fuzz_config.h"
+#include "shard/shard_plan.h"
+
+namespace kondo {
+
+/// Payloads of the KPC fleet worker verbs (serve/kpc.h: kHello, kRunShard,
+/// kShardResult, kHeartbeat). Wire layout follows the KPC conventions —
+/// little-endian fixed-width integers, u32 length-prefixed strings — and is
+/// specified field by field in docs/FORMATS.md.
+///
+/// The conversation on a worker connection:
+///
+///   coordinator -> worker   kHello(WorkerHello)        campaign spec
+///   worker -> coordinator   kHello(WorkerHelloAck)     program validated
+///   repeat:
+///     coordinator -> worker kRunShard(RunShardRequest) one shard
+///     worker -> coordinator kHeartbeat(HeartbeatMsg)*  liveness while busy
+///     worker -> coordinator kShardResult(ShardResultMsg)
+///
+/// Any side may send kError(KpcError) instead of its next frame; the
+/// connection is then done. A worker serves shards until the coordinator
+/// closes the connection.
+
+/// kHello, coordinator -> worker: everything a worker needs to replay the
+/// campaign schedule bit-identically — the registry program name, its
+/// extent override, and the full fuzz configuration plus RNG seed. Carve
+/// parameters are *not* shipped: carving happens at the coordinator's
+/// merge, never on workers.
+struct WorkerHello {
+  std::string program;  // Registry name ("STORM", "CLIMATE", ...).
+  int64_t extent = 0;   // Grid-extent override; 0 = program default.
+  uint64_t rng_seed = 1;
+  FuzzConfig fuzz;
+
+  std::string Encode() const;
+  static StatusOr<WorkerHello> Decode(std::string_view payload);
+};
+
+/// kHello, worker -> coordinator: the worker instantiated the program and
+/// echoes its file geometry, so a coordinator whose plan was built against
+/// different shapes (wrong binary, wrong extent) fails the handshake
+/// instead of merging nonsense.
+struct WorkerHelloAck {
+  std::string program;
+  std::vector<Shape> file_shapes;
+
+  std::string Encode() const;
+  static StatusOr<WorkerHelloAck> Decode(std::string_view payload);
+};
+
+/// kRunShard, coordinator -> worker: one shard assignment — the shard id
+/// (which names every artefact) and the slices it owns. The worker rebuilds
+/// the plan-lite geometry (shapes, offsets, combined space) from its own
+/// program instance; only the ownership map crosses the wire.
+struct RunShardRequest {
+  int shard = 0;
+  std::vector<ShardSlice> slices;
+
+  std::string Encode() const;
+  static StatusOr<RunShardRequest> Decode(std::string_view payload);
+};
+
+/// kHeartbeat, worker -> coordinator: sent periodically while the shard
+/// campaign runs, so the coordinator's receive timeout distinguishes a
+/// long-running worker from a dead or wedged one.
+struct HeartbeatMsg {
+  int shard = 0;
+  int64_t sequence = 0;  // Monotonic per shard, starting at 0.
+
+  std::string Encode() const;
+  static StatusOr<HeartbeatMsg> Decode(std::string_view payload);
+};
+
+/// kShardResult, worker -> coordinator: the shard's sealed artefacts as
+/// complete file images — the KSS state (checksum trailer included, its
+/// `A` line fingerprinting the store) and the KEL2 lineage store bytes.
+/// The coordinator verifies both fingerprints before anything touches the
+/// campaign directory.
+struct ShardResultMsg {
+  int shard = 0;
+  std::string kss;
+  std::string kel2;
+
+  std::string Encode() const;
+  static StatusOr<ShardResultMsg> Decode(std::string_view payload);
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_FLEET_FLEET_PROTOCOL_H_

@@ -1,0 +1,145 @@
+#ifndef KONDO_FLEET_FLEET_WORKER_H_
+#define KONDO_FLEET_FLEET_WORKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/env.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "fleet/fleet_protocol.h"
+#include "workloads/multi_file_program.h"
+
+namespace kondo {
+
+struct KpcFrame;  // serve/kpc.h — only the .cc needs the full protocol.
+
+/// Instantiates the program a WorkerHello names. The default resolves the
+/// workloads registry: multi-file programs first, then single-file programs
+/// wrapped in a SingleFileProgramAdapter. Tests and benches substitute
+/// factories that add latency models or refuse names.
+using FleetProgramFactory =
+    std::function<std::unique_ptr<MultiFileProgram>(const std::string& name,
+                                                    int64_t extent)>;
+
+/// The registry-backed default factory (nullptr for unknown names).
+std::unique_ptr<MultiFileProgram> CreateFleetProgram(const std::string& name,
+                                                     int64_t extent);
+
+struct FleetWorkerOptions {
+  /// Where to listen: unix-domain path or loopback TCP port (0 picks one;
+  /// bound_address() reports it).
+  SocketAddress address;
+
+  /// Scratch directory for in-flight per-shard lineage stores (created on
+  /// Start). Artefacts here are transient: the sealed bytes ship to the
+  /// coordinator and nothing on the worker is part of the campaign.
+  std::string scratch_dir = ".";
+
+  /// Campaign executor width for debloat tests.
+  int jobs = 1;
+
+  /// Liveness cadence while a shard campaign runs. 0 suppresses heartbeats
+  /// entirely — with a stalled result this makes the worker an intentional
+  /// straggler, which is how the coordinator's timeout path is tested.
+  int64_t heartbeat_micros = 100'000;
+
+  /// Test knob: a blocking wait inserted before each kShardResult frame,
+  /// after heartbeats have stopped, so a coordinator with a shorter
+  /// receive timeout observes a straggler deterministically.
+  int64_t result_stall_micros = 0;
+
+  /// Socket seam; nullptr = real sockets. Tests wrap this in a
+  /// FaultInjectingNetEnv to kill a worker's connection mid-shard.
+  NetEnv* net = nullptr;
+
+  /// Filesystem seam for scratch lineage writes; nullptr = real.
+  Env* env = nullptr;
+
+  /// Program instantiation; nullptr = CreateFleetProgram.
+  FleetProgramFactory program_factory;
+};
+
+/// A fleet worker process body: listens for a coordinator, answers the
+/// kHello handshake, and serves kRunShard assignments — each one a full
+/// RunShardCampaign whose sealed KSS + KEL2 bytes stream back in a
+/// kShardResult frame. While a campaign runs, a heartbeat thread writes
+/// kHeartbeat frames (serialised with the result writes) so the
+/// coordinator can tell busy from dead.
+///
+/// Threading: one accept thread plus one thread per coordinator session;
+/// each session runs its campaigns inline and owns a short-lived heartbeat
+/// thread per shard. Stop() (idempotent, also run by the destructor) shuts
+/// the listener, wakes blocked sessions, and joins everything.
+class FleetWorker {
+ public:
+  explicit FleetWorker(FleetWorkerOptions options);
+  ~FleetWorker();
+
+  FleetWorker(const FleetWorker&) = delete;
+  FleetWorker& operator=(const FleetWorker&) = delete;
+
+  /// Creates the scratch directory, binds, listens, starts accepting.
+  Status Start();
+
+  /// Stops accepting, drains sessions, joins all threads.
+  void Stop();
+
+  /// The listen address with any port-0 resolved. Valid after Start().
+  const SocketAddress& bound_address() const { return bound_address_; }
+
+  /// Shard campaigns completed and shipped since Start().
+  int64_t shards_served() const KONDO_EXCLUDES(mu_);
+
+ private:
+  struct Session {
+    int64_t id = 0;
+    std::unique_ptr<Connection> conn;
+    std::thread thread;
+
+    /// Campaign spec from this session's kHello (null until hello'd).
+    std::unique_ptr<MultiFileProgram> program;
+    ShardPlan plan;  // Plan-lite: shapes + offsets, no shard list.
+    FuzzConfig fuzz;
+    uint64_t rng_seed = 1;
+
+    /// Serialises kHeartbeat frames against kShardResult/kError writes.
+    Mutex send_mu;
+    int64_t frames_sent KONDO_GUARDED_BY(send_mu) = 0;
+  };
+
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+
+  /// Dispatches one request frame; a returned error drops the session.
+  Status Dispatch(Session* session, const KpcFrame& frame);
+  Status HandleHello(Session* session, const KpcFrame& frame);
+  Status HandleRunShard(Session* session, const KpcFrame& frame);
+
+  /// Runs shard `request` and returns the sealed result message.
+  StatusOr<ShardResultMsg> RunAssignedShard(Session* session,
+                                            const RunShardRequest& request);
+
+  bool Stopping() const KONDO_EXCLUDES(mu_);
+
+  const FleetWorkerOptions options_;
+  std::unique_ptr<ListenSocket> listener_;
+  SocketAddress bound_address_;
+  std::thread accept_thread_;
+
+  mutable Mutex mu_;
+  bool started_ KONDO_GUARDED_BY(mu_) = false;
+  bool stopping_ KONDO_GUARDED_BY(mu_) = false;
+  int64_t next_session_id_ KONDO_GUARDED_BY(mu_) = 1;
+  int64_t shards_served_ KONDO_GUARDED_BY(mu_) = 0;
+  std::list<std::unique_ptr<Session>> sessions_ KONDO_GUARDED_BY(mu_);
+};
+
+}  // namespace kondo
+
+#endif  // KONDO_FLEET_FLEET_WORKER_H_

@@ -30,7 +30,7 @@ struct LintOptions {
   /// modules whose artefacts must be bit-identical under replay.
   std::vector<std::string> critical_modules = {
       "src/fuzz/", "src/exec/", "src/shard/", "src/carve/",
-      "src/provenance/", "src/serve/", "src/pack/"};
+      "src/provenance/", "src/serve/", "src/pack/", "src/fleet/"};
 };
 
 /// Outcome of one lint run.

@@ -50,6 +50,12 @@ enum class KpcKind : uint8_t {
   kSubmitResponse = 7,
   kStatsRequest = 8,
   kStatsResponse = 9,
+  // Fleet worker verbs (payload structs in src/fleet/fleet_protocol.h; the
+  // coordinator/worker lifecycle is documented in docs/ARCHITECTURE.md).
+  kHello = 10,        // Coordinator -> worker: campaign spec; ack back.
+  kRunShard = 11,     // Coordinator -> worker: one shard assignment.
+  kShardResult = 12,  // Worker -> coordinator: sealed .kss + .kel2 bytes.
+  kHeartbeat = 13,    // Worker -> coordinator: liveness while fuzzing.
 };
 
 struct KpcFrame {

@@ -78,30 +78,22 @@ StatusOr<MergedCampaign> MergeShardCampaigns(
     merged.per_file_discovered.push_back(std::move(set));
   }
 
-  // Carve the files in parallel — each file's carve is independent and
-  // runs entirely inside its pool task. Rasterisation then parallelises
-  // over each file's hulls, one file at a time (a pool task must never
-  // start a nested ParallelFor).
-  struct CarveOutcome {
-    CarvedSubset carved;
-    CarveStats stats;
-  };
+  // Carve the files one at a time, spending the workers *inside* each
+  // file: every hull-merge round's CLOSE-pair scan fans out over the pool
+  // (bit-identical merge order, see Carver::Carve), and so does each
+  // file's rasterisation. Carving files serially keeps every ParallelFor
+  // on the calling thread — a pool task must never start a nested one —
+  // and the scan dominates carve time, so the workers stay busy even on a
+  // single-file program.
   const Carver carver(config.carve);
-  std::vector<CarveOutcome> carved = executor.Map<CarveOutcome>(
-      files, [&carver, &merged](int64_t f) {
-        CarveOutcome outcome;
-        outcome.carved = carver.Carve(
-            merged.per_file_discovered[static_cast<size_t>(f)],
-            &outcome.stats);
-        return outcome;
-      });
   merged.per_file_approx.reserve(static_cast<size_t>(files));
   merged.per_file_carve_stats.reserve(static_cast<size_t>(files));
   for (int f = 0; f < files; ++f) {
-    merged.per_file_approx.push_back(
-        Carver::Rasterize(carved[static_cast<size_t>(f)].carved, executor));
-    merged.per_file_carve_stats.push_back(
-        carved[static_cast<size_t>(f)].stats);
+    CarveStats stats;
+    const CarvedSubset carved = carver.Carve(
+        merged.per_file_discovered[static_cast<size_t>(f)], executor, &stats);
+    merged.per_file_approx.push_back(Carver::Rasterize(carved, executor));
+    merged.per_file_carve_stats.push_back(stats);
   }
   return merged;
 }

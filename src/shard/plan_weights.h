@@ -1,0 +1,38 @@
+#ifndef KONDO_SHARD_PLAN_WEIGHTS_H_
+#define KONDO_SHARD_PLAN_WEIGHTS_H_
+
+#include <string>
+#include <vector>
+
+#include "array/index_set.h"
+#include "array/shape.h"
+#include "common/statusor.h"
+#include "shard/shard_plan.h"
+
+namespace kondo {
+
+/// Weight assigned to an element with observed accesses; unobserved
+/// elements get kColdElementWeight so every weight stays positive (the
+/// planner requires it) and cold regions still cost a little — they are
+/// re-executed by every shard's replicated schedule regardless.
+inline constexpr double kHotElementWeight = 1.0;
+inline constexpr double kColdElementWeight = 0.01;
+
+/// Derives per-element access-density weights from a prior campaign's
+/// KEL2 lineage store (ProvenanceQuery::AccessedRanges per file): elements
+/// whose canonical byte range [8i, 8i+8) was touched weigh
+/// kHotElementWeight, the rest kColdElementWeight. `file_shapes` must list
+/// the campaign's files in ordinal order (file_id = ordinal + 1). A store
+/// recording no access at all yields uniform weights — the planner then
+/// falls back to element-count balancing.
+StatusOr<PlanWeights> WeightsFromLineageStore(
+    const std::string& kel2_path, const std::vector<Shape>& file_shapes);
+
+/// Derives the same hot/cold weights from an in-memory pilot campaign's
+/// per-file discovered index sets (one IndexSet per file, shapes taken
+/// from the sets themselves).
+PlanWeights WeightsFromIndexSets(const std::vector<IndexSet>& per_file);
+
+}  // namespace kondo
+
+#endif  // KONDO_SHARD_PLAN_WEIGHTS_H_

@@ -121,9 +121,8 @@ StatusOr<ShardArtifactInfo> HashFileArtifact(const std::string& path) {
   return info;
 }
 
-Status SaveShardState(const std::string& path, int shard,
-                      const ShardCampaignResult& result,
-                      const ShardArtifactInfo& info, Env* env) {
+std::string EncodeShardState(int shard, const ShardCampaignResult& result,
+                             const ShardArtifactInfo& info) {
   std::ostringstream out;
   out << "KSS1 " << shard << " " << result.per_file.size() << "\n";
   const FuzzStats& stats = result.stats;
@@ -163,7 +162,13 @@ Status SaveShardState(const std::string& path, int shard,
   }
   std::string body = out.str();
   AppendChecksumTrailer(&body);
+  return body;
+}
 
+Status SaveShardState(const std::string& path, int shard,
+                      const ShardCampaignResult& result,
+                      const ShardArtifactInfo& info, Env* env) {
+  const std::string body = EncodeShardState(shard, result, info);
   StatusOr<AtomicFile> file = AtomicFile::Create(path, env);
   if (!file.ok()) {
     return Status(file.status().code(),
@@ -182,8 +187,15 @@ StatusOr<ShardCampaignResult> LoadShardState(
   if (!read.ok()) {
     return Status(read.code(), "cannot open shard state: " + path);
   }
+  return DecodeShardState(std::move(content), path, shard, file_shapes,
+                          info_out);
+}
+
+StatusOr<ShardCampaignResult> DecodeShardState(
+    std::string content, const std::string& source, int shard,
+    const std::vector<Shape>& file_shapes, ShardArtifactInfo* info_out) {
   {
-    const Status verified = StripChecksumTrailer(path, &content);
+    const Status verified = StripChecksumTrailer(source, &content);
     if (!verified.ok()) {
       return Status(verified.code(),
                     StrCat("shard state ", verified.message()));
@@ -192,7 +204,7 @@ StatusOr<ShardCampaignResult> LoadShardState(
   std::istringstream in(content);
   std::string line;
   if (!std::getline(in, line)) {
-    return DataLossError("empty shard state: " + path);
+    return DataLossError("empty shard state: " + source);
   }
   std::istringstream header(line);
   std::string magic;
@@ -202,7 +214,7 @@ StatusOr<ShardCampaignResult> LoadShardState(
   if (magic != "KSS1" || stored_shard != shard ||
       num_files != file_shapes.size()) {
     return DataLossError(
-        StrCat("bad shard state header for shard ", shard, ": ", path));
+        StrCat("bad shard state header for shard ", shard, ": ", source));
   }
 
   ShardCampaignResult result;

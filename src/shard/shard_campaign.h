@@ -92,6 +92,19 @@ StatusOr<ShardCampaignResult> LoadShardState(
     const std::vector<Shape>& file_shapes,
     ShardArtifactInfo* info_out = nullptr);
 
+/// The codec under Save/LoadShardState, exposed so fleet workers can
+/// stream KSS bytes over the wire and the coordinator can verify them
+/// before anything touches disk. EncodeShardState returns the complete
+/// file image (trailer included); DecodeShardState checksum-verifies and
+/// parses one (`source` names the artefact — a path or a peer — in error
+/// messages).
+std::string EncodeShardState(int shard, const ShardCampaignResult& result,
+                             const ShardArtifactInfo& info = {});
+StatusOr<ShardCampaignResult> DecodeShardState(
+    std::string content, const std::string& source, int shard,
+    const std::vector<Shape>& file_shapes,
+    ShardArtifactInfo* info_out = nullptr);
+
 }  // namespace kondo
 
 #endif  // KONDO_SHARD_SHARD_CAMPAIGN_H_

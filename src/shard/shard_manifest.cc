@@ -87,6 +87,7 @@ ShardManifest MakeShardManifest(const ShardPlan& plan, uint64_t rng_seed) {
   manifest.file_shapes = plan.file_shapes;
   manifest.shards = plan.shards;
   manifest.statuses.assign(plan.shards.size(), ShardStatus::kPending);
+  manifest.dispatch_counts.assign(plan.shards.size(), 0);
   return manifest;
 }
 
@@ -113,6 +114,13 @@ Status SaveShardManifest(const std::string& path,
       out << "L " << shard.id << " " << slice.file << " " << slice.begin
           << " " << slice.end << "\n";
     }
+  }
+  for (int s = 0; s < manifest.num_shards(); ++s) {
+    const int dispatches =
+        static_cast<size_t>(s) < manifest.dispatch_counts.size()
+            ? manifest.dispatch_counts[static_cast<size_t>(s)]
+            : 0;
+    out << "W " << s << " " << dispatches << "\n";
   }
   std::string body = out.str();
   AppendChecksumTrailer(&body);
@@ -163,6 +171,7 @@ StatusOr<ShardManifest> LoadShardManifest(const std::string& path) {
   manifest.shards.resize(static_cast<size_t>(num_shards));
   manifest.statuses.assign(static_cast<size_t>(num_shards),
                            ShardStatus::kPending);
+  manifest.dispatch_counts.assign(static_cast<size_t>(num_shards), 0);
   for (int s = 0; s < num_shards; ++s) {
     manifest.shards[static_cast<size_t>(s)].id = s;
   }
@@ -204,6 +213,15 @@ StatusOr<ShardManifest> LoadShardManifest(const std::string& path) {
         return DataLossError("bad slice line in shard manifest: " + line);
       }
       manifest.shards[static_cast<size_t>(shard)].slices.push_back(slice);
+    } else if (tag == 'W') {
+      int shard = -1;
+      int dispatches = -1;
+      fields >> shard >> dispatches;
+      if (fields.fail() || shard < 0 || shard >= num_shards ||
+          dispatches < 0) {
+        return DataLossError("bad dispatch line in shard manifest: " + line);
+      }
+      manifest.dispatch_counts[static_cast<size_t>(shard)] = dispatches;
     } else {
       return DataLossError("unknown shard manifest line: " + line);
     }

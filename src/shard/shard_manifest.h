@@ -26,6 +26,10 @@ enum class ShardStatus {
 ///   F <rank> <dim...>                 one line per file, in ordinal order
 ///   H <shard> <status>                one line per shard (0=pending 1=fuzzed)
 ///   L <shard> <file> <begin> <end>    one line per slice, in shard order
+///   W <shard> <dispatches>            fleet worker-assignment state: how
+///                                     often the shard has been dispatched
+///                                     (absent in pre-fleet manifests; the
+///                                     loader defaults it to zero)
 ///   C <crc32>                         checksum over every preceding byte
 ///
 /// The manifest is committed atomically (tmp + fsync + rename) and the
@@ -36,6 +40,10 @@ struct ShardManifest {
   std::vector<Shape> file_shapes;
   std::vector<Shard> shards;
   std::vector<ShardStatus> statuses;
+  /// Fleet accounting: times each shard was handed to a worker (0 for
+  /// purely local campaigns). Straggler/crash re-dispatches increment it;
+  /// the fleet's duplicate-dispatch cap reads it across resumes.
+  std::vector<int> dispatch_counts;
   bool merged = false;
 
   int num_shards() const { return static_cast<int>(shards.size()); }

@@ -50,6 +50,27 @@ struct ShardPlan {
   Shape combined_shape() const { return Shape({offsets.back()}); }
 };
 
+/// Per-element access-density weights steering the planner (empty = the
+/// uniform, element-count-balanced default). `per_file[f][i]` is the
+/// relative cost of file f's linear element i — typically observed access
+/// density from a pilot campaign or a prior lineage store (see
+/// WeightsFromLineageStore, shard/plan_weights.h). Every weight must be
+/// finite and positive; exactly-uniform weights reproduce the unweighted
+/// plan bit for bit (the planner detects uniformity and takes the
+/// integer-exact path).
+struct PlanWeights {
+  std::vector<std::vector<double>> per_file;
+
+  bool empty() const { return per_file.empty(); }
+
+  /// Sum of file `f`'s element weights.
+  double FileWeight(int f) const;
+
+  /// True when every element of every file carries the same weight (or the
+  /// weights are empty).
+  bool IsUniform() const;
+};
+
 /// Partitions `file_shapes` into (at most) `shards` shards:
 ///  * `shards == num_files`: one file per shard (the default partition);
 ///  * `shards < num_files`: contiguous file groups balanced by element
@@ -66,6 +87,21 @@ struct ShardPlan {
 /// `shards <= 0` or an empty/degenerate file list.
 StatusOr<ShardPlan> PlanShards(const std::vector<Shape>& file_shapes,
                                int shards);
+
+/// Access-balanced planning: like the overload above, but balances shards
+/// by summed element *weight* instead of raw element count — the fix for
+/// the CLIMATE-style skew where one file concentrates nearly all observed
+/// accesses. Grouping (shards < files) targets equal cumulative weight per
+/// group; splitting (shards > files) gives each extra split to the file
+/// with the highest weight per split and places split boundaries at weight
+/// quantiles (clamped so every range keeps at least one element). The
+/// partition invariant (exact tiling) is unchanged — only the boundaries
+/// move, so a merged campaign over a weighted plan is still bit-identical
+/// to any other plan of the same files. Empty or uniform `weights` defer
+/// to the unweighted planner; malformed weights (size mismatch,
+/// non-finite, or <= 0 entries) are kInvalidArgument.
+StatusOr<ShardPlan> PlanShards(const std::vector<Shape>& file_shapes,
+                               int shards, const PlanWeights& weights);
 
 /// Verifies the partition invariant (used by tests and by the scheduler
 /// when re-validating a manifest against a freshly computed plan).

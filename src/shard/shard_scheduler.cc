@@ -27,6 +27,29 @@ std::string JoinPath(const std::string& dir, const std::string& name) {
 
 }  // namespace
 
+StatusOr<ShardCampaignResult> LoadVerifiedShard(const std::string& dir,
+                                                int s,
+                                                const ShardPlan& plan) {
+  ShardArtifactInfo expected;
+  KONDO_ASSIGN_OR_RETURN(
+      ShardCampaignResult loaded,
+      LoadShardState(dir + "/" + ShardStateFileName(s), s, plan.file_shapes,
+                     &expected));
+  if (expected.lineage_bytes >= 0) {
+    KONDO_ASSIGN_OR_RETURN(
+        ShardArtifactInfo actual,
+        HashFileArtifact(dir + "/" + ShardLineageFileName(s)));
+    if (actual.lineage_bytes != expected.lineage_bytes ||
+        actual.lineage_crc != expected.lineage_crc) {
+      return DataLossError(
+          StrCat("shard ", s,
+                 " lineage store does not match the fingerprint recorded "
+                 "in its state file"));
+    }
+  }
+  return loaded;
+}
+
 Status EnsureCampaignDirectory(const std::string& path) {
   std::string prefix;
   for (const std::string& piece : StrSplit(path, '/')) {
@@ -48,8 +71,9 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
   for (int f = 0; f < program.num_files(); ++f) {
     file_shapes.push_back(program.file_shape(f));
   }
-  KONDO_ASSIGN_OR_RETURN(ShardPlan plan,
-                         PlanShards(file_shapes, options.shards));
+  KONDO_ASSIGN_OR_RETURN(
+      ShardPlan plan,
+      PlanShards(file_shapes, options.shards, options.plan_weights));
 
   const bool persistent = !options.output_dir.empty();
   ShardManifest manifest = MakeShardManifest(plan, config.rng_seed);
@@ -82,28 +106,12 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
       if (manifest.statuses[static_cast<size_t>(s)] != ShardStatus::kFuzzed) {
         continue;
       }
-      ShardArtifactInfo expected;
-      StatusOr<ShardCampaignResult> loaded = LoadShardState(
-          JoinPath(options.output_dir, ShardStateFileName(s)), s,
-          plan.file_shapes, &expected);
-      Status verdict = loaded.status();
-      if (verdict.ok() && expected.lineage_bytes >= 0) {
-        StatusOr<ShardArtifactInfo> actual = HashFileArtifact(
-            JoinPath(options.output_dir, ShardLineageFileName(s)));
-        if (!actual.ok()) {
-          verdict = actual.status();
-        } else if (actual->lineage_bytes != expected.lineage_bytes ||
-                   actual->lineage_crc != expected.lineage_crc) {
-          verdict = DataLossError(
-              StrCat("shard ", s,
-                     " lineage store does not match the fingerprint "
-                     "recorded in its state file"));
-        }
-      }
-      if (!verdict.ok()) {
+      StatusOr<ShardCampaignResult> loaded =
+          LoadVerifiedShard(options.output_dir, s, plan);
+      if (!loaded.ok()) {
         KONDO_LOG(Warning) << "shard " << s
                            << " failed resume verification, re-running: "
-                           << verdict;
+                           << loaded.status();
         manifest.statuses[static_cast<size_t>(s)] = ShardStatus::kPending;
         manifest.merged = false;
         demoted = true;

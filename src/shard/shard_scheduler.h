@@ -29,6 +29,12 @@ struct ShardOptions {
   /// shards from the manifest and merges once every shard is fuzzed.
   int max_shards_this_run = 0;
 
+  /// Access-density weights steering the planner (empty = element-count
+  /// balancing). A resumed campaign must pass the same weights: the
+  /// manifest records the resulting slices and CheckManifestMatchesPlan
+  /// rejects a plan whose boundaries moved.
+  PlanWeights plan_weights;
+
   /// Filesystem used for every artefact the scheduler commits (manifest,
   /// per-shard KEL2 + KSS, merged store). nullptr = the real filesystem;
   /// tests inject a FaultInjectingEnv here to simulate crashes and ENOSPC
@@ -73,6 +79,16 @@ StatusOr<ShardedRunResult> RunShardedCampaign(const MultiFileProgram& program,
 /// this for its campaign directory; exposed for callers (the CLI) that
 /// write sibling artefacts into the same tree.
 Status EnsureCampaignDirectory(const std::string& path);
+
+/// Loads shard `s`'s sealed artefacts from campaign directory `dir` and
+/// re-verifies them: the KSS checksum trailer plus the KEL2 store's
+/// whole-file byte/CRC fingerprint against the KSS `A` line. A non-OK
+/// status describes the damage; the caller demotes the shard to pending
+/// and re-runs it. The local resume path and the fleet coordinator share
+/// this rule — a crashed *worker* is handled exactly like a damaged
+/// on-disk shard.
+StatusOr<ShardCampaignResult> LoadVerifiedShard(const std::string& dir,
+                                                int s, const ShardPlan& plan);
 
 }  // namespace kondo
 

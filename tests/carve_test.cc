@@ -7,6 +7,7 @@
 #include "carve/carved_subset.h"
 #include "carve/carver.h"
 #include "common/rng.h"
+#include "exec/campaign_executor.h"
 #include "geom/hull.h"
 
 namespace kondo {
@@ -146,6 +147,41 @@ TEST(CarverTest, RasterizeIsSupersetOfInputProperty) {
     Carver carver(CarveConfig{});
     const IndexSet raster = carver.Carve(points).Rasterize();
     EXPECT_TRUE(points.IsSubsetOf(raster)) << "trial=" << trial;
+  }
+}
+
+TEST(CarverTest, ParallelScanCarveIsBitIdenticalToSerial) {
+  // The executor overload parallelises every merge round's CLOSE-pair
+  // scan; the chosen pair — and therefore every hull, every stat, and the
+  // rasterised result — must match the serial scan exactly.
+  Rng rng(29);
+  CampaignExecutor executor(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Shape shape{128, 128};
+    IndexSet points(shape);
+    const int clusters = static_cast<int>(rng.UniformInt(6, 14));
+    for (int c = 0; c < clusters; ++c) {
+      const int64_t cx = rng.UniformInt(8, 119);
+      const int64_t cy = rng.UniformInt(8, 119);
+      for (int i = 0; i < 30; ++i) {
+        points.Insert(Index{cx + rng.UniformInt(-6, 6),
+                            cy + rng.UniformInt(-6, 6)});
+      }
+    }
+    Carver carver(CarveConfig{});
+    CarveStats serial_stats;
+    CarveStats parallel_stats;
+    const CarvedSubset serial = carver.Carve(points, &serial_stats);
+    const CarvedSubset parallel =
+        carver.Carve(points, executor, &parallel_stats);
+    EXPECT_EQ(serial_stats.num_cells, parallel_stats.num_cells);
+    EXPECT_EQ(serial_stats.merge_operations, parallel_stats.merge_operations)
+        << "trial=" << trial;
+    EXPECT_EQ(serial_stats.final_hulls, parallel_stats.final_hulls);
+    ASSERT_EQ(serial.num_hulls(), parallel.num_hulls()) << "trial=" << trial;
+    EXPECT_EQ(serial.Rasterize().ToSortedLinearIds(),
+              parallel.Rasterize().ToSortedLinearIds())
+        << "trial=" << trial;
   }
 }
 

@@ -1,0 +1,27 @@
+// Fixture: R2 violations in the fleet mirror — a coordinator keying live
+// worker sessions by pointer (flagged unconditionally), and dispatch-order
+// iteration over an unordered shard map in a determinism-critical module.
+// Line numbers are asserted by lint_test.cc.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace kondo_fixture {
+
+struct WorkerSession {};
+
+// line 15: R2 (pointer-keyed unordered container)
+std::unordered_set<WorkerSession*> live_workers;
+
+std::vector<int> DispatchOrder(
+    const std::unordered_map<int, int>& shard_dispatches) {
+  std::vector<int> order;
+  // line 21: R2 (unordered iteration decides dispatch order)
+  for (const auto& entry : shard_dispatches) {
+    order.push_back(entry.first);
+  }
+  return order;
+}
+
+}  // namespace kondo_fixture

@@ -1,0 +1,30 @@
+// Fixture: the clean counterpart of r2_bad.cc — worker sessions are held
+// in an id-ordered map and the dispatch order is materialised and sorted
+// before anything result-affecting consumes it; hash lookups stay allowed.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace kondo_fixture {
+
+struct WorkerSession {};
+
+std::map<long long, WorkerSession> live_workers;
+
+std::vector<int> DispatchOrder(
+    const std::unordered_map<int, int>& shard_dispatches) {
+  std::vector<int> order;
+  order.reserve(shard_dispatches.size());
+  for (int shard = 0; shard < 1 << 20; ++shard) {
+    if (shard_dispatches.find(shard) != shard_dispatches.end()) {
+      order.push_back(shard);
+      if (order.size() == shard_dispatches.size()) {
+        break;
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace kondo_fixture

@@ -347,6 +347,25 @@ TEST(LintFixtureTest, R2CleanCounterpartIsClean) {
   EXPECT_TRUE(LintFixture({"src/exec/r2_clean.cc"}).findings.empty());
 }
 
+TEST(LintFixtureTest, FleetModuleIsInTheCriticalClosure) {
+  // The distributed-fleet code joined critical_modules: a pointer-keyed
+  // session set and dispatch-order iteration over an unordered shard map
+  // in the fleet mirror must anchor as R2, proving the closure covers
+  // src/fleet/.
+  const LintReport report = LintFixture({"src/fleet/r2_bad.cc"});
+  EXPECT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
+                                   {"R2", 15}, {"R2", 21}}));
+  for (const Finding& finding : report.findings) {
+    EXPECT_EQ(finding.file, "src/fleet/r2_bad.cc");
+  }
+}
+
+TEST(LintFixtureTest, FleetCleanCounterpartIsClean) {
+  // An id-ordered session map and a sorted dispatch order are the allowed
+  // spellings of what r2_bad.cc does wrong.
+  EXPECT_TRUE(LintFixture({"src/fleet/r2_clean.cc"}).findings.empty());
+}
+
 TEST(LintFixtureTest, R3BadAnchorsAllThreeDiscardShapes) {
   const LintReport report = LintFixture({"src/provenance/r3_bad.cc"});
   EXPECT_EQ(RuleLines(report),
@@ -404,18 +423,18 @@ TEST(LintFixtureTest, NoncriticalModuleEscapesR1AndR2Iteration) {
 
 TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
   const LintReport report = LintFixture({"src"});
-  EXPECT_EQ(report.files_scanned, 15);
+  EXPECT_EQ(report.files_scanned, 17);
   EXPECT_EQ(report.suppressed, 2);
   std::map<std::string, int> by_rule;
   for (const Finding& finding : report.findings) {
     ++by_rule[finding.rule];
   }
   EXPECT_EQ(by_rule["R1"], 5);
-  EXPECT_EQ(by_rule["R2"], 2);
+  EXPECT_EQ(by_rule["R2"], 4);
   EXPECT_EQ(by_rule["R3"], 5);
   EXPECT_EQ(by_rule["R4"], 2);
   EXPECT_EQ(by_rule["LINT"], 1);
-  EXPECT_EQ(report.findings.size(), 15u);
+  EXPECT_EQ(report.findings.size(), 17u);
 }
 
 // ---------------------------------------------------------------------------
@@ -436,9 +455,10 @@ TEST(LintMainTest, ExitsOneAndPrintsAnchorsOnFindings) {
   EXPECT_NE(text.find("src/shard/r4_bad.cc:16: [R4]"), std::string::npos);
   EXPECT_NE(text.find("src/serve/r1_bad.cc:14: [R1]"), std::string::npos);
   EXPECT_NE(text.find("src/pack/r3_bad.cc:14: [R3]"), std::string::npos);
+  EXPECT_NE(text.find("src/fleet/r2_bad.cc:15: [R2]"), std::string::npos);
   EXPECT_NE(text.find("src/carve/malformed.cc:5: [LINT]"),
             std::string::npos);
-  EXPECT_NE(text.find("15 finding(s) across 15 file(s) (2 suppressed)"),
+  EXPECT_NE(text.find("17 finding(s) across 17 file(s) (2 suppressed)"),
             std::string::npos);
 }
 

@@ -18,6 +18,7 @@
 #include "core/multi_kondo.h"
 #include "fuzz/fuzz_schedule.h"
 #include "shard/merge_stage.h"
+#include "shard/plan_weights.h"
 #include "shard/shard_campaign.h"
 #include "shard/shard_manifest.h"
 #include "shard/shard_plan.h"
@@ -188,6 +189,99 @@ TEST(ShardPlanTest, RejectsDegenerateInputs) {
 }
 
 // ------------------------------------------------- manifest and state --
+
+TEST(ShardPlanTest, UniformWeightsReproduceTheUnweightedPlan) {
+  const std::vector<Shape> shapes = {Shape{64, 64}, Shape{8, 8}};
+  const StatusOr<ShardPlan> unweighted = PlanShards(shapes, 5);
+  ASSERT_TRUE(unweighted.ok()) << unweighted.status();
+
+  PlanWeights weights;
+  weights.per_file.push_back(std::vector<double>(64 * 64, 2.5));
+  weights.per_file.push_back(std::vector<double>(8 * 8, 2.5));
+  const StatusOr<ShardPlan> weighted = PlanShards(shapes, 5, weights);
+  ASSERT_TRUE(weighted.ok()) << weighted.status();
+  ASSERT_EQ(weighted->num_shards(), unweighted->num_shards());
+  for (int s = 0; s < unweighted->num_shards(); ++s) {
+    EXPECT_EQ(weighted->shards[s].slices, unweighted->shards[s].slices)
+        << "shard " << s;
+  }
+}
+
+TEST(ShardPlanTest, SkewedWeightsShrinkTheHotRegionsShards) {
+  // The first eighth of the file concentrates the observed accesses; the
+  // weighted split must give the hot prefix proportionally fewer elements
+  // per shard than the uniform element-count split would.
+  const std::vector<Shape> shapes = {Shape{1024}};
+  PlanWeights weights;
+  std::vector<double> w(1024, kColdElementWeight);
+  for (int i = 0; i < 128; ++i) {
+    w[static_cast<size_t>(i)] = kHotElementWeight;
+  }
+  weights.per_file.push_back(std::move(w));
+
+  const StatusOr<ShardPlan> plan = PlanShards(shapes, 4, weights);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(ValidateShardPlan(*plan).ok());
+  ASSERT_EQ(plan->num_shards(), 4);
+  // Shard 0 owns the hot prefix: far fewer elements than the 256 an
+  // unweighted split would give it.
+  EXPECT_LT(plan->shards[0].NumElements(), 256);
+  // Every element is still covered exactly once (ValidateShardPlan), and
+  // the shard count is unchanged — only boundaries moved.
+  int64_t total = 0;
+  for (const Shard& shard : plan->shards) {
+    total += shard.NumElements();
+  }
+  EXPECT_EQ(total, 1024);
+}
+
+TEST(ShardPlanTest, MalformedWeightsAreRejected) {
+  const std::vector<Shape> shapes = {Shape{16}};
+  // Non-uniform but covering only half the file (exactly uniform weights
+  // would legitimately defer to the unweighted planner before validation).
+  PlanWeights short_weights;
+  short_weights.per_file.push_back(std::vector<double>(8, 1.0));
+  short_weights.per_file[0][0] = 2.0;
+  EXPECT_FALSE(PlanShards(shapes, 2, short_weights).ok());
+
+  PlanWeights negative;
+  negative.per_file.push_back(std::vector<double>(16, 1.0));
+  negative.per_file[0][3] = -1.0;
+  EXPECT_FALSE(PlanShards(shapes, 2, negative).ok());
+}
+
+TEST(PlanWeightsTest, WeightsFromIndexSetsMarkAccessedElementsHot) {
+  std::vector<IndexSet> per_file;
+  per_file.emplace_back(Shape{4, 4});
+  per_file[0].InsertLinear(0);
+  per_file[0].InsertLinear(5);
+  const PlanWeights weights = WeightsFromIndexSets(per_file);
+  ASSERT_EQ(weights.per_file.size(), 1u);
+  EXPECT_EQ(weights.per_file[0][0], kHotElementWeight);
+  EXPECT_EQ(weights.per_file[0][5], kHotElementWeight);
+  EXPECT_EQ(weights.per_file[0][1], kColdElementWeight);
+  EXPECT_FALSE(weights.IsUniform());
+}
+
+TEST(ShardManifestTest, DispatchCountsRoundTripThroughWLines) {
+  const std::vector<Shape> shapes = {Shape{8, 8}, Shape{4, 4, 4}};
+  const StatusOr<ShardPlan> plan = PlanShards(shapes, 3);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ShardManifest manifest = MakeShardManifest(*plan, 42);
+  manifest.dispatch_counts[0] = 2;
+  manifest.dispatch_counts[2] = 5;
+
+  const std::string dir = TempDir("manifest_w");
+  ASSERT_TRUE(EnsureCampaignDirectory(dir).ok());
+  const std::string path = dir + "/" + kShardManifestFileName;
+  ASSERT_TRUE(SaveShardManifest(path, manifest).ok());
+  const StatusOr<ShardManifest> loaded = LoadShardManifest(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->dispatch_counts,
+            (std::vector<int>{2, 0, 5}));
+  // The fleet's re-dispatch accounting never perturbs plan matching.
+  EXPECT_TRUE(CheckManifestMatchesPlan(*loaded, *plan, 42).ok());
+}
 
 TEST(ShardManifestTest, RoundTripsThroughDisk) {
   const std::vector<Shape> shapes = {Shape{8, 8}, Shape{4, 4, 4}};

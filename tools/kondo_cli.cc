@@ -7,9 +7,11 @@
 //   kondo debloat <program> --data <in.kdf> --out <out.kdd>
 //                 [--seed N] [--audited] [--max-iter N] [--max-evals N]
 //                 [--jobs N] [--shards N] [--shard-dir DIR]
+//                 [--workers N | --connect ADDR ...] [--plan-weights KEL2]
 //   kondo debloat <multi-file-program> --out <dir>
 //                 [--seed N] [--max-iter N] [--max-evals N]
 //                 [--jobs N] [--shards N] [--shard-dir DIR]
+//                 [--workers N | --connect ADDR ...] [--plan-weights KEL2]
 //   kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]
 //       [--fetch-retries <n>] [--fetch-backoff-ms <ms>]
 //   kondo evaluate <program> [--seed N] [--map] [--jobs N] [--shards N]
@@ -27,9 +29,15 @@
 //   kondo provenance stats <store>
 //   kondo serve (--socket PATH | --port N) [--pool DIR] [--jobs N]
 //               [--cache-mb N] [--max-inflight N] [--queue N]
+//   kondo worker (--socket PATH | --port N) [--scratch DIR] [--jobs N]
 //   kondo client fetch|query|submit|stats ... (--socket PATH | --port N)
 //   kondo blast --artifact A (--socket PATH | --port N) [--clients N]
 //               [--requests N] [--range A:B]
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -59,6 +67,8 @@
 #include "common/strings.h"
 #include "exec/campaign_executor.h"
 #include "exec/thread_pool.h"
+#include "fleet/fleet_scheduler.h"
+#include "fleet/fleet_worker.h"
 #include "fuzz/campaign_state.h"
 #include "pack/kdp_format.h"
 #include "pack/pack_reader.h"
@@ -70,6 +80,7 @@
 #include "serve/blast.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "shard/plan_weights.h"
 #include "shard/shard_scheduler.h"
 #include "workloads/registry.h"
 
@@ -93,9 +104,13 @@ constexpr CommandHelp kCommandHelp[] = {
      "  kondo debloat <program> --data <in.kdf> --out <out.kdd>\n"
      "                [--seed N] [--audited] [--max-iter N] [--max-evals N]\n"
      "                [--jobs N] [--shards N] [--shard-dir DIR]\n"
+     "                [--workers N | --connect ADDR ...]\n"
+     "                [--plan-weights KEL2]\n"
      "  kondo debloat <multi-file-program> --out <dir>\n"
      "                [--seed N] [--max-iter N] [--max-evals N] [--jobs N]\n"
-     "                [--shards N] [--shard-dir DIR]\n"},
+     "                [--shards N] [--shard-dir DIR]\n"
+     "                [--workers N | --connect ADDR ...]\n"
+     "                [--plan-weights KEL2]\n"},
     {"replay",
      "  kondo replay <program> <in.kdd> <param>... [--remote <orig.kdf>]\n"
      "      [--fetch-retries <n>] [--fetch-backoff-ms <ms>]\n"},
@@ -133,6 +148,8 @@ constexpr CommandHelp kCommandHelp[] = {
     {"blast",
      "  kondo blast --artifact A (--socket PATH | --port N) [--clients N]\n"
      "              [--requests N] [--range A:B]\n"},
+    {"worker",
+     "  kondo worker (--socket PATH | --port N) [--scratch DIR] [--jobs N]\n"},
 };
 
 int Usage() {
@@ -367,12 +384,188 @@ int CmdInspect(const std::string& path) {
   return 0;
 }
 
+/// Fleet flags pulled off `kondo debloat`: either spawn `--workers N`
+/// local worker processes under the campaign directory, or attach to
+/// externally started workers via repeatable `--connect ADDR` (all-digit
+/// ADDR = loopback TCP port, anything else = unix-domain socket path).
+/// `--plan-weights KEL2` steers the planner from a prior campaign's
+/// lineage store and also applies to purely local sharded runs.
+struct FleetCliOptions {
+  int spawn_workers = 0;
+  std::vector<SocketAddress> connect;
+  std::string plan_weights_path;
+
+  bool active() const { return spawn_workers > 0 || !connect.empty(); }
+};
+
+bool FleetFrom(std::vector<std::string>* args, FleetCliOptions* fleet) {
+  int64_t workers = 0;
+  if (TakePositiveInt(args, "--workers", &workers) == FlagParse::kBad) {
+    return false;
+  }
+  fleet->spawn_workers = static_cast<int>(std::min<int64_t>(workers, 256));
+  for (std::string addr = TakeFlagValue(args, "--connect"); !addr.empty();
+       addr = TakeFlagValue(args, "--connect")) {
+    SocketAddress endpoint;
+    if (addr.find_first_not_of("0123456789") == std::string::npos) {
+      const long long port = std::atoll(addr.c_str());
+      if (port < 1 || port > 65535) {
+        std::fprintf(stderr, "invalid --connect port (want 1..65535): %s\n",
+                     addr.c_str());
+        return false;
+      }
+      endpoint.port = static_cast<int>(port);
+    } else {
+      endpoint.unix_path = addr;
+    }
+    fleet->connect.push_back(endpoint);
+  }
+  fleet->plan_weights_path = TakeFlagValue(args, "--plan-weights");
+  if (fleet->spawn_workers > 0 && !fleet->connect.empty()) {
+    std::fprintf(stderr, "--workers and --connect are exclusive\n");
+    return false;
+  }
+  return true;
+}
+
+/// Resolves `--plan-weights KEL2` into planner weights over `program`'s
+/// file geometry (empty path = empty weights = element-count balancing).
+StatusOr<PlanWeights> PlanWeightsFromCli(const std::string& path,
+                                         const MultiFileProgram& program) {
+  PlanWeights weights;
+  if (path.empty()) {
+    return weights;
+  }
+  std::vector<Shape> shapes;
+  shapes.reserve(static_cast<size_t>(program.num_files()));
+  for (int f = 0; f < program.num_files(); ++f) {
+    shapes.push_back(program.file_shape(f));
+  }
+  return WeightsFromLineageStore(path, shapes);
+}
+
+/// A `kondo worker` child process this coordinator forked for
+/// `debloat --workers N`.
+struct SpawnedWorker {
+  pid_t pid = -1;
+  std::string socket_path;
+};
+
+/// Forks `count` local `kondo worker` processes (re-execing this binary),
+/// one unix socket and one scratch subdirectory each under `dir`, and
+/// waits until every socket file exists — the worker binds before
+/// accepting, so the file's presence means the endpoint is connectable.
+Status SpawnLocalWorkers(int count, int total_jobs, const std::string& dir,
+                         std::vector<SpawnedWorker>* spawned,
+                         std::vector<SocketAddress>* endpoints) {
+  const int jobs_each = std::max(1, total_jobs / std::max(1, count));
+  const std::string jobs_text = std::to_string(jobs_each);
+  for (int i = 0; i < count; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker-%03d", i);
+    const std::string socket_path = dir + "/" + name + ".sock";
+    const std::string scratch = dir + "/" + name;
+    std::remove(socket_path.c_str());
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      return InternalError("fork failed spawning fleet workers");
+    }
+    if (pid == 0) {
+      const char* child_args[] = {
+          "kondo",     "worker", "--socket", socket_path.c_str(),
+          "--scratch", scratch.c_str(),      "--jobs",   jobs_text.c_str(),
+          nullptr};
+      ::execv("/proc/self/exe", const_cast<char* const*>(child_args));
+      std::_Exit(127);  // exec failed; the bind-wait below reports it.
+    }
+    SpawnedWorker worker;
+    worker.pid = pid;
+    worker.socket_path = socket_path;
+    spawned->push_back(worker);
+    SocketAddress address;
+    address.unix_path = socket_path;
+    endpoints->push_back(address);
+  }
+  for (const SpawnedWorker& worker : *spawned) {
+    for (int tries = 0;; ++tries) {
+      struct stat st;
+      if (::stat(worker.socket_path.c_str(), &st) == 0) {
+        break;
+      }
+      if (tries >= 1000) {
+        return InternalError(StrCat("spawned fleet worker never bound ",
+                                    worker.socket_path));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return OkStatus();
+}
+
+/// Terminates and reaps every spawned worker; leftover socket files are
+/// removed so a rerun starts clean.
+void StopLocalWorkers(const std::vector<SpawnedWorker>& spawned) {
+  for (const SpawnedWorker& worker : spawned) {
+    if (worker.pid > 0) {
+      ::kill(worker.pid, SIGTERM);
+    }
+  }
+  for (const SpawnedWorker& worker : spawned) {
+    if (worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+    }
+    std::remove(worker.socket_path.c_str());
+  }
+}
+
+/// Runs the sharded campaign for `kondo debloat`: locally when no fleet
+/// flags are present, otherwise over spawned or attached workers. Weights
+/// from `--plan-weights` steer the planner on both paths.
+StatusOr<ShardedRunResult> RunShardedFromCli(const MultiFileProgram& program,
+                                             const KondoConfig& config,
+                                             const std::string& shard_dir,
+                                             int shards,
+                                             const FleetCliOptions& fleet) {
+  KONDO_ASSIGN_OR_RETURN(
+      PlanWeights weights,
+      PlanWeightsFromCli(fleet.plan_weights_path, program));
+  if (!fleet.active()) {
+    ShardOptions options;
+    options.shards = shards;
+    options.output_dir = shard_dir;
+    options.plan_weights = std::move(weights);
+    return RunShardedCampaign(program, config, options);
+  }
+  FleetOptions options;
+  options.shards = shards;
+  options.output_dir = shard_dir;
+  options.plan_weights = std::move(weights);
+  std::vector<SpawnedWorker> spawned;
+  if (fleet.spawn_workers > 0) {
+    KONDO_RETURN_IF_ERROR(EnsureCampaignDirectory(shard_dir));
+    const Status up = SpawnLocalWorkers(fleet.spawn_workers, config.jobs,
+                                        shard_dir, &spawned, &options.workers);
+    if (!up.ok()) {
+      StopLocalWorkers(spawned);
+      return up;
+    }
+  } else {
+    options.workers = fleet.connect;
+  }
+  StatusOr<ShardedRunResult> result =
+      RunFleetCampaign(program, config, options);
+  StopLocalWorkers(spawned);
+  return result;
+}
+
 /// Multi-file debloat: one campaign over Θ (optionally sharded), one
 /// synthesised source array + packaged .kdd per data file under `out_dir`.
 int CmdDebloatMultiFile(std::unique_ptr<MultiFileProgram> program,
                         const std::string& out_dir,
                         const std::string& shard_dir, uint64_t seed, int jobs,
-                        int shards, int64_t max_evals, int64_t max_iter) {
+                        int shards, int64_t max_evals, int64_t max_iter,
+                        const FleetCliOptions& fleet) {
   KondoConfig config;
   config.rng_seed = seed;
   config.jobs = jobs;
@@ -384,11 +577,8 @@ int CmdDebloatMultiFile(std::unique_ptr<MultiFileProgram> program,
 
   MultiKondoResult result;
   if (!shard_dir.empty()) {
-    ShardOptions options;
-    options.shards = shards;
-    options.output_dir = shard_dir;
     StatusOr<ShardedRunResult> sharded =
-        RunShardedCampaign(*program, config, options);
+        RunShardedFromCli(*program, config, shard_dir, shards, fleet);
     if (!sharded.ok()) {
       std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
       return 1;
@@ -455,9 +645,16 @@ int CmdDebloat(std::vector<std::string> args) {
   int shards = 1;
   int64_t max_evals = 0;
   int64_t max_iter = 0;
+  FleetCliOptions fleet;
   if (!JobsFrom(&args, &jobs) || !ShardsFrom(&args, &shards) ||
       !MaxEvalsFrom(&args, &max_evals) || !MaxIterFrom(&args, &max_iter) ||
-      args.size() != 1 || out_path.empty()) {
+      !FleetFrom(&args, &fleet) || args.size() != 1 || out_path.empty()) {
+    return UsageFor("debloat");
+  }
+  if (fleet.active() && shard_dir.empty()) {
+    std::fprintf(stderr,
+                 "--workers/--connect need --shard-dir (the campaign "
+                 "directory is the fleet's source of truth)\n");
     return UsageFor("debloat");
   }
 
@@ -468,7 +665,7 @@ int CmdDebloat(std::vector<std::string> args) {
       return UsageFor("debloat");
     }
     return CmdDebloatMultiFile(std::move(multi), out_path, shard_dir, seed,
-                               jobs, shards, max_evals, max_iter);
+                               jobs, shards, max_evals, max_iter, fleet);
   }
 
   std::unique_ptr<Program> program = CreateProgram(args[0]);
@@ -499,11 +696,8 @@ int CmdDebloat(std::vector<std::string> args) {
       return UsageFor("debloat");
     }
     const SingleFileProgramAdapter adapter(std::move(program));
-    ShardOptions options;
-    options.shards = shards;
-    options.output_dir = shard_dir;
     StatusOr<ShardedRunResult> sharded =
-        RunShardedCampaign(adapter, config, options);
+        RunShardedFromCli(adapter, config, shard_dir, shards, fleet);
     if (!sharded.ok()) {
       std::fprintf(stderr, "%s\n", sharded.status().ToString().c_str());
       return 1;
@@ -1266,6 +1460,47 @@ int CmdServe(std::vector<std::string> args) {
   return 0;
 }
 
+/// A fleet worker process: binds, serves shard campaigns until SIGTERM or
+/// SIGINT, then drains and reports. `debloat --workers N` spawns exactly
+/// this command; operators run it by hand for `--connect` fleets.
+int CmdWorker(std::vector<std::string> args) {
+  FleetWorkerOptions options;
+  if (!AddressFrom(&args, &options.address)) {
+    return UsageFor("worker");
+  }
+  const std::string scratch = TakeFlagValue(&args, "--scratch");
+  if (!scratch.empty()) {
+    options.scratch_dir = scratch;
+  }
+  int jobs = 0;
+  if (!JobsFrom(&args, &jobs) || !args.empty()) {
+    return UsageFor("worker");
+  }
+  options.jobs = jobs;
+
+  FleetWorker worker(options);
+  const Status started = worker.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("worker listening on %s (scratch %s, %d jobs)\n",
+              worker.bound_address().ToString().c_str(),
+              options.scratch_dir.c_str(), options.jobs);
+  std::fflush(stdout);
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  worker.Stop();
+  std::printf("worker shutdown: %lld shard(s) served\n",
+              static_cast<long long>(worker.shards_served()));
+  return 0;
+}
+
 int CmdClientFetch(std::vector<std::string> args) {
   SocketAddress address;
   const std::string range = TakeFlagValue(&args, "--range");
@@ -1561,6 +1796,9 @@ int Main(int argc, char** argv) {
   }
   if (command == "serve") {
     return CmdServe(std::move(args));
+  }
+  if (command == "worker") {
+    return CmdWorker(std::move(args));
   }
   if (command == "client") {
     return CmdClient(std::move(args));
