@@ -99,10 +99,18 @@ class FleetWorker {
  private:
   struct Session {
     int64_t id = 0;
+    /// Write half is guarded by send_mu — every WriteKpcFrame on this
+    /// connection sits inside a `MutexLock lock(send_mu)` scope (the R5
+    /// lock-order audit verifies all four sites). The read half is not:
+    /// only the session thread calls ReadKpcFrame, concurrently with
+    /// heartbeat writes, which Connection supports by design. That split
+    /// is why this is a comment and not KONDO_PT_GUARDED_BY(send_mu) —
+    /// the annotation would demand the lock for the lock-free reads too.
     std::unique_ptr<Connection> conn;
-    std::thread thread;
+    std::thread thread;  // Constructed under mu_ so Stop() can join it.
 
-    /// Campaign spec from this session's kHello (null until hello'd).
+    /// Campaign spec from this session's kHello (null until hello'd);
+    /// written and read by the session thread only, never under a lock.
     std::unique_ptr<MultiFileProgram> program;
     ShardPlan plan;  // Plan-lite: shapes + offsets, no shard list.
     FuzzConfig fuzz;

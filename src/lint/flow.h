@@ -1,0 +1,98 @@
+#ifndef KONDO_LINT_FLOW_H_
+#define KONDO_LINT_FLOW_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace kondo {
+namespace lint {
+
+/// One function definition carved out of a lexed translation unit. The
+/// segmenter is a lightweight recogniser over the token stream, not a
+/// parser: it finds `name(params) qualifiers... {` shapes (including
+/// qualified names, destructors, and constructor member-initialiser lists)
+/// and records the brace-balanced body extent. Lambda bodies are not split
+/// out — they remain part of the enclosing function, which is the right
+/// attribution for lock and taint analysis (the lambda runs with the
+/// enclosing frame's locals in scope).
+struct FlowFunction {
+  /// The function's name as spelled, e.g. "Stop" or "FleetWorker::Stop".
+  std::string name;
+  /// Identity scope for symbols the body touches: the qualifier chain or
+  /// enclosing class for member functions, the function's own name for free
+  /// functions. Two functions with equal scope share member identity (e.g.
+  /// `mu_` means the same mutex), distinct scopes never collide.
+  std::string scope;
+  int line = 0;         // Line of the name token, 1-based.
+  size_t body_begin = 0;  // Token index just after the opening '{'.
+  size_t body_end = 0;    // Token index of the matching '}'.
+};
+
+/// Segments `lexed` into function bodies. Deterministic: functions are
+/// returned in token order. Declarations, deleted/defaulted definitions,
+/// and control-flow keywords never produce entries.
+std::vector<FlowFunction> SegmentFunctions(const LexedFile& lexed);
+
+/// A mutex acquisition observed while walking one function body.
+struct LockAcquisition {
+  std::string lock;  // Scope-qualified lock identity, e.g. "KondoServer::jobs_mu_".
+  std::string lock_expr;  // The lock expression as spelled, e.g. "jobs_mu_".
+  int line = 0;
+  /// Locks already held at the acquisition point, in acquisition order
+  /// (scope-qualified). Non-empty `held` means a nested acquisition: an
+  /// ordering edge held.back() -> lock.
+  std::vector<std::string> held;
+};
+
+/// A condition-variable Wait call site.
+struct WaitSite {
+  std::string wait_lock;       // Scope-qualified mutex passed to Wait().
+  std::string wait_lock_expr;  // As spelled.
+  int line = 0;
+  /// Every lock held at the call, scope-qualified, in acquisition order.
+  /// Wait atomically releases only `wait_lock`; any other held lock stays
+  /// held across the block.
+  std::vector<std::string> held;
+};
+
+/// The lock behaviour of one function: every acquisition (RAII
+/// `MutexLock`/`lock_guard`-style guards, released at the end of their
+/// brace scope, and explicit `.Lock()`/`.Unlock()` pairs) plus every
+/// `CondVar::Wait` site. Intraprocedural: callee acquisitions and
+/// KONDO_REQUIRES preconditions are invisible.
+struct LockTrace {
+  std::vector<LockAcquisition> acquisitions;
+  std::vector<WaitSite> waits;
+};
+
+/// Walks `fn`'s body tracking lock scopes.
+LockTrace TraceLocks(const LexedFile& lexed, const FlowFunction& fn);
+
+/// A wire-tainted value reaching an allocation or indexing sink before any
+/// bounds comparison.
+struct TaintedUse {
+  std::string variable;  // The tainted name as spelled, e.g. "count".
+  std::string sink;      // "resize", "reserve", "new[]", or "index".
+  std::string sink_expr;  // Receiver or sink expression, e.g. "resp.values".
+  int line = 0;          // Sink line.
+  std::string source;    // The cursor read that tainted it, e.g. "ReadU32".
+  int source_line = 0;
+};
+
+/// Walks `fn`'s body tracking taint from cursor length reads
+/// (ReadU16/ReadU32/ReadU64/ReadVarint) to allocation sinks. A name is
+/// tainted by `cursor.ReadU32(&name)`, propagates through assignment, and
+/// is cleared the first time it appears in a comparison (`<`, `>`, `<=`,
+/// `>=`, `==`, `!=`) — the bounds check the rule wants to see. No aliasing,
+/// no interprocedural flow: a length validated inside a callee must be
+/// re-checked (or suppressed) at the caller.
+std::vector<TaintedUse> TraceWireTaint(const LexedFile& lexed,
+                                       const FlowFunction& fn);
+
+}  // namespace lint
+}  // namespace kondo
+
+#endif  // KONDO_LINT_FLOW_H_

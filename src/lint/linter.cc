@@ -116,6 +116,7 @@ StatusOr<LintReport> RunLint(const LintOptions& options) {
 
   LintReport report;
   report.files_scanned = static_cast<int>(files.size());
+  LockOrderCollector lock_order;
   for (const auto& [path, lexed] : files) {
     std::set<std::string> names = declared[path];
     for (const std::string& inc : graph.DirectIncludes(path)) {
@@ -129,6 +130,20 @@ StatusOr<LintReport> RunLint(const LintOptions& options) {
     ctx.critical = critical.count(path) > 0;
     ctx.unordered_names = &names;
     report.suppressed += CheckFile(ctx, options.rules, &report.findings);
+    if (options.rules.count("R5") > 0) {
+      lock_order.AddFile(ctx);
+    }
+  }
+  if (options.rules.count("R5") > 0) {
+    // R5 is a whole-closure analysis: its findings only exist once every
+    // file has fed the acquisition-order graph.
+    report.suppressed += lock_order.Finish(&report.findings);
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
   }
   return report;
 }
@@ -146,10 +161,57 @@ void PrintReport(const LintReport& report, std::ostream& out) {
   out << "\n";
 }
 
+void PrintJsonReport(const LintReport& report, std::ostream& out) {
+  const auto escape = [](const std::string& s) {
+    std::string esc;
+    esc.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          esc += "\\\"";
+          break;
+        case '\\':
+          esc += "\\\\";
+          break;
+        case '\n':
+          esc += "\\n";
+          break;
+        case '\t':
+          esc += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            constexpr char kHex[] = "0123456789abcdef";
+            esc += "\\u00";
+            esc += kHex[(c >> 4) & 0xf];
+            esc += kHex[c & 0xf];
+          } else {
+            esc += c;
+          }
+      }
+    }
+    return esc;
+  };
+
+  out << "{\n"
+      << "  \"tool\": \"kondo-lint\",\n"
+      << "  \"files_scanned\": " << report.files_scanned << ",\n"
+      << "  \"suppressed\": " << report.suppressed << ",\n"
+      << "  \"findings\": [";
+  for (size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"file\": \"" << escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << escape(f.rule)
+        << "\", \"message\": \"" << escape(f.message) << "\"}";
+  }
+  out << (report.findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
 int LintMain(const std::vector<std::string>& args, std::ostream& out,
              std::ostream& err) {
   LintOptions options;
   std::vector<std::string> paths;
+  std::string format = "text";
 
   auto value_of = [](const std::string& arg,
                      const std::string& flag) -> const char* {
@@ -163,12 +225,20 @@ int LintMain(const std::vector<std::string>& args, std::ostream& out,
     const std::string& arg = args[i];
     if (arg == "--help" || arg == "-h") {
       out << "usage: kondo_lint [--root DIR] [--rules R1,R2,...] "
-             "[path...]\n\n"
+             "[--format text|json] [path...]\n\n"
              "Lints C++ sources for Kondo's determinism & concurrency\n"
              "invariants (default tree: src/ under --root, default rules\n"
-             "R1-R4; see docs/STATIC_ANALYSIS.md).\n\n"
+             "R1-R6; see docs/STATIC_ANALYSIS.md).\n\n"
              "exit codes: 0 clean, 1 findings, 2 usage/IO error\n";
       return 0;
+    }
+    if (const char* v = value_of(arg, "--format")) {
+      format = v;
+      continue;
+    }
+    if (arg == "--format" && i + 1 < args.size()) {
+      format = args[++i];
+      continue;
     }
     if (const char* v = value_of(arg, "--root")) {
       options.root = v;
@@ -218,10 +288,16 @@ int LintMain(const std::vector<std::string>& args, std::ostream& out,
     }
     if (StartsWith(arg, "-")) {
       err << "kondo_lint: unknown flag '" << arg << "'\n"
-          << "usage: kondo_lint [--root DIR] [--rules R1,R2,...] [path...]\n";
+          << "usage: kondo_lint [--root DIR] [--rules R1,R2,...] "
+             "[--format text|json] [path...]\n";
       return 2;
     }
     paths.push_back(arg);
+  }
+  if (format != "text" && format != "json") {
+    err << "kondo_lint: unknown --format '" << format
+        << "' (expected text or json)\n";
+    return 2;
   }
   if (!paths.empty()) {
     options.paths = std::move(paths);
@@ -232,7 +308,11 @@ int LintMain(const std::vector<std::string>& args, std::ostream& out,
     err << "kondo_lint: " << report.status() << "\n";
     return 2;
   }
-  PrintReport(*report, out);
+  if (format == "json") {
+    PrintJsonReport(*report, out);
+  } else {
+    PrintReport(*report, out);
+  }
   return report->findings.empty() ? 0 : 1;
 }
 

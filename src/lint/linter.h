@@ -23,14 +23,17 @@ struct LintOptions {
   std::vector<std::string> paths = {"src"};
 
   /// Enabled rules; default all.
-  std::set<std::string> rules = {"R1", "R2", "R3", "R4"};
+  std::set<std::string> rules = {"R1", "R2", "R3", "R4", "R5", "R6"};
 
   /// Path prefixes (relative to `root`, trailing slash implied) whose files
   /// — and transitive includes — are determinism-critical. These are the
-  /// modules whose artefacts must be bit-identical under replay.
+  /// modules whose artefacts must be bit-identical under replay, plus the
+  /// shared substrate they all stand on (sockets, env, fault injection) and
+  /// the audit trail that replays them.
   std::vector<std::string> critical_modules = {
-      "src/fuzz/", "src/exec/", "src/shard/", "src/carve/",
-      "src/provenance/", "src/serve/", "src/pack/", "src/fleet/"};
+      "src/fuzz/", "src/exec/", "src/shard/",      "src/carve/",
+      "src/provenance/", "src/serve/", "src/pack/", "src/fleet/",
+      "src/audit/", "src/common/"};
 };
 
 /// Outcome of one lint run.
@@ -47,6 +50,12 @@ StatusOr<LintReport> RunLint(const LintOptions& options);
 
 /// Renders `report` in the canonical `path:line: [RULE] message` format.
 void PrintReport(const LintReport& report, std::ostream& out);
+
+/// Renders `report` as a single JSON object — stable key order, findings
+/// sorted like the text report — for CI artifacts and problem matchers:
+///   {"tool": "kondo-lint", "files_scanned": N, "suppressed": N,
+///    "findings": [{"file": ..., "line": N, "rule": ..., "message": ...}]}
+void PrintJsonReport(const LintReport& report, std::ostream& out);
 
 /// The kondo_lint CLI: parses `args` (everything after argv[0]), runs the
 /// lint, prints the report to `out` and errors to `err`. Returns the

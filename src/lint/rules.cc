@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <string>
+
+#include "lint/flow.h"
 
 namespace kondo {
 namespace lint {
@@ -539,6 +542,223 @@ void CheckR4(const FileContext& ctx, std::vector<Finding>* findings) {
   }
 }
 
+void CheckR6(const FileContext& ctx, std::vector<Finding>* findings) {
+  if (!ctx.critical) {
+    return;
+  }
+  for (const FlowFunction& fn : SegmentFunctions(*ctx.lexed)) {
+    for (const TaintedUse& use : TraceWireTaint(*ctx.lexed, fn)) {
+      std::string sink;
+      if (use.sink == "resize" || use.sink == "reserve") {
+        sink = "'" + use.sink_expr + "." + use.sink + "()'";
+      } else if (use.sink == "new[]") {
+        sink = "a 'new " + use.sink_expr + "[]' allocation";
+      } else {
+        sink = "index arithmetic on '" + use.sink_expr + "'";
+      }
+      findings->push_back(Finding{
+          "R6", ctx.path, use.line,
+          "'" + use.variable + "' carries a wire-tainted length (" +
+              use.source + " at line " + std::to_string(use.source_line) +
+              ") into " + sink +
+              " before any bounds check; compare it against the cursor's "
+              "remaining bytes first"});
+    }
+  }
+}
+
+namespace {
+
+/// True when the file's allow directives exempt `rule` on `line`.
+bool SuppressedAt(const LexedFile& lexed, int line, const char* rule) {
+  const auto it = lexed.suppressions.find(line);
+  return it != lexed.suppressions.end() &&
+         (it->second.count(rule) > 0 || it->second.count("*") > 0);
+}
+
+}  // namespace
+
+void LockOrderCollector::AddFile(const FileContext& ctx) {
+  if (!ctx.critical) {
+    return;
+  }
+  for (const FlowFunction& fn : SegmentFunctions(*ctx.lexed)) {
+    const LockTrace trace = TraceLocks(*ctx.lexed, fn);
+    for (const LockAcquisition& acq : trace.acquisitions) {
+      for (const std::string& from : acq.held) {
+        if (from == acq.lock) {
+          continue;  // Re-entrant self-acquisition is R5's job elsewhere.
+        }
+        Edge edge{from,    acq.lock, ctx.path,
+                  acq.line, fn.name,
+                  SuppressedAt(*ctx.lexed, acq.line, "R5")};
+        edges_.emplace(std::make_pair(from, acq.lock), std::move(edge));
+      }
+    }
+    for (const WaitSite& site : trace.waits) {
+      std::vector<std::string> others;
+      bool seen_own = false;
+      for (const std::string& id : site.held) {
+        if (!seen_own && id == site.wait_lock) {
+          seen_own = true;
+          continue;
+        }
+        others.push_back(id);
+      }
+      if (others.empty()) {
+        continue;
+      }
+      if (SuppressedAt(*ctx.lexed, site.line, "R5")) {
+        ++suppressed_;
+        continue;
+      }
+      std::string held_list;
+      for (size_t i = 0; i < others.size(); ++i) {
+        held_list += (i > 0 ? ", '" : "'") + others[i] + "'";
+      }
+      wait_findings_.push_back(Finding{
+          "R5", ctx.path, site.line,
+          "CondVar::Wait(" + site.wait_lock_expr + ") in " + fn.name +
+              " blocks while still holding " + held_list +
+              ": Wait releases only '" + site.wait_lock_expr +
+              "', so a notifier that needs the held lock deadlocks"});
+    }
+  }
+}
+
+int LockOrderCollector::Finish(std::vector<Finding>* findings) {
+  for (Finding& finding : wait_findings_) {
+    findings->push_back(std::move(finding));
+  }
+  wait_findings_.clear();
+
+  // Adjacency over qualified lock ids; std::map/set keep every walk
+  // deterministic.
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, edge] : edges_) {
+    (void)edge;
+    adj[key.first].insert(key.second);
+    adj[key.second];  // Ensure the sink is a node too.
+  }
+
+  // Reachability per node (the graphs here are a handful of locks; O(V*E)
+  // is nothing and trivially deterministic).
+  std::map<std::string, std::set<std::string>> reach;
+  for (const auto& [node, out] : adj) {
+    (void)out;
+    std::set<std::string>& r = reach[node];
+    std::vector<std::string> stack{node};
+    while (!stack.empty()) {
+      const std::string at = stack.back();
+      stack.pop_back();
+      for (const std::string& next : adj[at]) {
+        if (r.insert(next).second) {
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+
+  // Strongly connected components containing a cycle, visited in order of
+  // their smallest member.
+  std::set<std::string> assigned;
+  for (const auto& [node, out] : adj) {
+    (void)out;
+    if (assigned.count(node) > 0) {
+      continue;
+    }
+    std::set<std::string> scc;
+    for (const auto& [other, r] : reach) {
+      (void)r;
+      if (reach[node].count(other) > 0 && reach[other].count(node) > 0) {
+        scc.insert(other);
+      }
+    }
+    const bool self_loop = reach[node].count(node) > 0;
+    if (scc.size() < 2 && !self_loop) {
+      continue;
+    }
+    scc.insert(node);
+    assigned.insert(scc.begin(), scc.end());
+
+    // Reconstruct one witness cycle: from the smallest member, repeatedly
+    // step to the smallest in-SCC successor until a node repeats.
+    std::vector<std::string> path{*scc.begin()};
+    std::map<std::string, size_t> position{{path[0], 0}};
+    size_t loop_start = 0;
+    while (true) {
+      const std::string& at = path.back();
+      std::string next;
+      for (const std::string& cand : adj[at]) {
+        if (scc.count(cand) > 0) {
+          next = cand;
+          break;
+        }
+      }
+      if (next.empty()) {
+        break;  // Unreachable in a genuine SCC; bail defensively.
+      }
+      const auto seen = position.find(next);
+      if (seen != position.end()) {
+        loop_start = seen->second;
+        break;
+      }
+      position[next] = path.size();
+      path.push_back(next);
+    }
+    std::vector<std::string> cycle(path.begin() + static_cast<ptrdiff_t>(loop_start),
+                                   path.end());
+    if (cycle.empty()) {
+      continue;
+    }
+    // Rotate so the cycle starts at its smallest lock — stable anchoring
+    // no matter which node the walk entered through.
+    const size_t smallest = static_cast<size_t>(
+        std::min_element(cycle.begin(), cycle.end()) - cycle.begin());
+    std::rotate(cycle.begin(),
+                cycle.begin() + static_cast<ptrdiff_t>(smallest),
+                cycle.end());
+
+    bool cycle_suppressed = false;
+    std::string witness;
+    const Edge* anchor = nullptr;
+    for (size_t i = 0; i < cycle.size(); ++i) {
+      const std::string& from = cycle[i];
+      const std::string& to = cycle[(i + 1) % cycle.size()];
+      const auto it = edges_.find({from, to});
+      if (it == edges_.end()) {
+        continue;
+      }
+      const Edge& edge = it->second;
+      cycle_suppressed = cycle_suppressed || edge.suppressed;
+      if (anchor == nullptr) {
+        anchor = &edge;
+      }
+      if (!witness.empty()) {
+        witness += "; ";
+      }
+      witness += "'" + edge.from + "' -> '" + edge.to + "' in " +
+                 edge.function + " (" + edge.file + ":" +
+                 std::to_string(edge.line) + ")";
+    }
+    if (anchor == nullptr) {
+      continue;
+    }
+    if (cycle_suppressed) {
+      ++suppressed_;
+      continue;
+    }
+    findings->push_back(Finding{
+        "R5", anchor->file, anchor->line,
+        "lock-order cycle: " + witness +
+            "; threads interleaving these acquisition orders can deadlock"});
+  }
+
+  const int suppressed = suppressed_;
+  suppressed_ = 0;
+  return suppressed;
+}
+
 int CheckFile(const FileContext& ctx, const std::set<std::string>& enabled,
               std::vector<Finding>* findings) {
   std::vector<Finding> raw;
@@ -553,6 +773,9 @@ int CheckFile(const FileContext& ctx, const std::set<std::string>& enabled,
   }
   if (enabled.count("R4") > 0) {
     CheckR4(ctx, &raw);
+  }
+  if (enabled.count("R6") > 0) {
+    CheckR6(ctx, &raw);
   }
 
   int suppressed = 0;

@@ -1,8 +1,10 @@
 #ifndef KONDO_LINT_RULES_H_
 #define KONDO_LINT_RULES_H_
 
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint/token.h"
@@ -59,6 +61,53 @@ void CheckR3(const FileContext& ctx, std::vector<Finding>* findings);
 /// KONDO_* thread-safety annotation (typically KONDO_GUARDED_BY on the
 /// fields the mutex protects), keeping `-Wthread-safety` meaningful.
 void CheckR4(const FileContext& ctx, std::vector<Finding>* findings);
+
+/// R6 — wire-tainted lengths reaching allocation. Inside critical files,
+/// a variable filled by a cursor length read (ReadU16/ReadU32/ReadU64/
+/// ReadVarint) is tainted until it appears in a bounds comparison; a
+/// tainted value reaching `resize`/`reserve`/`new[]`/index arithmetic is
+/// flagged. A hostile 4-byte count otherwise commands an allocation five
+/// orders of magnitude larger than the frame that carried it.
+/// Intraprocedural: a helper that validates internally (fleet_protocol's
+/// ReadCount) neither taints nor clears its caller's variables.
+void CheckR6(const FileContext& ctx, std::vector<Finding>* findings);
+
+/// R5 — lock-acquisition-order analysis. Unlike the per-file rules, R5 is
+/// global: every critical file's function bodies feed one acquisition-order
+/// graph (an edge A -> B for each site that acquires B while holding A),
+/// and `Finish` reports every cycle — a potential deadlock — with the full
+/// witness path, plus every `CondVar::Wait` reached while a second mutex is
+/// held (Wait releases only its own mutex, so a notifier needing the other
+/// lock deadlocks). Lock identity is the spelled expression qualified by
+/// the enclosing class (member functions) or function (free functions); no
+/// aliasing analysis. `kondo-lint: allow(R5)` on a nested acquisition line
+/// suppresses cycles witnessed through it; on a Wait line, that site.
+class LockOrderCollector {
+ public:
+  /// Feeds one file's lock behaviour into the graph. Non-critical files
+  /// are ignored.
+  void AddFile(const FileContext& ctx);
+
+  /// Emits cycle and wait-while-holding findings (unsorted; the caller
+  /// owns final ordering). Returns the number of findings suppressed by
+  /// allow directives recorded during AddFile.
+  int Finish(std::vector<Finding>* findings);
+
+ private:
+  struct Edge {
+    std::string from;      // Qualified lock held at the acquisition.
+    std::string to;        // Qualified lock being acquired.
+    std::string file;      // Witness location of the nested acquisition.
+    int line = 0;
+    std::string function;  // Function containing the witness.
+    bool suppressed = false;
+  };
+  /// First witness per ordered pair; map keys make every traversal
+  /// deterministic.
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+  std::vector<Finding> wait_findings_;
+  int suppressed_ = 0;
+};
 
 /// Runs every rule in `enabled` over `ctx`, applies the file's suppression
 /// directives, and appends surviving findings. Malformed `kondo-lint:`

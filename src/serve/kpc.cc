@@ -220,13 +220,26 @@ StatusOr<FetchSubsetResponse> FetchSubsetResponse::Decode(
   KONDO_RETURN_IF_ERROR(cur.ReadU32(&resp.fingerprint_crc));
   KONDO_RETURN_IF_ERROR(cur.ReadI64(&resp.begin));
   KONDO_RETURN_IF_ERROR(cur.ReadI64(&resp.end));
+  // Each count is bounded by the bytes its elements must still consume
+  // before any allocation happens: a hostile 32-bit count can never command
+  // more memory than the (already frame-capped) payload that carried it.
   uint32_t count = 0;
   KONDO_RETURN_IF_ERROR(cur.ReadU32(&count));
+  if (count > cur.remaining()) {
+    return DataLossError(StrCat("KPC subset present count ", count,
+                                " overruns the remaining ", cur.remaining(),
+                                "-byte payload"));
+  }
   resp.present.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     KONDO_RETURN_IF_ERROR(cur.ReadU8(&resp.present[i]));
   }
   KONDO_RETURN_IF_ERROR(cur.ReadU32(&count));
+  if (count > cur.remaining() / 8) {  // 8 payload bytes per f64 value.
+    return DataLossError(StrCat("KPC subset value count ", count,
+                                " overruns the remaining ", cur.remaining(),
+                                "-byte payload"));
+  }
   resp.values.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     KONDO_RETURN_IF_ERROR(cur.ReadF64(&resp.values[i]));
@@ -275,6 +288,13 @@ StatusOr<EventBatch> EventBatch::Decode(std::string_view payload) {
   KpcCursor cur(payload);
   uint32_t count = 0;
   KONDO_RETURN_IF_ERROR(cur.ReadU32(&count));
+  // Each event is 33 wire bytes (pid + file_id + type + offset + size), so
+  // the count is provably short before the batch allocates anything.
+  if (count > cur.remaining() / 33) {
+    return DataLossError(StrCat("KPC event batch count ", count,
+                                " overruns the remaining ", cur.remaining(),
+                                "-byte payload"));
+  }
   batch.events.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     Event& event = batch.events[i];
@@ -309,6 +329,11 @@ StatusOr<QueryDone> QueryDone::Decode(std::string_view payload) {
   KONDO_RETURN_IF_ERROR(cur.ReadI64(&done.events_total));
   uint32_t count = 0;
   KONDO_RETURN_IF_ERROR(cur.ReadU32(&count));
+  if (count > cur.remaining() / 8) {  // 8 payload bytes per run pid.
+    return DataLossError(StrCat("KPC run count ", count,
+                                " overruns the remaining ", cur.remaining(),
+                                "-byte payload"));
+  }
   done.runs.resize(count);
   for (uint32_t i = 0; i < count; ++i) {
     KONDO_RETURN_IF_ERROR(cur.ReadI64(&done.runs[i]));

@@ -1,0 +1,44 @@
+// Fixture: the clean counterpart of r5_cycle_bad.cc and r5_wait_bad.cc —
+// every function nests the mutexes in one global order (mu_a_ before
+// mu_b_), the plain wait holds only the mutex it releases, and the one
+// deliberate wait-while-holding carries a justified allow(R5).
+#include "common/thread_annotations.h"
+
+namespace kondo_fixture {
+
+class OrderedLedger {
+ public:
+  void Credit() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+    ++balance_;
+  }
+
+  void Debit() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+    --balance_;
+  }
+
+  void Park() {
+    MutexLock b(mu_b_);
+    while (balance_ > 0) {
+      cv_.Wait(mu_b_);
+    }
+  }
+
+  void ParkNested() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+    // kondo-lint: allow(R5) the notifier takes mu_b_ only, never mu_a_
+    cv_.Wait(mu_b_);
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  CondVar cv_;
+  long balance_ KONDO_GUARDED_BY(mu_b_) = 0;
+};
+
+}  // namespace kondo_fixture

@@ -1,0 +1,30 @@
+// Fixture: R5 violation — a seeded two-mutex lock-order cycle. Credit
+// nests mu_b_ inside mu_a_ while Debit nests mu_a_ inside mu_b_; two
+// threads interleaving these paths deadlock. lint_test.cc asserts the
+// anchor line of the first nested acquisition below and the witness-path
+// text naming both sites; append only.
+#include "common/thread_annotations.h"
+
+namespace kondo_fixture {
+
+class ResultLedger {
+ public:
+  void Credit() {
+    MutexLock ledger(mu_a_);
+    MutexLock journal(mu_b_);  // line 14: acquires mu_b_ holding mu_a_
+    ++balance_;
+  }
+
+  void Debit() {
+    MutexLock journal(mu_b_);
+    MutexLock ledger(mu_a_);  // line 20: acquires mu_a_ holding mu_b_
+    --balance_;
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  long balance_ KONDO_GUARDED_BY(mu_a_) = 0;
+};
+
+}  // namespace kondo_fixture

@@ -1,0 +1,27 @@
+// Fixture: R5 violation — CondVar::Wait reached while a second mutex is
+// held. Drain blocks on cv_ with both admit_mu_ and mu_ held: Wait
+// atomically releases only mu_, so a producer that needs admit_mu_ to
+// make progress can never deliver the notify. lint_test.cc asserts the
+// Wait line below; append only.
+#include "common/thread_annotations.h"
+
+namespace kondo_fixture {
+
+class DrainGate {
+ public:
+  void Drain() {
+    MutexLock admit(admit_mu_);
+    MutexLock lock(mu_);
+    while (pending_ > 0) {
+      cv_.Wait(mu_);  // line 16: waits with admit_mu_ still held
+    }
+  }
+
+ private:
+  Mutex admit_mu_;
+  Mutex mu_;
+  CondVar cv_;
+  long pending_ KONDO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace kondo_fixture

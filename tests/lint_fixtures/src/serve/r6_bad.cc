@@ -1,0 +1,33 @@
+// Fixture: R6 violations — lengths decoded off the wire reaching
+// allocation before any bounds comparison. A hostile 32-bit count here
+// commands a resize() and a new[] orders of magnitude larger than the
+// frame that carried it. lint_test.cc asserts both sink lines and the
+// witness text naming the tainting read; append only.
+#include <cstdint>
+#include <vector>
+
+namespace kondo_fixture {
+
+struct WireCursor {
+  bool ReadU32(uint32_t* v);
+  unsigned long remaining() const;
+};
+
+struct EventFrame {
+  std::vector<double> values;
+};
+
+bool DecodeEventFrame(WireCursor& cur, EventFrame* out) {
+  uint32_t count = 0;
+  cur.ReadU32(&count);
+  out->values.resize(count);  // line 23: unchecked wire length
+  return true;
+}
+
+double* AllocScratch(WireCursor& cur) {
+  uint32_t extent = 0;
+  cur.ReadU32(&extent);
+  return new double[extent];  // line 30: unchecked new[] extent
+}
+
+}  // namespace kondo_fixture

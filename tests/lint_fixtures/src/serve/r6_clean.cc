@@ -1,0 +1,34 @@
+// Fixture: the clean counterpart of r6_bad.cc — every wire-decoded
+// length is compared against the cursor's remaining bytes before it
+// reaches an allocation, and the one deliberately unchecked resize
+// carries a justified allow(R6).
+#include <cstdint>
+#include <vector>
+
+namespace kondo_fixture {
+
+struct WireCursor {
+  bool ReadU32(uint32_t* v);
+  unsigned long remaining() const;
+};
+
+struct EventFrame {
+  std::vector<double> values;
+  std::vector<uint8_t> flags;
+};
+
+bool DecodeEventFrame(WireCursor& cur, EventFrame* out) {
+  uint32_t count = 0;
+  cur.ReadU32(&count);
+  if (count > cur.remaining() / 8) {
+    return false;
+  }
+  out->values.resize(count);
+  uint32_t flag_count = 0;
+  cur.ReadU32(&flag_count);
+  // kondo-lint: allow(R6) the frame ceiling upstream bounds this count
+  out->flags.resize(flag_count);
+  return true;
+}
+
+}  // namespace kondo_fixture

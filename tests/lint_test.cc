@@ -1,8 +1,10 @@
 // Tests for the kondo-lint static-analysis subsystem (src/lint/).
 //
 // Three layers:
-//   1. Unit tests over the lexer, directive parser, and include graph.
-//   2. Rule tests on inline sources via CheckR1..CheckR4 directly.
+//   1. Unit tests over the lexer, directive parser, include graph, and the
+//      flow engine (function segmentation, lock tracing, taint walking).
+//   2. Rule tests on inline sources via CheckR1..CheckR6 and the global
+//      LockOrderCollector directly.
 //   3. End-to-end tests over tests/lint_fixtures/ — a miniature repo tree
 //      whose src/{fuzz,exec,shard,carve,provenance,serve,pack} mirror the
 //      real
@@ -21,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "lint/flow.h"
 #include "lint/include_graph.h"
 #include "lint/lexer.h"
 #include "lint/linter.h"
@@ -193,6 +196,131 @@ TEST(LintIncludeGraphTest, CriticalClosureFollowsIncludes) {
   EXPECT_EQ(critical.count("src/other/outside.cc"), 0u);
 }
 
+/// Runs the global R5 collector over one inline snippet.
+std::vector<Finding> RunLockOrder(const std::string& source, bool critical) {
+  const LexedFile lexed = Lex(source);
+  const std::set<std::string> names;
+  FileContext ctx;
+  ctx.path = "snippet.cc";
+  ctx.lexed = &lexed;
+  ctx.critical = critical;
+  ctx.unordered_names = &names;
+  LockOrderCollector collector;
+  collector.AddFile(ctx);
+  std::vector<Finding> findings;
+  collector.Finish(&findings);
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// 1d. Flow engine: function segmentation, lock tracing, taint walking.
+
+TEST(LintFlowTest, SegmentsFreeQualifiedAndInlineMemberFunctions) {
+  const LexedFile lexed = Lex(
+      "int Free(int x) { return x; }\n"
+      "void Klass::Method() { Use(); }\n"
+      "class C {\n"
+      " public:\n"
+      "  C() : x_(0) {}\n"
+      "  int Inline() const { return x_; }\n"
+      " private:\n"
+      "  int x_;\n"
+      "};\n");
+  const std::vector<FlowFunction> fns = SegmentFunctions(lexed);
+  ASSERT_EQ(fns.size(), 4u);
+  EXPECT_EQ(fns[0].name, "Free");
+  EXPECT_EQ(fns[0].scope, "Free") << "free-function locals get a private scope";
+  EXPECT_EQ(fns[0].line, 1);
+  EXPECT_EQ(fns[1].name, "Klass::Method");
+  EXPECT_EQ(fns[1].scope, "Klass");
+  EXPECT_EQ(fns[2].name, "C") << "constructors with initialiser lists segment";
+  EXPECT_EQ(fns[2].scope, "C");
+  EXPECT_EQ(fns[3].name, "Inline");
+  EXPECT_EQ(fns[3].scope, "C") << "inline methods inherit the class scope";
+}
+
+TEST(LintFlowTest, DeclarationsAndControlFlowAreNotFunctions) {
+  const LexedFile lexed = Lex(
+      "void Decl(int x);\n"
+      "void F() {\n"
+      "  if (Cond()) { A(); }\n"
+      "  while (Cond()) { B(); }\n"
+      "}\n");
+  const std::vector<FlowFunction> fns = SegmentFunctions(lexed);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "F");
+}
+
+TEST(LintFlowTest, TraceLocksQualifiesAndOrdersAcquisitions) {
+  const LexedFile lexed = Lex(
+      "void Q::Go() {\n"
+      "  MutexLock a(mu_);\n"
+      "  MutexLock b(peer_->mu);\n"
+      "  cv_.Wait(mu_);\n"
+      "}\n");
+  const std::vector<FlowFunction> fns = SegmentFunctions(lexed);
+  ASSERT_EQ(fns.size(), 1u);
+  const LockTrace trace = TraceLocks(lexed, fns[0]);
+  ASSERT_EQ(trace.acquisitions.size(), 2u);
+  EXPECT_EQ(trace.acquisitions[0].lock, "Q::mu_");
+  EXPECT_TRUE(trace.acquisitions[0].held.empty());
+  EXPECT_EQ(trace.acquisitions[1].lock, "Q::peer_->mu");
+  ASSERT_EQ(trace.acquisitions[1].held.size(), 1u);
+  EXPECT_EQ(trace.acquisitions[1].held[0], "Q::mu_");
+  ASSERT_EQ(trace.waits.size(), 1u);
+  EXPECT_EQ(trace.waits[0].wait_lock, "Q::mu_");
+  EXPECT_EQ(trace.waits[0].held.size(), 2u);
+}
+
+TEST(LintFlowTest, RaiiGuardsReleaseAtTheirBraceScope) {
+  const LexedFile lexed = Lex(
+      "void Q::Go() {\n"
+      "  { MutexLock a(mu_a_); }\n"
+      "  MutexLock b(mu_b_);\n"
+      "}\n");
+  const std::vector<FlowFunction> fns = SegmentFunctions(lexed);
+  ASSERT_EQ(fns.size(), 1u);
+  const LockTrace trace = TraceLocks(lexed, fns[0]);
+  ASSERT_EQ(trace.acquisitions.size(), 2u);
+  EXPECT_TRUE(trace.acquisitions[1].held.empty())
+      << "sequential scopes must not read as nested acquisitions";
+}
+
+TEST(LintFlowTest, TaintFlowsFromCursorReadThroughAssignmentToSink) {
+  const LexedFile lexed = Lex(
+      "bool D(Cur& c, V* out) {\n"
+      "  uint32_t n = 0;\n"
+      "  c.ReadU32(&n);\n"
+      "  uint64_t total = n;\n"
+      "  out->v.reserve(total);\n"
+      "  return true;\n"
+      "}\n");
+  const std::vector<FlowFunction> fns = SegmentFunctions(lexed);
+  ASSERT_EQ(fns.size(), 1u);
+  const std::vector<TaintedUse> uses = TraceWireTaint(lexed, fns[0]);
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].variable, "total");
+  EXPECT_EQ(uses[0].sink, "reserve");
+  EXPECT_EQ(uses[0].sink_expr, "out->v");
+  EXPECT_EQ(uses[0].line, 5);
+  EXPECT_EQ(uses[0].source, "ReadU32");
+  EXPECT_EQ(uses[0].source_line, 3);
+}
+
+TEST(LintFlowTest, BoundsComparisonClearsTaint) {
+  const LexedFile lexed = Lex(
+      "bool D(Cur& c, V* out) {\n"
+      "  uint32_t n = 0;\n"
+      "  c.ReadU32(&n);\n"
+      "  if (n > c.remaining()) { return false; }\n"
+      "  out->v.resize(n);\n"
+      "  return true;\n"
+      "}\n");
+  const std::vector<FlowFunction> fns = SegmentFunctions(lexed);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_TRUE(TraceWireTaint(lexed, fns[0]).empty());
+}
+
 // ---------------------------------------------------------------------------
 // 2. Rules on inline snippets.
 
@@ -302,6 +430,161 @@ TEST(LintRuleR4Test, EnumClassAndForwardDeclarationsAreNotClasses) {
                   .empty());
 }
 
+TEST(LintRuleR5Test, InconsistentNestingOrderIsACycleOnlyWhenCritical) {
+  const std::string source =
+      "class P {\n"
+      " public:\n"
+      "  void AB() {\n"
+      "    MutexLock a(mu_a_);\n"
+      "    MutexLock b(mu_b_);\n"
+      "  }\n"
+      "  void BA() {\n"
+      "    MutexLock b(mu_b_);\n"
+      "    MutexLock a(mu_a_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_a_;\n"
+      "  Mutex mu_b_;\n"
+      "};\n";
+  const std::vector<Finding> findings = RunLockOrder(source, /*critical=*/true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R5");
+  EXPECT_EQ(findings[0].line, 5) << "anchored at the smallest lock's edge";
+  EXPECT_NE(
+      findings[0].message.find("'P::mu_a_' -> 'P::mu_b_' in AB (snippet.cc:5)"),
+      std::string::npos)
+      << findings[0].message;
+  EXPECT_NE(
+      findings[0].message.find("'P::mu_b_' -> 'P::mu_a_' in BA (snippet.cc:9)"),
+      std::string::npos)
+      << findings[0].message;
+  EXPECT_TRUE(RunLockOrder(source, /*critical=*/false).empty());
+}
+
+TEST(LintRuleR5Test, WaitWhileHoldingASecondMutexNamesTheHeldLock) {
+  const std::vector<Finding> findings = RunLockOrder(
+      "class G {\n"
+      " public:\n"
+      "  void W() {\n"
+      "    MutexLock a(mu_a_);\n"
+      "    MutexLock b(mu_b_);\n"
+      "    cv_.Wait(mu_b_);\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_a_;\n"
+      "  Mutex mu_b_;\n"
+      "  CondVar cv_;\n"
+      "};\n",
+      /*critical=*/true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R5");
+  EXPECT_EQ(findings[0].line, 6);
+  EXPECT_NE(findings[0].message.find("CondVar::Wait(mu_b_) in W"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("still holding 'G::mu_a_'"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LintRuleR5Test, ConsistentOrderAndSoloWaitAreClean) {
+  EXPECT_TRUE(RunLockOrder(
+                  "class P {\n"
+                  " public:\n"
+                  "  void One() {\n"
+                  "    MutexLock a(mu_a_);\n"
+                  "    MutexLock b(mu_b_);\n"
+                  "  }\n"
+                  "  void Two() {\n"
+                  "    MutexLock a(mu_a_);\n"
+                  "    MutexLock b(mu_b_);\n"
+                  "  }\n"
+                  "  void Park() {\n"
+                  "    MutexLock b(mu_b_);\n"
+                  "    cv_.Wait(mu_b_);\n"
+                  "  }\n"
+                  " private:\n"
+                  "  Mutex mu_a_;\n"
+                  "  Mutex mu_b_;\n"
+                  "  CondVar cv_;\n"
+                  "};\n",
+                  /*critical=*/true)
+                  .empty());
+}
+
+TEST(LintRuleR5Test, SameSpellingInDistinctClassesNeverCollides) {
+  // A::mu_a_ and B::mu_a_ are different mutexes; the reversed nesting in B
+  // must not close a cycle against A's order.
+  EXPECT_TRUE(RunLockOrder(
+                  "class A {\n"
+                  "  void F() {\n"
+                  "    MutexLock x(mu_a_);\n"
+                  "    MutexLock y(mu_b_);\n"
+                  "  }\n"
+                  "  Mutex mu_a_;\n"
+                  "  Mutex mu_b_;\n"
+                  "};\n"
+                  "class B {\n"
+                  "  void F() {\n"
+                  "    MutexLock x(mu_b_);\n"
+                  "    MutexLock y(mu_a_);\n"
+                  "  }\n"
+                  "  Mutex mu_a_;\n"
+                  "  Mutex mu_b_;\n"
+                  "};\n",
+                  /*critical=*/true)
+                  .empty());
+}
+
+TEST(LintRuleR6Test, UncheckedWireLengthFlaggedOnlyInCriticalFiles) {
+  const std::string source =
+      "bool D(Cur& c, V* out) {\n"
+      "  uint32_t n = 0;\n"
+      "  c.ReadU32(&n);\n"
+      "  out->v.resize(n);\n"
+      "  return true;\n"
+      "}\n";
+  const std::vector<Finding> findings = RunRule(CheckR6, source, true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R6");
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("'n' carries a wire-tainted length"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("(ReadU32 at line 3)"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("'out->v.resize()'"), std::string::npos)
+      << findings[0].message;
+  EXPECT_TRUE(RunRule(CheckR6, source, false).empty());
+}
+
+TEST(LintRuleR6Test, NewArrayExtentIsASink) {
+  const std::vector<Finding> findings = RunRule(
+      CheckR6,
+      "double* A(Cur& c) {\n"
+      "  uint32_t n = 0;\n"
+      "  c.ReadVarint(&n);\n"
+      "  return new double[n];\n"
+      "}\n",
+      true);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_NE(findings[0].message.find("a 'new double[]' allocation"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(LintRuleR6Test, RemainingBytesComparisonSatisfiesTheRule) {
+  EXPECT_TRUE(RunRule(CheckR6,
+                      "bool D(Cur& c, V* out) {\n"
+                      "  uint32_t n = 0;\n"
+                      "  c.ReadU32(&n);\n"
+                      "  if (n > c.remaining()) { return false; }\n"
+                      "  out->v.resize(n);\n"
+                      "  return true;\n"
+                      "}\n",
+                      true)
+                  .empty());
+}
+
 // ---------------------------------------------------------------------------
 // 3. Fixture tree, per file: exact rule ids and line anchors.
 
@@ -405,6 +688,70 @@ TEST(LintFixtureTest, R4CleanCounterpartIsClean) {
   EXPECT_TRUE(LintFixture({"src/shard/r4_clean.cc"}).findings.empty());
 }
 
+TEST(LintFixtureTest, R5CycleBadAnchorsTheWitnessPath) {
+  const LintReport report = LintFixture({"src/serve/r5_cycle_bad.cc"});
+  ASSERT_EQ(RuleLines(report),
+            (std::vector<std::pair<std::string, int>>{{"R5", 14}}));
+  const Finding& finding = report.findings[0];
+  EXPECT_EQ(finding.file, "src/serve/r5_cycle_bad.cc");
+  EXPECT_NE(finding.message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(finding.message.find("'ResultLedger::mu_a_' -> "
+                                 "'ResultLedger::mu_b_' in Credit "
+                                 "(src/serve/r5_cycle_bad.cc:14)"),
+            std::string::npos)
+      << finding.message;
+  EXPECT_NE(finding.message.find("'ResultLedger::mu_b_' -> "
+                                 "'ResultLedger::mu_a_' in Debit "
+                                 "(src/serve/r5_cycle_bad.cc:20)"),
+            std::string::npos)
+      << finding.message;
+  EXPECT_NE(finding.message.find("deadlock"), std::string::npos);
+}
+
+TEST(LintFixtureTest, R5WaitBadAnchorsTheWaitSite) {
+  const LintReport report = LintFixture({"src/serve/r5_wait_bad.cc"});
+  ASSERT_EQ(RuleLines(report),
+            (std::vector<std::pair<std::string, int>>{{"R5", 16}}));
+  const Finding& finding = report.findings[0];
+  EXPECT_NE(finding.message.find("CondVar::Wait(mu_) in Drain"),
+            std::string::npos);
+  EXPECT_NE(finding.message.find("still holding 'DrainGate::admit_mu_'"),
+            std::string::npos)
+      << finding.message;
+}
+
+TEST(LintFixtureTest, R5CleanCounterpartIsCleanAndCountsItsSuppression) {
+  // OrderedLedger nests mu_a_ before mu_b_ everywhere and its one
+  // deliberate wait-while-holding carries a justified allow(R5).
+  const LintReport report = LintFixture({"src/serve/r5_clean.cc"});
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, 1);
+}
+
+TEST(LintFixtureTest, R6BadAnchorsBothSinksAndNamesTheTaintingRead) {
+  const LintReport report = LintFixture({"src/serve/r6_bad.cc"});
+  ASSERT_EQ(RuleLines(report), (std::vector<std::pair<std::string, int>>{
+                                   {"R6", 23}, {"R6", 30}}));
+  EXPECT_NE(report.findings[0].message.find(
+                "'count' carries a wire-tainted length (ReadU32 at line 22)"),
+            std::string::npos)
+      << report.findings[0].message;
+  EXPECT_NE(report.findings[1].message.find(
+                "'extent' carries a wire-tainted length (ReadU32 at line 29)"),
+            std::string::npos)
+      << report.findings[1].message;
+  EXPECT_NE(report.findings[1].message.find("a 'new double[]' allocation"),
+            std::string::npos);
+}
+
+TEST(LintFixtureTest, R6CleanCounterpartIsCleanAndCountsItsSuppression) {
+  // Comparing against cur.remaining() before the resize clears the taint;
+  // the one unchecked resize carries a justified allow(R6).
+  const LintReport report = LintFixture({"src/serve/r6_clean.cc"});
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_EQ(report.suppressed, 1);
+}
+
 TEST(LintFixtureTest, WellFormedDirectivesSuppressAndAreCounted) {
   const LintReport report = LintFixture({"src/carve/suppressed.cc"});
   EXPECT_TRUE(report.findings.empty());
@@ -423,8 +770,8 @@ TEST(LintFixtureTest, NoncriticalModuleEscapesR1AndR2Iteration) {
 
 TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
   const LintReport report = LintFixture({"src"});
-  EXPECT_EQ(report.files_scanned, 17);
-  EXPECT_EQ(report.suppressed, 2);
+  EXPECT_EQ(report.files_scanned, 22);
+  EXPECT_EQ(report.suppressed, 4);
   std::map<std::string, int> by_rule;
   for (const Finding& finding : report.findings) {
     ++by_rule[finding.rule];
@@ -433,8 +780,10 @@ TEST(LintFixtureTest, WholeTreeTotalsAreExact) {
   EXPECT_EQ(by_rule["R2"], 4);
   EXPECT_EQ(by_rule["R3"], 5);
   EXPECT_EQ(by_rule["R4"], 2);
+  EXPECT_EQ(by_rule["R5"], 2);
+  EXPECT_EQ(by_rule["R6"], 2);
   EXPECT_EQ(by_rule["LINT"], 1);
-  EXPECT_EQ(report.findings.size(), 17u);
+  EXPECT_EQ(report.findings.size(), 21u);
 }
 
 // ---------------------------------------------------------------------------
@@ -458,7 +807,12 @@ TEST(LintMainTest, ExitsOneAndPrintsAnchorsOnFindings) {
   EXPECT_NE(text.find("src/fleet/r2_bad.cc:15: [R2]"), std::string::npos);
   EXPECT_NE(text.find("src/carve/malformed.cc:5: [LINT]"),
             std::string::npos);
-  EXPECT_NE(text.find("17 finding(s) across 17 file(s) (2 suppressed)"),
+  EXPECT_NE(text.find("src/serve/r5_cycle_bad.cc:14: [R5]"),
+            std::string::npos);
+  EXPECT_NE(text.find("src/serve/r5_wait_bad.cc:16: [R5]"),
+            std::string::npos);
+  EXPECT_NE(text.find("src/serve/r6_bad.cc:23: [R6]"), std::string::npos);
+  EXPECT_NE(text.find("21 finding(s) across 22 file(s) (4 suppressed)"),
             std::string::npos);
 }
 
@@ -482,9 +836,63 @@ TEST(LintMainTest, RulesFlagRestrictsToTheListedRules) {
   EXPECT_EQ(text.find("[R2]"), std::string::npos);
   EXPECT_EQ(text.find("[R3]"), std::string::npos);
   EXPECT_EQ(text.find("[R4]"), std::string::npos);
+  EXPECT_EQ(text.find("[R5]"), std::string::npos);
+  EXPECT_EQ(text.find("[R6]"), std::string::npos);
   // Malformed directives stay fatal under any rule filter: a typo must
   // never silently disable linting.
   EXPECT_NE(text.find("[LINT]"), std::string::npos);
+}
+
+TEST(LintMainTest, JsonFormatEmitsMachineReadableReport) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = LintMain(
+      {"--root", KONDO_LINT_FIXTURES, "--format=json", "src"}, out, err);
+  EXPECT_EQ(code, 1) << "findings still drive the exit code in json mode";
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"tool\": \"kondo-lint\""), std::string::npos);
+  EXPECT_NE(text.find("\"files_scanned\": 22"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"suppressed\": 4"), std::string::npos);
+  EXPECT_NE(text.find("{\"file\": \"src/fuzz/r1_bad.cc\", \"line\": 9, "
+                      "\"rule\": \"R1\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"rule\": \"R5\""), std::string::npos);
+  EXPECT_NE(text.find("\"rule\": \"R6\""), std::string::npos);
+  EXPECT_EQ(text.find(": [R1]"), std::string::npos)
+      << "json mode must not interleave the text report";
+}
+
+TEST(LintMainTest, JsonReportEscapesQuotesBackslashesAndControlBytes) {
+  LintReport report;
+  report.files_scanned = 1;
+  report.findings.push_back(
+      Finding{"R1", "src/a.cc", 3, "saw \"quoted\\path\"\n\tand a tab"});
+  std::ostringstream out;
+  PrintJsonReport(report, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("saw \\\"quoted\\\\path\\\"\\n\\tand a tab"),
+            std::string::npos)
+      << text;
+}
+
+TEST(LintMainTest, JsonCleanReportHasEmptyFindingsArray) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code =
+      LintMain({"--root", KONDO_LINT_FIXTURES, "--format", "json",
+                "src/fuzz/r1_clean.cc"},
+               out, err);
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(out.str().find("\"findings\": []"), std::string::npos)
+      << out.str();
+}
+
+TEST(LintMainTest, UnknownFormatExitsTwo) {
+  std::ostringstream out;
+  std::ostringstream err;
+  EXPECT_EQ(LintMain({"--format=xml"}, out, err), 2);
+  EXPECT_NE(err.str().find("unknown --format 'xml'"), std::string::npos);
 }
 
 TEST(LintMainTest, ExitsTwoOnUnknownFlagOrBadPath) {

@@ -3,13 +3,15 @@
 //
 // The binary tokenizes the source tree (comment/string-aware), walks the
 // include graph to find everything a determinism-critical module depends
-// on, and enforces the project rules R1-R4 (banned nondeterminism APIs,
-// unordered-iteration hazards, suppressed IO status, unannotated mutexes).
-// See docs/STATIC_ANALYSIS.md for the rule catalogue and suppression
-// policy.
+// on, and enforces the project rules R1-R6 (banned nondeterminism APIs,
+// unordered-iteration hazards, suppressed IO status, unannotated mutexes,
+// lock-order cycles / wait-while-holding, and wire-tainted lengths
+// reaching allocation). See docs/STATIC_ANALYSIS.md for the rule
+// catalogue and suppression policy.
 //
-//   kondo_lint --root . src        # what CI runs
+//   kondo_lint --root . src                  # what CI runs
 //   kondo_lint --rules R2 src/fuzz
+//   kondo_lint --format=json --root . src    # machine-readable report
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
